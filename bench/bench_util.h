@@ -1,0 +1,64 @@
+// Shared table formatting for the experiment harnesses (bench/exp*).
+//
+// Every harness prints, for each configuration, the measured utility (with
+// its 3-sigma margin), the empirical event distribution, and the paper's
+// closed-form bound — then a PASS/DEVIATION verdict on the shape claim.
+// Harnesses accept an optional argv[1] = runs-per-point override.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rpd/estimator.h"
+
+namespace fairsfe::bench {
+
+inline std::size_t runs_from_argv(int argc, char** argv, std::size_t def) {
+  if (argc > 1) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return def;
+}
+
+inline void print_title(const std::string& id, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+}
+
+inline void print_gamma(const rpd::PayoffVector& g, std::size_t runs) {
+  std::printf("gamma = %s, runs/point = %zu\n\n", g.to_string().c_str(), runs);
+}
+
+inline void print_row_header() {
+  std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "configuration", "utility",
+              "(+/-3SE)", "E00", "E01", "E10", "E11", "paper");
+  std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "-------------", "-------",
+              "--------", "---", "---", "---", "---", "-----");
+}
+
+inline void print_row(const std::string& name, const rpd::UtilityEstimate& est,
+                      const std::string& paper) {
+  std::printf("%-28s %9.4f %8.4f   %5.2f %5.2f %5.2f %5.2f   %s\n", name.c_str(),
+              est.utility, est.margin(), est.event_freq[0], est.event_freq[1],
+              est.event_freq[2], est.event_freq[3], paper.c_str());
+}
+
+class Verdict {
+ public:
+  void check(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
+    if (!ok) failures_++;
+  }
+
+  int finish() const {
+    std::printf("\n%s (%d deviation%s)\n", failures_ == 0 ? "ALL CHECKS PASSED" : "DEVIATIONS",
+                failures_, failures_ == 1 ? "" : "s");
+    return 0;  // never break the bench loop; deviations are in the output
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace fairsfe::bench

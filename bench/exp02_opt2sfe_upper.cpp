@@ -1,0 +1,54 @@
+// E02 — Theorem 3: u_A(ΠOpt2SFE, A) ≤ (γ10 + γ11)/2 for every adversary A
+// and every γ ∈ Γfair. The harness throws the full strategy family at the
+// protocol under several payoff vectors; no strategy may exceed the bound.
+#include "bench_util.h"
+#include "experiments/setups.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 3000);
+
+  bench::print_title("E02: Theorem 3 — Opt2SFE utility upper bound",
+                     "Claim: u_A(Opt2SFE, A) <= (g10 + g11)/2 for all A, gamma in "
+                     "Gamma_fair.");
+  bench::Verdict verdict;
+
+  const std::vector<std::pair<std::string, rpd::PayoffVector>> gammas = {
+      {"standard (0.25,0,1,0.5)", rpd::PayoffVector::standard()},
+      {"partial-fairness (0,0,1,0)", rpd::PayoffVector::partial_fairness()},
+      {"flat (0.5,0,1,0.5)", {0.5, 0.0, 1.0, 0.5}},
+      {"scaled (0,0,2,1)", {0.0, 0.0, 2.0, 1.0}},
+  };
+
+  const std::vector<rpd::NamedAttack> attacks = {
+      {"lock-abort(p1)", opt2_lock_abort(0)},
+      {"lock-abort(p2)", opt2_lock_abort(1)},
+      {"Agen (random corrupt)", opt2_agen()},
+      {"abort-phase1", opt2_abort_phase1()},
+      {"passive", opt2_passive()},
+      {"no-corruption", opt2_no_corruption()},
+      {"corrupt-all", opt2_corrupt_all()},
+  };
+
+  std::uint64_t seed = 100;
+  for (const auto& [gname, gamma] : gammas) {
+    std::printf("--- gamma class: %s, bound (g10+g11)/2 = %.3f ---\n", gname.c_str(),
+                gamma.two_party_opt_bound());
+    bench::print_gamma(gamma, runs);
+    bench::print_row_header();
+    double best = -1e9;
+    for (const auto& a : attacks) {
+      const auto est = rpd::estimate_utility(a.factory, gamma, runs, seed++);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "<= %.3f", gamma.two_party_opt_bound());
+      bench::print_row(a.name, est, buf);
+      best = std::max(best, est.utility - est.margin());
+      verdict.check(est.utility <= gamma.two_party_opt_bound() + est.margin() + 0.02,
+                    a.name + " respects the Theorem 3 bound");
+    }
+    std::printf("\n");
+  }
+  return verdict.finish();
+}

@@ -1,0 +1,160 @@
+// E04 — Lemma 9 / Lemma 10: reconstruction-round optimality.
+//
+// ΠOpt2SFE has exactly two reconstruction rounds: an abort during phase 1 is
+// harmless (the honest party's default evaluation makes the outcome
+// simulatable with the *fair* functionality — event E01), and only the
+// final reconstruction round is unfair. Lemma 10 says no optimally fair
+// protocol can make do with ONE reconstruction round: in a single
+// simultaneous exchange a rushing adversary always takes the honest opening
+// and withholds its own, earning γ10 outright. The harness builds that
+// one-round variant and exhibits the gap.
+#include "adversary/lock_abort.h"
+#include "bench_util.h"
+#include "experiments/setups.h"
+#include "fair/opt2sfe.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+namespace {
+
+// The strawman: phase 1 as in ΠOpt2SFE, then ONE simultaneous opening round.
+class OneRoundParty final : public sim::PartyBase<OneRoundParty> {
+ public:
+  OneRoundParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input)
+      : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)) {}
+
+  std::vector<sim::Message> on_round(int, const std::vector<sim::Message>& in) override {
+    switch (step_) {
+      case 0:
+        step_ = 1;
+        return {{id_, sim::kFunc, sim::encode_func_input(input_)}};
+      case 1: {
+        const sim::Message* fm = first_from(in, sim::kFunc);
+        if (fm == nullptr) return {};
+        const auto body = sim::decode_func_output(fm->payload);
+        if (!body) {
+          finish_default();
+          return {};
+        }
+        Reader r(*body);
+        const auto share_bytes = r.blob();
+        const auto share = share_bytes ? AuthShare2::from_bytes(*share_bytes) : std::nullopt;
+        if (!share) {
+          finish_default();
+          return {};
+        }
+        share_ = *share;
+        step_ = 2;
+        // Single simultaneous reconstruction round.
+        Writer w;
+        w.u8(20).blob(share_.opening_to_bytes());
+        return {{id_, 1 - id_, w.take()}};
+      }
+      case 2: {
+        for (const sim::Message& m : in) {
+          if (m.from != 1 - id_) continue;
+          Reader r(m.payload);
+          if (r.u8() != std::optional<std::uint8_t>{20}) continue;
+          const auto body = r.blob();
+          const auto y = body ? auth_reconstruct2(share_, *body) : std::nullopt;
+          if (y) {
+            finish(*y);
+            return {};
+          }
+        }
+        finish_bot();
+        return {};
+      }
+    }
+    return {};
+  }
+
+  void on_abort() override {
+    if (done()) return;
+    if (step_ <= 1) {
+      finish_default();
+    } else {
+      finish_bot();
+    }
+  }
+
+ private:
+  void finish_default() {
+    std::vector<Bytes> xs = spec_.default_inputs;
+    xs[static_cast<std::size_t>(id_)] = input_;
+    finish(spec_.eval(xs));
+  }
+
+  mpc::SfeSpec spec_;
+  Bytes input_;
+  int step_ = 0;
+  AuthShare2 share_;
+};
+
+rpd::SetupFactory one_round_lock_abort(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    const auto xs = random_inputs(2, rng);
+    s.parties.push_back(std::make_unique<OneRoundParty>(0, spec, xs[0]));
+    s.parties.push_back(std::make_unique<OneRoundParty>(1, spec, xs[1]));
+    s.functionality = std::make_unique<fair::Opt2ShareFunc>(spec);
+    s.adversary = std::make_unique<adversary::LockAbortAdversary>(
+        std::set<sim::PartyId>{corrupt}, xs[0] + xs[1]);
+    s.engine.max_rounds = 10;
+    return s;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 3000);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  bench::print_title("E04: Lemma 9/10 — reconstruction-round optimality",
+                     "Claim: Opt2SFE needs exactly 2 reconstruction rounds; any 1-round\n"
+                     "variant hands the rushing adversary g10 with probability 1.");
+  bench::print_gamma(gamma, runs);
+  bench::print_row_header();
+
+  bench::Verdict verdict;
+
+  // Phase-1 abort against Opt2SFE is fair (Lemma 9's first claim).
+  const auto phase1 = rpd::estimate_utility(opt2_abort_phase1(), gamma, runs, 1);
+  bench::print_row("Opt2SFE / abort-phase1", phase1, "E01 (fair, simulatable)");
+  verdict.check(phase1.freq(rpd::FairnessEvent::kE01) > 0.99,
+                "phase-1 abort against Opt2SFE stays fair (Lemma 9)");
+
+  // Reconstruction-phase attack: the (g10+g11)/2 optimum.
+  const auto two_round = rpd::estimate_utility(opt2_lock_abort(0), gamma, runs, 2);
+  bench::print_row("Opt2SFE / lock-abort", two_round, "(g10+g11)/2 = 0.750");
+  verdict.check(std::abs(two_round.utility - gamma.two_party_opt_bound()) <
+                    two_round.margin() + 0.02,
+                "2-reconstruction-round protocol achieves the optimum");
+
+  // The 1-round strawman: rushing steals the opening every time.
+  for (sim::PartyId c : {0, 1}) {
+    const auto one_round = rpd::estimate_utility(one_round_lock_abort(c), gamma, runs,
+                                                 3 + static_cast<std::uint64_t>(c));
+    bench::print_row("1-round variant / corrupt p" + std::to_string(c + 1), one_round,
+                     "g10 = 1.000 (Lemma 10)");
+    verdict.check(one_round.utility > gamma.g10 - 0.02,
+                  "1-round variant loses everything to rushing (corrupt p" +
+                      std::to_string(c + 1) + ")");
+  }
+
+  std::printf("\nHonest-run round counts (engine rounds, incl. 2 hybrid rounds):\n");
+  {
+    Rng rng(99);
+    const mpc::SfeSpec spec = two_party_spec();
+    const auto xs = random_inputs(2, rng);
+    auto parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    sim::Engine e(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec), nullptr,
+                  rng.fork("engine"));
+    const auto r = e.run();
+    std::printf("  Opt2SFE honest execution: %d rounds (phase 2 = 2 rounds)\n\n", r.rounds);
+  }
+  return verdict.finish();
+}

@@ -1,0 +1,46 @@
+// E06 — Lemma 14 / Lemma 16: utility-balanced fairness.
+//
+// Σ_{t=1}^{n-1} u(best t-adversary vs ΠOptnSFE) ≤ (n−1)(γ10+γ11)/2, and the
+// bound is tight (Lemma 16's coalition pairs achieve it). The harness prints
+// the per-t profile φ(t) and its sum against the bound, for several n.
+#include "bench_util.h"
+#include "experiments/setups.h"
+#include "rpd/balance.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  bench::print_title("E06: Lemma 14/16 — utility-balanced fairness of OptNSFE",
+                     "Claim: sum_t phi(t) = (n-1)(g10+g11)/2, the minimal possible sum.");
+  bench::print_gamma(gamma, runs);
+
+  bench::Verdict verdict;
+  std::uint64_t seed = 600;
+
+  for (const std::size_t n : {3u, 4u, 5u, 6u}) {
+    const auto profile = rpd::balance_profile(
+        n,
+        [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kOptN, n, t); },
+        gamma, runs, seed);
+    seed += 100;
+
+    std::printf("--- n = %zu ---\n", n);
+    std::printf("%-6s %-20s %10s   %s\n", "t", "best strategy", "phi(t)", "paper phi(t)");
+    for (std::size_t t = 1; t < n; ++t) {
+      std::printf("%-6zu %-20s %10.4f   %.4f\n", t,
+                  profile.best_per_t[t - 1].name.c_str(), profile.phi(t),
+                  gamma.nparty_bound(t, n));
+    }
+    std::printf("sum = %.4f   bound (n-1)(g10+g11)/2 = %.4f   margin = %.4f\n\n",
+                profile.sum(), gamma.balance_bound(n), profile.sum_margin());
+    verdict.check(rpd::is_utility_balanced(profile, gamma),
+                  "n=" + std::to_string(n) + ": OptNSFE is utility-balanced");
+    verdict.check(profile.sum() >= gamma.balance_bound(n) - profile.sum_margin() - 0.1,
+                  "n=" + std::to_string(n) + ": the balance bound is tight (Lemma 16)");
+  }
+  return verdict.finish();
+}

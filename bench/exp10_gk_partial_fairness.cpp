@@ -1,0 +1,66 @@
+// E10 — Theorems 23/24: the Gordon–Katz protocols bound the attacker's
+// payoff by 1/p under ~γ = (0,0,1,0), at the cost of O(p·|Y|) (poly-domain)
+// or O(p²·|Z|) (poly-range) reconstruction rounds. The harness sweeps p,
+// fields the full attack family, and prints utility vs 1/p together with the
+// round counts — who wins (the protocol), by what factor (1/p), and how the
+// cost scales.
+#include "bench_util.h"
+#include "experiments/setups.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 2500);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::partial_fairness();
+
+  bench::print_title("E10: Theorems 23/24 — Gordon-Katz 1/p-security",
+                     "Claim: u_A <= 1/p for every attack; rounds grow as O(p*|Y|) /\n"
+                     "O(p^2*|Z|).");
+  bench::print_gamma(gamma, runs);
+  bench::Verdict verdict;
+
+  std::uint64_t seed = 1000;
+  std::printf("--- poly-size DOMAIN protocol (AND, |Y| = 2), Theorem 23 ---\n");
+  for (const std::size_t p : {2u, 3u, 4u, 6u, 8u}) {
+    const fair::GkParams params = fair::make_gk_and_params(p);
+    std::printf("p = %zu  (round cap %zu, alpha = %.4f)\n", p, params.cap(),
+                params.alpha());
+    bench::print_row_header();
+    double best = 0.0;
+    for (const auto& attack : gk_attack_family(params)) {
+      const auto est = rpd::estimate_utility(attack.factory, gamma, runs, seed++);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "<= 1/p = %.4f", 1.0 / static_cast<double>(p));
+      bench::print_row(attack.name, est, buf);
+      best = std::max(best, est.utility);
+      verdict.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
+                    "p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
+    }
+    std::printf("best attack: %.4f vs bound %.4f\n\n", best, 1.0 / static_cast<double>(p));
+  }
+
+  std::printf("--- poly-size RANGE protocol (AND output, |Z| = 2), Theorem 24 ---\n");
+  for (const std::size_t p : {2u, 3u, 4u}) {
+    fair::GkParams params = fair::make_gk_and_params(p);
+    params.variant = fair::GkParams::Variant::kPolyRange;
+    params.sample_range = [](Rng& r) { return Bytes{static_cast<std::uint8_t>(r.bit())}; };
+    std::printf("p = %zu  (round cap %zu, alpha = %.5f)\n", p, params.cap(),
+                params.alpha());
+    bench::print_row_header();
+    for (const auto& attack : gk_attack_family(params)) {
+      const auto est = rpd::estimate_utility(attack.factory, gamma, runs / 2, seed++);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "<= 1/p = %.4f", 1.0 / static_cast<double>(p));
+      bench::print_row(attack.name, est, buf);
+      verdict.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
+                    "range p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Contrast: Theorem 3's general-function optimum is (g10+g11)/2 = 0.5\n"
+              "under this gamma — the GK protocols beat it for p > 2 precisely\n"
+              "because their functions have polynomial-size domains/ranges.\n");
+  return verdict.finish();
+}

@@ -1,0 +1,98 @@
+// E11 — Lemmas 26/27: Π̃ separates 1/p-security from utility-based fairness.
+//
+// The harness measures three things about the leaky AND protocol:
+//   1. the privacy break — a corrupted p2 sending the 1-bit preamble learns
+//      the honest input x1 with probability exactly 1/4, and every leak is
+//      the *true* input (a total break, impossible to simulate against
+//      F^{f,$}_sfe, whose view is independent of x1 unless the output
+//      reveals it);
+//   2. the GK accounting that nevertheless certifies Π̃ as 1/2-secure: the
+//      unfair-outcome frequency of the embedded 1/4-secure stage stays
+//      below 1/2;
+//   3. the Lemma 26 distinguishing gap: the real leak matches x1 with
+//      probability 1, while any ideal-world simulator (which never sees x1)
+//      matches with probability <= 1/2 — a constant advantage >= 1/8 for
+//      the environment pair (Z1, Z2).
+#include "bench_util.h"
+#include "adversary/strategies.h"
+#include "experiments/setups.h"
+#include "fair/leaky_and.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 4000);
+
+  bench::print_title("E11: Lemmas 26/27 — the leaky-AND separation",
+                     "Claim: Pi-tilde is 1/2-secure and 'private' per [GK10], yet leaks\n"
+                     "x1 w.p. 1/4 and cannot realize F^{f,$}_sfe.");
+  bench::Verdict verdict;
+
+  // 1. The privacy break.
+  std::size_t leaks = 0;
+  std::size_t leaks_correct = 0;
+  std::size_t output_ok = 0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    Rng rng(42000 + i);
+    const Bytes x0{static_cast<std::uint8_t>(rng.bit())};
+    const Bytes x1{static_cast<std::uint8_t>(rng.bit())};
+    auto adv = std::make_unique<adversary::LeakyAndProbe>();
+    auto* probe = adv.get();
+    auto parties = fair::make_leaky_and_parties(x0, x1, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 200;
+    sim::Engine e(std::move(parties), fair::make_leaky_and_functionality(nullptr),
+                  std::move(adv), rng.fork("engine"), cfg);
+    const auto r = e.run();
+    if (probe->leaked()) {
+      ++leaks;
+      if (*probe->leaked() == x0) ++leaks_correct;
+    }
+    if (r.outputs[0] && (*r.outputs[0])[0] == (x0[0] & x1[0])) ++output_ok;
+  }
+  const double leak_rate = static_cast<double>(leaks) / static_cast<double>(runs);
+  const double correct_rate =
+      leaks == 0 ? 0.0 : static_cast<double>(leaks_correct) / static_cast<double>(leaks);
+  std::printf("runs = %zu\n", runs);
+  std::printf("  leak rate (deviating p2 receives x1):        %.4f   paper: 1/4\n",
+              leak_rate);
+  std::printf("  leaked value equals the true x1:             %.4f   paper: 1\n",
+              correct_rate);
+  std::printf("  honest p1 still computes x1 AND x2 correctly: %.4f\n\n",
+              static_cast<double>(output_ok) / static_cast<double>(runs));
+  verdict.check(std::abs(leak_rate - 0.25) < 0.03, "leak probability is 1/4 (Lemma 26)");
+  verdict.check(correct_rate == 1.0, "every leak is the true honest input");
+
+  // 2. The GK accounting that still certifies Π̃ (Lemma 27): the embedded
+  //    p = 4 stage keeps the unfair-abort payoff under 1/2 for all attacks.
+  const rpd::PayoffVector pf = rpd::PayoffVector::partial_fairness();
+  const fair::GkParams params = fair::make_gk_and_params(4);
+  std::printf("embedded 1/4-secure stage under gamma = (0,0,1,0):\n");
+  bench::print_row_header();
+  std::uint64_t seed = 43000;
+  for (const auto& attack : gk_attack_family(params)) {
+    const auto est = rpd::estimate_utility(attack.factory, pf, runs / 2, seed++);
+    bench::print_row(attack.name, est, "<= 1/2 (Lemma 27)");
+    verdict.check(est.utility <= 0.5 + est.margin() + 0.02,
+                  "1/2-security accounting: " + attack.name);
+  }
+
+  // 3. The distinguishing gap of Lemma 26: real leak is x1 with prob 1; an
+  //    ideal-world simulator's "leak" is independent of x1 (prob <= 1/2).
+  const double real_match = leak_rate * correct_rate;
+  const double ideal_match_best = leak_rate * 0.5;
+  std::printf("\nLemma 26 environments: Pr[leak AND matches x1]\n");
+  std::printf("  real world:                %.4f\n", real_match);
+  std::printf("  best F^{f,$} simulator:    %.4f (leak independent of x1)\n",
+              ideal_match_best);
+  std::printf("  distinguishing advantage:  %.4f  (constant >= 1/8)\n\n",
+              real_match - ideal_match_best);
+  verdict.check(real_match - ideal_match_best > 0.09,
+                "constant distinguishing gap vs any F^{f,$} simulator");
+
+  std::printf("Conclusion: Pi-tilde passes 1/p-security + privacy as defined in\n"
+              "[GK10] but fails the paper's utility-based notion — the notions are\n"
+              "separated, and the utility-based one is strictly stronger (Lemma 25).\n");
+  return verdict.finish();
+}

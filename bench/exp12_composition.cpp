@@ -1,0 +1,211 @@
+// E12 — RPD composition (paper §3, citing [GKMTZ13, Theorem 5]): replacing
+// the ideal unfair-SFE hybrid by a protocol that securely realizes it (the
+// GMW substrate) leaves the attacker's utility unchanged.
+//
+// Setup: the "plain unfair SFE" protocol for a function f, once in the
+// F^{f,⊥}_sfe-hybrid model (one ideal call) and once compiled to GMW over
+// the boolean circuit for f in the OT-hybrid model. The best attacker —
+// grab-output-then-abort at the functionality gate, respectively rushing
+// lock-abort at the GMW output round — earns γ10 in both worlds, and honest
+// executions produce identical outputs.
+#include "adversary/base.h"
+#include "adversary/lock_abort.h"
+#include "bench_util.h"
+#include "circuit/builder.h"
+#include "experiments/setups.h"
+#include "fair/opt2_compiled.h"
+#include "mpc/gmw.h"
+#include "mpc/ot.h"
+#include "mpc/yao.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+namespace {
+
+// Hybrid-world best response: ask for the corrupted outputs, then abort.
+class GrabAndAbortGate final : public adversary::AdversaryBase {
+ public:
+  explicit GrabAndAbortGate(std::set<sim::PartyId> corrupt)
+      : AdversaryBase(std::move(corrupt)) {}
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override {
+    if (view.round == 0) return honest_step_all(ctx, view.delivered);
+    return {};
+  }
+
+  bool abort_functionality(sim::AdvContext&, const std::vector<sim::Message>& outs) override {
+    for (const sim::Message& m : outs) {
+      const auto y = sim::decode_func_output(m.payload);
+      if (y) mark_learned(*y);
+    }
+    return true;
+  }
+};
+
+// "Plain unfair SFE" party in the hybrid model: forward input, adopt output.
+class PlainSfeParty final : public sim::PartyBase<PlainSfeParty> {
+ public:
+  PlainSfeParty(sim::PartyId id, Bytes input) : PartyBase(id), input_(std::move(input)) {}
+
+  std::vector<sim::Message> on_round(int, const std::vector<sim::Message>& in) override {
+    if (!sent_) {
+      sent_ = true;
+      return {{id_, sim::kFunc, sim::encode_func_input(input_)}};
+    }
+    const sim::Message* fm = first_from(in, sim::kFunc);
+    if (fm == nullptr) return {};
+    const auto y = sim::decode_func_output(fm->payload);
+    if (y) {
+      finish(*y);
+    } else {
+      finish_bot();
+    }
+    return {};
+  }
+
+  void on_abort() override {
+    if (!done()) finish_bot();
+  }
+
+ private:
+  Bytes input_;
+  bool sent_ = false;
+};
+
+rpd::SetupFactory hybrid_attack(const mpc::SfeSpec& spec) {
+  return [spec](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(spec.n, rng);
+    for (std::size_t p = 0; p < spec.n; ++p) {
+      s.parties.push_back(std::make_unique<PlainSfeParty>(static_cast<sim::PartyId>(p),
+                                                          xs[p]));
+    }
+    s.functionality = std::make_unique<mpc::SfeFunc>(spec, mpc::SfeMode::kUnfairAbort);
+    s.adversary = std::make_unique<GrabAndAbortGate>(std::set<sim::PartyId>{0});
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+rpd::SetupFactory compiled_attack(std::shared_ptr<const mpc::GmwConfig> cfg) {
+  return [cfg](Rng& rng) {
+    rpd::RunSetup s;
+    std::vector<std::vector<bool>> inputs;
+    Bytes all;
+    for (std::size_t p = 0; p < cfg->circuit.num_parties(); ++p) {
+      const Bytes x = rng.bytes((cfg->circuit.input_width(p) + 7) / 8);
+      inputs.push_back(circuit::bytes_to_bits(x, cfg->circuit.input_width(p)));
+      all = all + x;
+    }
+    const Bytes y = circuit::bits_to_bytes(cfg->circuit.eval(inputs));
+    s.parties = mpc::make_gmw_parties(cfg, inputs, rng);
+    s.functionality = std::make_unique<mpc::OtHub>();
+    s.adversary =
+        std::make_unique<adversary::LockAbortAdversary>(std::set<sim::PartyId>{0}, y);
+    s.engine.max_rounds = 64;
+    return s;
+  };
+}
+
+rpd::SetupFactory yao_attack(std::shared_ptr<const circuit::Circuit> circuit) {
+  return [circuit](Rng& rng) {
+    rpd::RunSetup s;
+    std::vector<std::vector<bool>> inputs;
+    for (std::size_t p = 0; p < 2; ++p) {
+      const Bytes x = rng.bytes((circuit->input_width(p) + 7) / 8);
+      inputs.push_back(circuit::bytes_to_bits(x, circuit->input_width(p)));
+    }
+    const Bytes y = circuit::bits_to_bytes(circuit->eval(inputs));
+    s.parties = mpc::make_yao_parties(circuit, inputs, rng);
+    s.functionality = std::make_unique<mpc::OtHub>();
+    // The evaluator learns the output first; corrupt it and lock-abort.
+    s.adversary =
+        std::make_unique<adversary::LockAbortAdversary>(std::set<sim::PartyId>{1}, y);
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  bench::print_title("E12: RPD composition — ideal hybrid vs GMW compilation",
+                     "Claim: the attacker's utility against unfair SFE is the same whether\n"
+                     "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.");
+  bench::print_gamma(gamma, runs);
+  bench::Verdict verdict;
+
+  struct Case {
+    std::string name;
+    mpc::SfeSpec spec;
+    circuit::Circuit circuit;
+  };
+  const std::vector<Case> cases = {
+      {"concat-16bit (swap)", mpc::make_circuit_spec(circuit::make_swap_circuit(8)),
+       circuit::make_swap_circuit(8)},
+      {"millionaires-8bit", mpc::make_circuit_spec(circuit::make_millionaires_circuit(8)),
+       circuit::make_millionaires_circuit(8)},
+      {"and-1bit", mpc::make_circuit_spec(circuit::make_and_circuit()),
+       circuit::make_and_circuit()},
+  };
+
+  std::uint64_t seed = 1200;
+  bench::print_row_header();
+  for (const auto& c : cases) {
+    const auto hybrid = rpd::estimate_utility(hybrid_attack(c.spec), gamma, runs, seed++);
+    auto cfg = std::make_shared<const mpc::GmwConfig>(mpc::GmwConfig::public_output(c.circuit));
+    const auto compiled = rpd::estimate_utility(compiled_attack(cfg), gamma, runs, seed++);
+    auto circ = std::make_shared<const circuit::Circuit>(c.circuit);
+    const auto yao = rpd::estimate_utility(yao_attack(circ), gamma, runs, seed++);
+    bench::print_row(c.name + " [hybrid]", hybrid, "g10 (grab & abort)");
+    bench::print_row(c.name + " [GMW]", compiled, "g10 (rushing lock-abort)");
+    bench::print_row(c.name + " [Yao]", yao, "g10 (evaluator lock-abort)");
+    verdict.check(std::abs(hybrid.utility - compiled.utility) <
+                      hybrid.margin() + compiled.margin() + 0.02,
+                  c.name + ": hybrid and GMW utilities coincide");
+    verdict.check(std::abs(hybrid.utility - yao.utility) <
+                      hybrid.margin() + yao.margin() + 0.02,
+                  c.name + ": hybrid and Yao utilities coincide");
+  }
+
+  // The capstone: the *fair* protocol itself, hybrid vs fully compiled
+  // (phase 1 = Yao garbled circuit on the f' extension, phase 2 unchanged).
+  std::printf("\n--- full stack: Opt2SFE hybrid vs Opt2SFE-over-Yao ---\n\n");
+  bench::print_row_header();
+  auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
+  auto compiled_opt2 = [base](sim::PartyId corrupt) {
+    return [base, corrupt](Rng& rng) {
+      rpd::RunSetup s;
+      const auto a = circuit::u64_to_bits(rng.below(256), 8);
+      const auto b = circuit::u64_to_bits(rng.below(256), 8);
+      const Bytes y = circuit::bits_to_bytes(base->eval({a, b}));
+      s.parties = fair::make_opt2_compiled_parties(base, {a, b}, rng);
+      s.functionality = std::make_unique<mpc::OtHub>();
+      s.adversary = std::make_unique<adversary::LockAbortAdversary>(
+          std::set<sim::PartyId>{corrupt}, y);
+      s.engine.max_rounds = 24;
+      return s;
+    };
+  };
+  for (sim::PartyId c : {0, 1}) {
+    const auto hybrid = rpd::estimate_utility(opt2_lock_abort(c), gamma, runs, seed++);
+    const auto comp = rpd::estimate_utility(compiled_opt2(c), gamma, runs, seed++);
+    const std::string who = "corrupt p" + std::to_string(c + 1);
+    bench::print_row("Opt2SFE [hybrid] " + who, hybrid, "(g10+g11)/2");
+    bench::print_row("Opt2SFE [Yao-compiled] " + who, comp, "(g10+g11)/2");
+    verdict.check(std::abs(hybrid.utility - comp.utility) <
+                      hybrid.margin() + comp.margin() + 0.03,
+                  "Opt2SFE fairness survives compilation (" + who + ")");
+  }
+
+  std::printf("\nNote: the fair protocols in src/fair are stated in these hybrid\n"
+              "models; by this composition property their measured fairness carries\n"
+              "over verbatim when the hybrid is instantiated with the GMW or Yao\n"
+              "substrate — demonstrated above for the complete Opt2SFE stack.\n");
+  return verdict.finish();
+}

@@ -1,0 +1,91 @@
+// E13 (extension) — gradual release under the utility lens.
+//
+// The paper's introduction argues that resource-style fairness notions
+// (gradual release [4, 2, 11], resource fairness [15]) and the utility-based
+// notion measure different things. This ablation quantifies it: the
+// bit-by-bit exchange's fairness is a knife-edge function of the
+// brute-force budget gap between the adversary and the honest party —
+//     u = γ10  whenever budget(adv) ≥ budget(honest) − 1  (the one-bit lead
+//              always decides),
+//     u = γ11  once the honest party can out-search the gap —
+// whereas ΠOpt2SFE sits at the budget-independent optimum (γ10+γ11)/2.
+#include "adversary/lock_abort.h"
+#include "bench_util.h"
+#include "experiments/setups.h"
+#include "fair/gradual.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+namespace {
+rpd::SetupFactory gradual_attack(std::size_t bits, std::size_t honest_budget,
+                                 std::size_t adv_budget) {
+  return [bits, honest_budget, adv_budget](Rng& rng) {
+    rpd::RunSetup s;
+    const Bytes x0 = rng.bytes(bits / 8), x1 = rng.bytes(bits / 8);
+    fair::GradualConfig cfg;
+    cfg.secret_bits = bits;
+    cfg.budget_bits = {honest_budget, adv_budget};
+    s.parties = fair::make_gradual_parties(cfg, x0, x1, rng);
+    s.adversary = std::make_unique<adversary::LockAbortAdversary>(
+        std::set<sim::PartyId>{1}, x0 + x1);
+    s.engine.max_rounds = static_cast<int>(2 * bits + 16);
+    return s;
+  };
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  const std::size_t bits = 16;
+
+  bench::print_title("E13 (extension): gradual release vs the utility-based lens",
+                     "Claim (paper Section 1): gradual-release fairness depends on the\n"
+                     "computational budget gap; the optimal protocol's does not.");
+  bench::print_gamma(gamma, runs);
+  bench::Verdict verdict;
+
+  std::printf("secret = %zu bits per party; lock-abort adversary corrupts p2.\n\n", bits);
+  bench::print_row_header();
+  std::uint64_t seed = 1300;
+
+  struct Row {
+    std::size_t honest, adv;
+    double paper;
+    const char* note;
+  };
+  // The aborting adversary is exactly one bit ahead, so the knife edge sits
+  // at budget(honest) = budget(adv) + 1: one extra bit of search power on the
+  // honest side already neutralizes the attack.
+  const std::vector<Row> rows = {
+      {0, 0, gamma.g10, "no budgets: 1-bit lead wins"},
+      {6, 6, gamma.g10, "equal budgets: lead still wins"},
+      {8, 7, gamma.g11, "honest ahead by 1: lead neutralized"},
+      {8, 6, gamma.g11, "honest ahead by 2: attack futile"},
+      {12, 4, gamma.g11, "honest far ahead"},
+  };
+  for (const Row& row : rows) {
+    const auto est =
+        rpd::estimate_utility(gradual_attack(bits, row.honest, row.adv), gamma, runs,
+                              seed++);
+    char name[64];
+    std::snprintf(name, sizeof(name), "budgets honest=%zu adv=%zu", row.honest, row.adv);
+    char paper[64];
+    std::snprintf(paper, sizeof(paper), "%.3f (%s)", row.paper, row.note);
+    bench::print_row(name, est, paper);
+    verdict.check(std::abs(est.utility - row.paper) < est.margin() + 0.02, name);
+  }
+
+  const auto opt2 = rpd::estimate_utility(opt2_lock_abort(1), gamma, runs, seed++);
+  bench::print_row("Opt2SFE (any budgets)", opt2, "(g10+g11)/2 = 0.750");
+  verdict.check(std::abs(opt2.utility - gamma.two_party_opt_bound()) < opt2.margin() + 0.02,
+                "Opt2SFE is budget-independent at the optimum");
+
+  std::printf("\nReading: by the utility metric, gradual release is either fully unfair\n"
+              "(g10) or fully fair (g11) depending on assumptions *outside* the\n"
+              "protocol; the optimally fair protocol gives a guarantee that holds\n"
+              "unconditionally — the paper's motivation for a protocol-intrinsic,\n"
+              "comparative measure.\n");
+  return verdict.finish();
+}

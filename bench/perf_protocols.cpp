@@ -1,0 +1,175 @@
+// P02 — end-to-end protocol execution throughput: full engine runs of the
+// fair protocols and the GMW substrate (gates/second).
+#include <benchmark/benchmark.h>
+
+#include "circuit/builder.h"
+#include "experiments/setups.h"
+#include "fair/mixed.h"
+#include "fair/opt2_compiled.h"
+#include "fair/opt2sfe.h"
+#include "mpc/gmw.h"
+#include "mpc/ot.h"
+#include "mpc/yao.h"
+
+namespace fairsfe {
+namespace {
+
+using namespace experiments;
+
+void BM_Opt2SfeHonestRun(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  const mpc::SfeSpec spec = two_party_spec();
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const auto xs = random_inputs(2, rng);
+    auto parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    sim::Engine e(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+}
+BENCHMARK(BM_Opt2SfeHonestRun);
+
+void BM_OptNSfeHonestRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mpc::SfeSpec spec = nparty_spec(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const auto xs = random_inputs(n, rng);
+    auto inst = fair::make_optn_instance(spec, xs, rng);
+    sim::Engine e(std::move(inst.parties), std::move(inst.functionality), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+}
+BENCHMARK(BM_OptNSfeHonestRun)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_HalfGmwHonestRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mpc::SfeSpec spec = nparty_spec(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const auto xs = random_inputs(n, rng);
+    auto inst = fair::make_half_gmw_instance(spec, xs, rng);
+    sim::Engine e(std::move(inst.parties), std::move(inst.functionality), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+}
+BENCHMARK(BM_HalfGmwHonestRun)->Arg(4)->Arg(8);
+
+void BM_GmwMillionaires(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto cfg = std::make_shared<const mpc::GmwConfig>(
+      mpc::GmwConfig::public_output(circuit::make_millionaires_circuit(bits)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    std::vector<std::vector<bool>> inputs = {
+        circuit::u64_to_bits(rng.below(1u << bits), bits),
+        circuit::u64_to_bits(rng.below(1u << bits), bits)};
+    auto parties = mpc::make_gmw_parties(cfg, inputs, rng);
+    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.counters["and_gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cfg->circuit.and_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GmwMillionaires)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_GmwMaxNParty(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg = std::make_shared<const mpc::GmwConfig>(
+      mpc::GmwConfig::public_output(circuit::make_max_circuit(n, 8)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    std::vector<std::vector<bool>> inputs;
+    for (std::size_t p = 0; p < n; ++p) {
+      inputs.push_back(circuit::u64_to_bits(rng.below(256), 8));
+    }
+    auto parties = mpc::make_gmw_parties(cfg, inputs, rng);
+    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.counters["and_gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cfg->circuit.and_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GmwMaxNParty)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_YaoMillionaires(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto circuit = std::make_shared<const circuit::Circuit>(
+      circuit::make_millionaires_circuit(bits));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    std::vector<std::vector<bool>> inputs = {
+        circuit::u64_to_bits(rng.below(1u << bits), bits),
+        circuit::u64_to_bits(rng.below(1u << bits), bits)};
+    auto parties = mpc::make_yao_parties(circuit, inputs, rng);
+    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                  rng.fork("engine"));
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * circuit->num_wires()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YaoMillionaires)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Opt2CompiledRun(benchmark::State& state) {
+  auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    std::vector<std::vector<bool>> inputs = {circuit::u64_to_bits(rng.below(256), 8),
+                                             circuit::u64_to_bits(rng.below(256), 8)};
+    auto parties = fair::make_opt2_compiled_parties(base, inputs, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 24;
+    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                  rng.fork("engine"), cfg);
+    benchmark::DoNotOptimize(e.run());
+  }
+}
+BENCHMARK(BM_Opt2CompiledRun);
+
+void BM_GkProtocolRun(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const fair::GkParams params = fair::make_gk_and_params(p);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    auto parties = fair::make_gk_parties(params, Bytes{1}, Bytes{1}, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = static_cast<int>(2 * params.cap() + 10);
+    sim::Engine e(std::move(parties), std::make_unique<fair::ShareGenFunc>(params), nullptr,
+                  rng.fork("engine"), cfg);
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.counters["rounds"] = static_cast<double>(2 * params.cap());
+}
+BENCHMARK(BM_GkProtocolRun)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_UtilityEstimation(benchmark::State& state) {
+  // Cost of one full Monte-Carlo utility point (100 runs).
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rpd::estimate_utility(opt2_lock_abort(0), gamma, 100, seed++));
+  }
+}
+BENCHMARK(BM_UtilityEstimation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fairsfe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Design space: which fair protocol should you deploy?
+//
+// The paper's answer is that it depends on the payoff vector and on what
+// corruptions cost the adversary (Theorem 6). This example builds the full
+// decision table for a 4-party evaluation: per coalition size it measures
+// the best attacker's utility against ΠOptnSFE (utility-balanced optimal),
+// Π½GMW (honest-majority all-or-nothing), and the Lemma 18 protocol, then
+// applies a linear corruption-cost model c(t) = κ·t and reports which
+// protocol minimizes the adversary's best *net* utility for each κ.
+//
+//   build/examples/design_space
+#include <cstdio>
+
+#include "experiments/setups.h"
+#include "fairsfe.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main() {
+  const std::size_t n = 4;
+  const std::size_t runs = 1500;
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  std::printf("measuring phi(t) = best attacker utility, n = %zu, gamma = %s ...\n\n", n,
+              gamma.to_string().c_str());
+
+  struct Candidate {
+    const char* name;
+    NPartyProtocol kind;
+    std::vector<double> phi;
+  };
+  std::vector<Candidate> candidates = {
+      {"OptNSFE (balanced optimal)", NPartyProtocol::kOptN, {}},
+      {"Pi-1/2-GMW (honest majority)", NPartyProtocol::kHalfGmw, {}},
+      {"Lemma-18 protocol", NPartyProtocol::kLemma18, {}},
+  };
+
+  std::uint64_t seed = 1;
+  for (auto& c : candidates) {
+    for (std::size_t t = 1; t < n; ++t) {
+      const auto a =
+          rpd::assess_protocol(nparty_attack_family(c.kind, n, t), gamma, runs, seed);
+      seed += a.attacks.size();
+      c.phi.push_back(a.best_utility());
+    }
+  }
+
+  std::printf("%-30s", "phi(t):  t =");
+  for (std::size_t t = 1; t < n; ++t) std::printf("%10zu", t);
+  std::printf("\n");
+  for (const auto& c : candidates) {
+    std::printf("%-30s", c.name);
+    for (const double v : c.phi) std::printf("%10.3f", v);
+    std::printf("\n");
+  }
+
+  std::printf("\nbest adversary net utility max_t [phi(t) - kappa*t], by corruption "
+              "price kappa:\n\n");
+  std::printf("%-8s", "kappa");
+  for (const auto& c : candidates) std::printf("%-32s", c.name);
+  std::printf("recommended\n");
+  for (const double kappa : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    std::printf("%-8.2f", kappa);
+    double best = 1e18;
+    const char* pick = "";
+    for (const auto& c : candidates) {
+      double worst = -1e18;
+      for (std::size_t t = 1; t < n; ++t) {
+        worst = std::max(worst, c.phi[t - 1] - kappa * static_cast<double>(t));
+      }
+      std::printf("%-32.3f", worst);
+      if (worst < best) {
+        best = worst;
+        pick = c.name;
+      }
+    }
+    std::printf("%s\n", pick);
+  }
+
+  std::printf("\nreading: when corruptions are free or cheap, the utility-balanced\n"
+              "optimal protocol minimizes the attacker's take; once corrupting each\n"
+              "extra party is expensive, the honest-majority protocol's perfect\n"
+              "guarantee below n/2 becomes the better deal — Theorem 6's trade-off,\n"
+              "now as a deployment table.\n");
+  return 0;
+}

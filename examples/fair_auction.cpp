@@ -1,0 +1,60 @@
+// Fair sealed-bid auction: n bidders learn the winning bid via the optimally
+// fair multi-party protocol ΠOptnSFE, and no coalition of losers can walk
+// away with the result while denying it to the others — except with the
+// provably unavoidable probability t/n.
+//
+// The example runs the auction honestly, then sweeps coalition sizes and
+// compares the measured attacker utility with the Lemma 11 bound, and
+// contrasts it with the honest-majority protocol Π½GMW (fair below n/2,
+// broken at n/2 — Lemma 17).
+//
+//   build/examples/fair_auction
+#include <cstdio>
+
+#include "experiments/setups.h"
+#include "fairsfe.h"
+
+using namespace fairsfe;
+
+int main() {
+  const std::size_t n = 6;
+  Rng rng(77);
+
+  // 1. Honest auction: max of the bids.
+  const mpc::SfeSpec spec = mpc::make_max_spec(n);
+  std::vector<Bytes> bids;
+  std::printf("bids: ");
+  for (std::size_t i = 0; i < n; ++i) {
+    Writer w;
+    const std::uint64_t bid = 100 + rng.below(900);
+    std::printf("%llu ", static_cast<unsigned long long>(bid));
+    w.u64(bid);
+    bids.push_back(w.take());
+  }
+  auto inst = fair::make_optn_instance(spec, bids, rng);
+  sim::Engine engine(std::move(inst.parties), std::move(inst.functionality), nullptr,
+                     rng.fork("engine"));
+  const auto honest = engine.run();
+  Reader r(*honest.outputs[0]);
+  std::printf("\nwinning bid (seen by every party): %llu\n\n",
+              static_cast<unsigned long long>(*r.u64()));
+
+  // 2. Coalition sweep: how unfair can t colluding bidders be?
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  std::printf("coalition sweep on the 8-byte exchange function (runs = 2000):\n");
+  std::printf("%-4s %22s %22s %14s\n", "t", "OptNSFE (measured)", "Lemma 11 bound",
+              "Pi-1/2-GMW");
+  for (std::size_t t = 1; t < n; ++t) {
+    const auto opt = rpd::estimate_utility(experiments::optn_lock_abort(n, t), gamma, 2000,
+                                           10 + t);
+    const auto gmw = rpd::estimate_utility(experiments::half_gmw_coalition(n, t), gamma,
+                                           2000, 20 + t);
+    std::printf("%-4zu %22.3f %22.3f %14.3f\n", t, opt.utility, gamma.nparty_bound(t, n),
+                gmw.utility);
+  }
+  std::printf("\nreading: OptNSFE degrades gracefully (slope 1/n per corruption);\n"
+              "the honest-majority protocol is perfect until t = n/2 = %zu and then\n"
+              "collapses to total unfairness — which protocol is preferable depends\n"
+              "on how costly corruptions are (Theorem 6).\n", n / 2);
+  return 0;
+}

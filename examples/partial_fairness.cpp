@@ -1,0 +1,56 @@
+// Partial fairness: trading rounds for fairness with the Gordon–Katz
+// 1/p-secure protocol, and the fine print the paper exposes.
+//
+// The example computes a 1-bit AND with GK at increasing p, showing the
+// attacker's payoff shrink as 1/p while the round count grows as O(p·|Y|).
+// It then runs the "intuitively insecure" protocol Π̃ — which *passes* the
+// 1/p-security definition — and watches it hand the honest party's input to
+// the adversary, the separation of Section 5.
+//
+//   build/examples/partial_fairness
+#include <cstdio>
+
+#include "experiments/setups.h"
+#include "fairsfe.h"
+
+using namespace fairsfe;
+using namespace fairsfe::experiments;
+
+int main() {
+  const rpd::PayoffVector pf = rpd::PayoffVector::partial_fairness();
+
+  std::printf("== GK 1/p-secure AND: fairness vs rounds (runs = 2000) ==\n\n");
+  std::printf("%-4s %10s %14s %12s\n", "p", "1/p", "best attack", "iterations");
+  for (const std::size_t p : {2u, 3u, 4u, 6u, 8u}) {
+    const fair::GkParams params = fair::make_gk_and_params(p);
+    const auto assessment =
+        rpd::assess_protocol(gk_attack_family(params), pf, 2000, 1000 + p);
+    std::printf("%-4zu %10.4f %14.4f %12zu\n", p, 1.0 / static_cast<double>(p),
+                assessment.best_utility(), params.cap());
+  }
+
+  std::printf("\n== the Section 5 separation: protocol Pi-tilde ==\n\n");
+  std::size_t leaks = 0;
+  const std::size_t runs = 2000;
+  for (std::size_t i = 0; i < runs; ++i) {
+    Rng rng(5000 + i);
+    const Bytes x0{static_cast<std::uint8_t>(rng.bit())};
+    const Bytes x1{static_cast<std::uint8_t>(rng.bit())};
+    auto adv = std::make_unique<adversary::LeakyAndProbe>();
+    auto* probe = adv.get();
+    auto parties = fair::make_leaky_and_parties(x0, x1, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 200;
+    sim::Engine e(std::move(parties), fair::make_leaky_and_functionality(nullptr),
+                  std::move(adv), rng.fork("engine"), cfg);
+    e.run();
+    if (probe->leaked() && *probe->leaked() == x0) ++leaks;
+  }
+  std::printf("Pi-tilde is provably 1/2-secure AND 'fully private' per [GK10]...\n");
+  std::printf("...yet a deviating peer learned the honest INPUT in %.1f%% of runs.\n",
+              100.0 * static_cast<double>(leaks) / static_cast<double>(runs));
+  std::printf("\nThe paper's utility-based notion rejects Pi-tilde (Lemma 26) while\n"
+              "implying 1/p-security for gamma = (0,0,1,0) (Lemma 25): it is the\n"
+              "strictly stronger definition.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the fair millionaires' problem in ~60 lines.
+//
+// Two parties compare their fortunes with the optimally fair two-party
+// protocol ΠOpt2SFE, then we unleash the paper's strongest attacker on it
+// and measure how unfair it managed to be.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "fairsfe.h"
+
+using namespace fairsfe;
+
+int main() {
+  Rng rng(2015);  // everything is deterministic given the seed
+
+  // 1. Describe the function: f(x1, x2) = [x1 > x2].
+  const mpc::SfeSpec spec = mpc::make_millionaires_spec();
+
+  // 2. Run the optimally fair protocol honestly.
+  Writer alice, bob;
+  alice.u64(1'000'000);
+  bob.u64(750'000);
+  auto parties = fair::make_opt2_parties(spec, alice.bytes(), bob.bytes(), rng);
+  sim::Engine engine(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec),
+                     /*adversary=*/nullptr, rng.fork("engine"));
+  const sim::ExecutionResult honest = engine.run();
+  std::printf("honest run: alice richer? %s (and bob agrees: %s), %d rounds\n",
+              (*honest.outputs[0])[0] ? "yes" : "no",
+              (*honest.outputs[1])[0] ? "yes" : "no", honest.rounds);
+
+  // 3. How fair is this protocol? Attack it with the paper's strongest
+  //    adversary (lock-abort: follow the protocol honestly, abort the moment
+  //    your output is locked in) and estimate the attacker's utility. We use
+  //    the 8-byte exchange function, the worst case where Theorem 4's lower
+  //    bound is tight.
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  const mpc::SfeSpec exchange = mpc::make_concat_spec(2, 8);
+  const auto factory = [&exchange](Rng& run_rng) {
+    rpd::RunSetup s;
+    const Bytes a = run_rng.bytes(8), b = run_rng.bytes(8);
+    s.parties = fair::make_opt2_parties(exchange, a, b, run_rng);
+    s.functionality = std::make_unique<fair::Opt2ShareFunc>(exchange);
+    s.adversary = std::make_unique<adversary::LockAbortAdversary>(
+        std::set<sim::PartyId>{1}, exchange.eval({a, b}));
+    s.engine.max_rounds = 12;
+    return s;
+  };
+  const rpd::UtilityEstimate estimate = rpd::estimate_utility(factory, gamma, 2000, 7);
+
+  std::printf("attacker utility: %.3f +/- %.3f  (theoretical optimum (g10+g11)/2 = %.3f)\n",
+              estimate.utility, estimate.margin(), gamma.two_party_opt_bound());
+  std::printf("event frequencies: E00=%.2f E01=%.2f E10=%.2f E11=%.2f\n",
+              estimate.event_freq[0], estimate.event_freq[1], estimate.event_freq[2],
+              estimate.event_freq[3]);
+  std::printf("reading: the attacker snatches the output and runs (E10) only when the\n"
+              "hidden coin picked it to reconstruct first — half the time. No protocol\n"
+              "for general functions can do better (Theorem 4). Functions with tiny\n"
+              "output ranges (like the millionaires' bit) fare strictly better: the\n"
+              "attacker cannot tell the real output from the fallback — see the\n"
+              "partial_fairness example.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "adversary/base.h"
+
+namespace fairsfe::adversary {
+
+AdversaryBase::AdversaryBase(std::set<sim::PartyId> initial_corruptions)
+    : initial_(std::move(initial_corruptions)) {}
+
+void AdversaryBase::setup(sim::AdvContext& ctx) {
+  for (const sim::PartyId pid : initial_) ctx.corrupt(pid);
+}
+
+std::vector<sim::Message> AdversaryBase::honest_step_all(
+    sim::AdvContext& ctx, const std::vector<sim::Message>& delivered) {
+  std::vector<sim::Message> out;
+  for (const sim::PartyId pid : ctx.corrupted()) {
+    std::vector<sim::Message> part = ctx.honest_step(pid, addressed_to(delivered, pid));
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+void AdversaryBase::mark_learned(Bytes y) {
+  learned_ = true;
+  extracted_ = std::move(y);
+}
+
+}  // namespace fairsfe::adversary

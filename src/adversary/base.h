@@ -1,0 +1,38 @@
+// Common scaffolding for attack strategies.
+//
+// Every strategy in this library is one of the paper's constructive
+// adversaries: it corrupts a fixed (or randomly chosen) set of parties, runs
+// them honestly via AdvContext::honest_step, and deviates only by aborting
+// (withholding messages) at a strategically chosen moment — exactly the
+// power used in the lower-bound proofs (Lemma 7, Lemma 12, Lemma 15).
+#pragma once
+
+#include <set>
+
+#include "sim/adversary.h"
+
+namespace fairsfe::adversary {
+
+class AdversaryBase : public sim::IAdversary {
+ public:
+  explicit AdversaryBase(std::set<sim::PartyId> initial_corruptions);
+
+  void setup(sim::AdvContext& ctx) override;
+
+  [[nodiscard]] bool learned_output() const override { return learned_; }
+  [[nodiscard]] std::optional<Bytes> extracted_output() const override { return extracted_; }
+
+ protected:
+  /// Run every corrupted party honestly on its share of `delivered`.
+  std::vector<sim::Message> honest_step_all(sim::AdvContext& ctx,
+                                            const std::vector<sim::Message>& delivered);
+
+  /// Record that the strategy extracted the output.
+  void mark_learned(Bytes y);
+
+  std::set<sim::PartyId> initial_;
+  bool learned_ = false;
+  std::optional<Bytes> extracted_;
+};
+
+}  // namespace fairsfe::adversary

@@ -1,0 +1,77 @@
+// Attack strategies against the Gordon–Katz protocols (experiment E10).
+//
+// All of them corrupt p1 — the party that reconstructs first in each
+// iteration and therefore the only one with an unfair-abort window (aborting
+// exactly at iteration i* leaves the honest p2 with the stale b_{i*-1}).
+// The strategies differ only in the abort rule applied to the sequence of
+// reconstructed a_j values:
+//
+//   abort-at-iteration k   — fixed-round abort;
+//   geometric(β)           — abort each iteration with probability β;
+//   match-target           — abort the first time a_j equals a target value
+//                            the adversary computed from its own input
+//                            (f(x1, ŷ*) for a guessed ŷ*) — the optimal
+//                            shape of attack from [GK10, Lemma 2];
+//   repeat-detector        — abort when a_j == a_{j-1} (the constant tail of
+//                            the stream gives itself away statistically).
+//
+// Theorems 23/24 say none of these (nor any other strategy) earns more than
+// 1/p under ~γ = (0,0,1,0).
+#pragma once
+
+#include <functional>
+
+#include "adversary/base.h"
+#include "mpc/sfe_functionalities.h"
+
+namespace fairsfe::adversary {
+
+/// Decision rule: called after reconstructing iteration j's value (1-based);
+/// `history` holds a_1..a_j. Return true to abort before sending b_j.
+using GkAbortRule = std::function<bool(std::size_t j, const std::vector<Bytes>& history, Rng&)>;
+
+class GkAborter final : public AdversaryBase {
+ public:
+  /// `notes`, if given, receives vals["abort_iteration"] = j when the rule
+  /// fires — the F^{f,$} accounting classifies E10 as "aborted exactly at
+  /// i*" (cf. [GK10, Lemma 2]), which the harness checks against the
+  /// functionality's recorded i*.
+  explicit GkAborter(GkAbortRule rule, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  GkAbortRule rule_;
+  mpc::NotesPtr notes_;
+  std::vector<Bytes> history_;
+  std::size_t last_iteration_ = 0;
+  bool aborted_ = false;
+};
+
+GkAbortRule gk_rule_abort_at(std::size_t k);
+GkAbortRule gk_rule_geometric(double beta);
+GkAbortRule gk_rule_match_target(Bytes target);
+GkAbortRule gk_rule_repeat_detector();
+
+/// Coalition attack on the multi-party partial-fairness protocol (E16):
+/// drive the coalition honestly, rush each reconstruction round (pool the
+/// coalition's summands with the honest broadcasts seen early), apply the
+/// abort rule to the reconstructed v_j, and withhold on abort.
+class GkMultiAborter final : public AdversaryBase {
+ public:
+  GkMultiAborter(std::set<sim::PartyId> corrupt, std::size_t n, GkAbortRule rule,
+                 mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  std::size_t n_;
+  GkAbortRule rule_;
+  mpc::NotesPtr notes_;
+  std::vector<Bytes> history_;
+  bool aborted_ = false;
+};
+
+}  // namespace fairsfe::adversary

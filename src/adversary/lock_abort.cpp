@@ -1,0 +1,33 @@
+#include "adversary/lock_abort.h"
+
+namespace fairsfe::adversary {
+
+LockAbortAdversary::LockAbortAdversary(std::set<sim::PartyId> corrupt, Bytes actual_output)
+    : AdversaryBase(std::move(corrupt)), actual_(std::move(actual_output)) {}
+
+std::vector<sim::Message> LockAbortAdversary::on_round(sim::AdvContext& ctx,
+                                                       const sim::AdvView& view) {
+  if (aborted_) return {};
+
+  bool locked = false;
+  for (const sim::PartyId pid : ctx.corrupted()) {
+    const auto probe = ctx.probe_output(
+        pid, {addressed_to(view.delivered, pid), addressed_to(view.rushed, pid)});
+    if (probe && *probe == actual_) {
+      locked = true;
+      if (!learned_) mark_learned(*probe);
+    }
+  }
+
+  if (locked) {
+    // Consume this round's normal deliveries so the corrupted states stay
+    // consistent, but send nothing — the abort happens before this round's
+    // messages go out.
+    honest_step_all(ctx, view.delivered);
+    aborted_ = true;
+    return {};
+  }
+  return honest_step_all(ctx, view.delivered);
+}
+
+}  // namespace fairsfe::adversary

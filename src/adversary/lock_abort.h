@@ -1,0 +1,35 @@
+// The generic lock-detecting abort strategy — the paper's A₁/A₂ (Theorem 4)
+// and A_ī (Lemma 12) adversaries.
+//
+// Each round the strategy probes every corrupted party: "if I consume
+// everything observable so far (the normal deliveries plus this round's
+// rushed traffic) and then the execution stops, would this party output the
+// *actual* evaluation result?" The moment some probe says yes, the output is
+// locked: the strategy records it and aborts — it withholds all of the
+// corrupted parties' messages from this round on, before sending its
+// round-ℓ messages, exactly as in the proofs. Until then every corrupted
+// party follows the protocol honestly.
+//
+// Knowing the actual output for the probe comparison is legitimate adversary
+// knowledge: the paper's adversary distinguishes the actual output from the
+// default-input fallback, which it can compute itself from the corrupted
+// inputs; the experiment factory passes that reference value in.
+#pragma once
+
+#include "adversary/base.h"
+
+namespace fairsfe::adversary {
+
+class LockAbortAdversary final : public AdversaryBase {
+ public:
+  LockAbortAdversary(std::set<sim::PartyId> corrupt, Bytes actual_output);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  Bytes actual_;
+  bool aborted_ = false;
+};
+
+}  // namespace fairsfe::adversary

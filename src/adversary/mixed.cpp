@@ -1,0 +1,41 @@
+#include "adversary/mixed.h"
+
+#include <stdexcept>
+
+namespace fairsfe::adversary {
+
+MixedAdversary::MixedAdversary(std::vector<AdversaryFactory> choices)
+    : choices_(std::move(choices)) {
+  if (choices_.empty()) throw std::invalid_argument("MixedAdversary: no choices");
+}
+
+void MixedAdversary::setup(sim::AdvContext& ctx) {
+  const std::size_t pick = ctx.rng().below(choices_.size());
+  Rng sub = ctx.rng().fork("mixed-choice");
+  chosen_ = choices_[pick](sub);
+  chosen_->setup(ctx);
+}
+
+std::vector<sim::Message> MixedAdversary::on_round(sim::AdvContext& ctx,
+                                                   const sim::AdvView& view) {
+  return chosen_->on_round(ctx, view);
+}
+
+bool MixedAdversary::abort_functionality(sim::AdvContext& ctx,
+                                         const std::vector<sim::Message>& outs) {
+  return chosen_->abort_functionality(ctx, outs);
+}
+
+bool MixedAdversary::learned_output() const {
+  return chosen_ && chosen_->learned_output();
+}
+
+std::optional<Bytes> MixedAdversary::extracted_output() const {
+  return chosen_ ? chosen_->extracted_output() : std::nullopt;
+}
+
+bool MixedAdversary::finished() const {
+  return chosen_ && chosen_->finished();
+}
+
+}  // namespace fairsfe::adversary

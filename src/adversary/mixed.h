@@ -1,0 +1,36 @@
+// Probabilistic mixtures of attack strategies — the paper's Agen (Theorem 4)
+// corrupts p1 or p2 uniformly at random; Lemma 13's adversary picks one of
+// the A_ī uniformly. The mixture picks a choice during setup (using the
+// adversary's own randomness) and delegates everything to it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace fairsfe::adversary {
+
+using AdversaryFactory = std::function<std::unique_ptr<sim::IAdversary>(Rng&)>;
+
+class MixedAdversary final : public sim::IAdversary {
+ public:
+  /// Picks one factory uniformly at setup time.
+  explicit MixedAdversary(std::vector<AdversaryFactory> choices);
+
+  void setup(sim::AdvContext& ctx) override;
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  bool abort_functionality(sim::AdvContext& ctx,
+                           const std::vector<sim::Message>& outs) override;
+  [[nodiscard]] bool learned_output() const override;
+  [[nodiscard]] std::optional<Bytes> extracted_output() const override;
+  [[nodiscard]] bool finished() const override;
+
+ private:
+  std::vector<AdversaryFactory> choices_;
+  std::unique_ptr<sim::IAdversary> chosen_;
+};
+
+}  // namespace fairsfe::adversary

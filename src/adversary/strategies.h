@@ -1,0 +1,100 @@
+// The remaining named attack strategies used across experiments:
+//
+//   NoCorruption         — the empty adversary (event E01 baseline);
+//   PassiveObserver      — corrupts a set, runs it honestly to the end, and
+//                          records the output it sees (best strategy when
+//                          aborting cannot help — earns γ11);
+//   AbortFunctionality   — aborts the hybrid functionality at its gate
+//                          without using the outputs (E00-style attack);
+//   HalfGmwCoalition     — Lemma 17's attack on Π½GMW: rush the share
+//                          broadcast, pool all n shares, reconstruct, and
+//                          withhold the coalition's shares;
+//   Lemma18Deviator      — Lemma 18's single-corruption attack: abort at the
+//                          gate when lucky (corrupted p_{i*}), otherwise send
+//                          "1" flags to bait the tails-branch direct reveal.
+#pragma once
+
+#include "adversary/base.h"
+#include "crypto/shamir.h"
+
+namespace fairsfe::adversary {
+
+class NoCorruption final : public sim::IAdversary {
+ public:
+  void setup(sim::AdvContext&) override {}
+  std::vector<sim::Message> on_round(sim::AdvContext&, const sim::AdvView&) override {
+    return {};
+  }
+  [[nodiscard]] bool learned_output() const override { return false; }
+};
+
+class PassiveObserver final : public AdversaryBase {
+ public:
+  /// `actual_output` is the reference value used to recognize the output in
+  /// the corrupted parties' final states.
+  PassiveObserver(std::set<sim::PartyId> corrupt, Bytes actual_output);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  [[nodiscard]] bool finished() const override { return rounds_idle_ > 3; }
+
+ private:
+  Bytes actual_;
+  int rounds_idle_ = 0;
+};
+
+class AbortFunctionality final : public AdversaryBase {
+ public:
+  explicit AbortFunctionality(std::set<sim::PartyId> corrupt);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  bool abort_functionality(sim::AdvContext&, const std::vector<sim::Message>&) override {
+    return true;
+  }
+};
+
+class HalfGmwCoalition final : public AdversaryBase {
+ public:
+  HalfGmwCoalition(std::set<sim::PartyId> corrupt, std::size_t n);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  std::size_t n_;
+  bool aborted_ = false;
+};
+
+/// The Section 5 attack on Π̃: corrupt p2, replace the honest 0-bit preamble
+/// by a 1-bit, record the leaked input if p1's biased coin fires, and follow
+/// the embedded GK protocol honestly otherwise. `leaked()` returns the
+/// captured input of the honest p1.
+class LeakyAndProbe final : public sim::IAdversary {
+ public:
+  void setup(sim::AdvContext& ctx) override;
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  [[nodiscard]] bool learned_output() const override { return leaked_.has_value(); }
+  [[nodiscard]] std::optional<Bytes> extracted_output() const override { return leaked_; }
+  [[nodiscard]] const std::optional<Bytes>& leaked() const { return leaked_; }
+
+ private:
+  std::optional<Bytes> leaked_;
+};
+
+class Lemma18Deviator final : public AdversaryBase {
+ public:
+  explicit Lemma18Deviator(sim::PartyId corrupt);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  bool abort_functionality(sim::AdvContext& ctx,
+                           const std::vector<sim::Message>& outs) override;
+
+ private:
+  sim::PartyId pid_;
+  bool aborted_ = false;
+};
+
+}  // namespace fairsfe::adversary

@@ -1,0 +1,191 @@
+#include "circuit/builder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fairsfe::circuit {
+
+Builder::Builder(std::size_t num_parties)
+    : num_parties_(num_parties), input_widths_(num_parties, 0) {}
+
+Wire Builder::push(Gate g) {
+  gates_.push_back(g);
+  return static_cast<Wire>(gates_.size() - 1);
+}
+
+Word Builder::input(std::size_t party, std::size_t width) {
+  if (party >= num_parties_) throw std::invalid_argument("Builder::input: bad party");
+  Word w;
+  w.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    Gate g;
+    g.type = GateType::kInput;
+    g.party = static_cast<std::uint32_t>(party);
+    g.input_index = static_cast<std::uint32_t>(input_widths_[party]++);
+    w.push_back(push(g));
+  }
+  return w;
+}
+
+Wire Builder::constant(bool v) {
+  Gate g;
+  g.type = GateType::kConst;
+  g.const_value = v;
+  return push(g);
+}
+
+Word Builder::constant_word(std::uint64_t v, std::size_t width) {
+  Word w;
+  w.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) w.push_back(constant(((v >> i) & 1) != 0));
+  return w;
+}
+
+Wire Builder::xor_gate(Wire a, Wire b) {
+  Gate g;
+  g.type = GateType::kXor;
+  g.a = a;
+  g.b = b;
+  return push(g);
+}
+
+Wire Builder::and_gate(Wire a, Wire b) {
+  Gate g;
+  g.type = GateType::kAnd;
+  g.a = a;
+  g.b = b;
+  return push(g);
+}
+
+Wire Builder::not_gate(Wire a) {
+  Gate g;
+  g.type = GateType::kNot;
+  g.a = a;
+  return push(g);
+}
+
+Wire Builder::or_gate(Wire a, Wire b) {
+  // a | b = (a ^ b) ^ (a & b)
+  return xor_gate(xor_gate(a, b), and_gate(a, b));
+}
+
+Wire Builder::mux(Wire sel, Wire a, Wire b) {
+  // b ^ sel & (a ^ b)
+  return xor_gate(b, and_gate(sel, xor_gate(a, b)));
+}
+
+Word Builder::xor_word(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor_gate(a[i], b[i]));
+  return out;
+}
+
+Word Builder::and_word(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and_gate(a[i], b[i]));
+  return out;
+}
+
+Word Builder::mux_word(Wire sel, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(mux(sel, a[i], b[i]));
+  return out;
+}
+
+Word Builder::add(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word out;
+  out.reserve(a.size());
+  Wire carry = constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Wire axb = xor_gate(a[i], b[i]);
+    out.push_back(xor_gate(axb, carry));
+    // carry' = (a & b) | (carry & (a ^ b)) — the two terms are disjoint, so
+    // XOR composes them correctly.
+    carry = xor_gate(and_gate(a[i], b[i]), and_gate(carry, axb));
+  }
+  return out;
+}
+
+Wire Builder::eq(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Wire acc = constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = and_gate(acc, not_gate(xor_gate(a[i], b[i])));
+  }
+  return acc;
+}
+
+Wire Builder::gt(const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  // MSB-down scan: gt = a_i & ~b_i at the first differing bit.
+  Wire gt_acc = constant(false);
+  Wire eq_acc = constant(true);
+  for (std::size_t idx = a.size(); idx-- > 0;) {
+    const Wire ai = a[idx];
+    const Wire bi = b[idx];
+    const Wire here = and_gate(ai, not_gate(bi));
+    gt_acc = or_gate(gt_acc, and_gate(eq_acc, here));
+    eq_acc = and_gate(eq_acc, not_gate(xor_gate(ai, bi)));
+  }
+  return gt_acc;
+}
+
+void Builder::output(const Word& w) {
+  outputs_.insert(outputs_.end(), w.begin(), w.end());
+}
+
+Circuit Builder::build() {
+  return Circuit(num_parties_, std::move(gates_), std::move(input_widths_),
+                 std::move(outputs_));
+}
+
+Circuit make_swap_circuit(std::size_t bits) {
+  Builder b(2);
+  const Word x1 = b.input(0, bits);
+  const Word x2 = b.input(1, bits);
+  b.output(x2);
+  b.output(x1);
+  return b.build();
+}
+
+Circuit make_and_circuit() {
+  Builder b(2);
+  const Word x1 = b.input(0, 1);
+  const Word x2 = b.input(1, 1);
+  b.output({b.and_gate(x1[0], x2[0])});
+  return b.build();
+}
+
+Circuit make_millionaires_circuit(std::size_t bits) {
+  Builder b(2);
+  const Word x1 = b.input(0, bits);
+  const Word x2 = b.input(1, bits);
+  b.output({b.gt(x1, x2)});
+  return b.build();
+}
+
+Circuit make_concat_circuit(std::size_t n, std::size_t bits_each) {
+  Builder b(n);
+  for (std::size_t p = 0; p < n; ++p) b.output(b.input(p, bits_each));
+  return b.build();
+}
+
+Circuit make_max_circuit(std::size_t n, std::size_t bits) {
+  Builder b(n);
+  Word best = b.input(0, bits);
+  for (std::size_t p = 1; p < n; ++p) {
+    const Word x = b.input(p, bits);
+    best = b.mux_word(b.gt(x, best), x, best);
+  }
+  b.output(best);
+  return b.build();
+}
+
+}  // namespace fairsfe::circuit

@@ -1,0 +1,79 @@
+// Combinator-style boolean circuit builder.
+//
+// `Word` is a little-endian vector of wires. The builder offers the gate
+// primitives plus the word-level arithmetic (ripple-carry add, comparators,
+// mux) needed to express the example functions of the paper's experiments:
+// swap, AND, millionaires' comparison, and concatenation.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace fairsfe::circuit {
+
+using Word = std::vector<Wire>;
+
+class Builder {
+ public:
+  explicit Builder(std::size_t num_parties);
+
+  /// Declare `width` fresh input bits for `party` (appended to its input).
+  Word input(std::size_t party, std::size_t width);
+
+  Wire constant(bool v);
+  Word constant_word(std::uint64_t v, std::size_t width);
+
+  Wire xor_gate(Wire a, Wire b);
+  Wire and_gate(Wire a, Wire b);
+  Wire not_gate(Wire a);
+  Wire or_gate(Wire a, Wire b);
+  /// sel ? a : b
+  Wire mux(Wire sel, Wire a, Wire b);
+
+  // Word-level operations; operands must have equal width.
+  Word xor_word(const Word& a, const Word& b);
+  Word and_word(const Word& a, const Word& b);
+  /// sel ? a : b, bitwise.
+  Word mux_word(Wire sel, const Word& a, const Word& b);
+  /// Ripple-carry addition mod 2^width.
+  Word add(const Word& a, const Word& b);
+  /// Equality of two words (single wire).
+  Wire eq(const Word& a, const Word& b);
+  /// Unsigned greater-than a > b (single wire).
+  Wire gt(const Word& a, const Word& b);
+
+  /// Mark wires as (public) circuit outputs, in order.
+  void output(const Word& w);
+
+  /// Finalize. The builder must not be reused afterwards.
+  Circuit build();
+
+ private:
+  Wire push(Gate g);
+
+  std::size_t num_parties_;
+  std::vector<Gate> gates_;
+  std::vector<std::size_t> input_widths_;
+  std::vector<Wire> outputs_;
+};
+
+// Pre-built circuits for the paper's workloads.
+
+/// fswp(x1, x2) = x2 ‖ x1 — the swap function of Theorem 4 (both inputs
+/// `bits` wide; output is x2 then x1).
+Circuit make_swap_circuit(std::size_t bits);
+
+/// Two-party logical AND of single-bit inputs (Section 5's function).
+Circuit make_and_circuit();
+
+/// Millionaires: output 1 iff x1 > x2 (both `bits` wide).
+Circuit make_millionaires_circuit(std::size_t bits);
+
+/// n-party concatenation f(x1,...,xn) = x1 ‖ ... ‖ xn (Lemma 12's function).
+Circuit make_concat_circuit(std::size_t n, std::size_t bits_each);
+
+/// n-party maximum of `bits`-wide unsigned inputs (auction example).
+Circuit make_max_circuit(std::size_t n, std::size_t bits);
+
+}  // namespace fairsfe::circuit

@@ -1,0 +1,107 @@
+#include "circuit/circuit.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fairsfe::circuit {
+
+Circuit::Circuit(std::size_t num_parties, std::vector<Gate> gates,
+                 std::vector<std::size_t> input_widths, std::vector<Wire> outputs)
+    : gates_(std::move(gates)),
+      input_widths_(std::move(input_widths)),
+      outputs_(std::move(outputs)) {
+  assert(input_widths_.size() == num_parties);
+  (void)num_parties;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.type) {
+      case GateType::kXor:
+      case GateType::kAnd:
+        assert(g.a < i && g.b < i);
+        if (g.type == GateType::kAnd) ++and_count_;
+        break;
+      case GateType::kNot:
+        assert(g.a < i);
+        break;
+      case GateType::kInput:
+        assert(g.party < input_widths_.size());
+        assert(g.input_index < input_widths_[g.party]);
+        break;
+      case GateType::kConst:
+        break;
+    }
+  }
+  for (const Wire w : outputs_) {
+    assert(w < gates_.size());
+    (void)w;
+  }
+}
+
+std::vector<bool> Circuit::eval(const std::vector<std::vector<bool>>& inputs) const {
+  if (inputs.size() != input_widths_.size()) {
+    throw std::invalid_argument("Circuit::eval: wrong number of input vectors");
+  }
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    if (inputs[p].size() != input_widths_[p]) {
+      throw std::invalid_argument("Circuit::eval: wrong input width");
+    }
+  }
+  std::vector<bool> values(gates_.size());
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.type) {
+      case GateType::kInput:
+        values[i] = inputs[g.party][g.input_index];
+        break;
+      case GateType::kConst:
+        values[i] = g.const_value;
+        break;
+      case GateType::kXor:
+        values[i] = values[g.a] != values[g.b];
+        break;
+      case GateType::kAnd:
+        values[i] = values[g.a] && values[g.b];
+        break;
+      case GateType::kNot:
+        values[i] = !values[g.a];
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (const Wire w : outputs_) out.push_back(values[w]);
+  return out;
+}
+
+std::vector<bool> bytes_to_bits(ByteView data, std::size_t bit_count) {
+  std::vector<bool> bits(bit_count, false);
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    const std::size_t byte = i / 8;
+    if (byte < data.size()) bits[i] = ((data[byte] >> (i % 8)) & 1) != 0;
+  }
+  return bits;
+}
+
+Bytes bits_to_bytes(const std::vector<bool>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] = static_cast<std::uint8_t>(out[i / 8] | (1u << (i % 8)));
+  }
+  return out;
+}
+
+std::vector<bool> u64_to_bits(std::uint64_t value, std::size_t bit_count) {
+  std::vector<bool> bits(bit_count, false);
+  for (std::size_t i = 0; i < bit_count && i < 64; ++i) bits[i] = ((value >> i) & 1) != 0;
+  return bits;
+}
+
+std::uint64_t bits_to_u64(const std::vector<bool>& bits) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if (bits[i]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace fairsfe::circuit

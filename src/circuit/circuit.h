@@ -1,0 +1,66 @@
+// Boolean circuit intermediate representation.
+//
+// Circuits are the function description consumed by the GMW SFE substrate
+// (`mpc/gmw.h`) and by the plaintext reference evaluator used for
+// correctness cross-checks. Gates are stored in topological order by
+// construction (a gate may only reference earlier wires).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace fairsfe::circuit {
+
+using Wire = std::uint32_t;
+
+enum class GateType : std::uint8_t {
+  kInput,  ///< one bit of some party's input
+  kConst,  ///< constant 0/1
+  kXor,
+  kAnd,
+  kNot,
+};
+
+struct Gate {
+  GateType type = GateType::kConst;
+  Wire a = 0;                   ///< first operand (kXor/kAnd/kNot)
+  Wire b = 0;                   ///< second operand (kXor/kAnd)
+  std::uint32_t party = 0;      ///< kInput: owning party
+  std::uint32_t input_index = 0;  ///< kInput: bit index within that party's input
+  bool const_value = false;     ///< kConst: the constant
+};
+
+class Circuit {
+ public:
+  Circuit(std::size_t num_parties, std::vector<Gate> gates,
+          std::vector<std::size_t> input_widths, std::vector<Wire> outputs);
+
+  [[nodiscard]] std::size_t num_parties() const { return input_widths_.size(); }
+  [[nodiscard]] std::size_t num_wires() const { return gates_.size(); }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<Wire>& outputs() const { return outputs_; }
+  /// Number of input bits party `p` must supply.
+  [[nodiscard]] std::size_t input_width(std::size_t p) const { return input_widths_[p]; }
+  /// Number of AND gates (the GMW communication cost driver).
+  [[nodiscard]] std::size_t and_count() const { return and_count_; }
+
+  /// Reference plaintext evaluation. `inputs[p]` must have input_width(p) bits.
+  [[nodiscard]] std::vector<bool> eval(const std::vector<std::vector<bool>>& inputs) const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<std::size_t> input_widths_;
+  std::vector<Wire> outputs_;
+  std::size_t and_count_ = 0;
+};
+
+/// Pack bits (LSB-first) into bytes / unpack. Used to map protocol inputs and
+/// outputs between Bytes and circuit bit vectors.
+std::vector<bool> bytes_to_bits(ByteView data, std::size_t bit_count);
+Bytes bits_to_bytes(const std::vector<bool>& bits);
+std::vector<bool> u64_to_bits(std::uint64_t value, std::size_t bit_count);
+std::uint64_t bits_to_u64(const std::vector<bool>& bits);
+
+}  // namespace fairsfe::circuit

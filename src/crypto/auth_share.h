@@ -1,0 +1,50 @@
+// Authenticated two-out-of-two additive secret sharing — the scheme of the
+// paper's Appendix A, instantiated with XOR-additive summands and the
+// information-theoretic one-time MAC of `crypto/mac.h`.
+//
+// A sharing of secret s is a pair of summands (s₁, s₂) with
+//     s₁ ⊕ s₂ = payload(s) := s ‖ tag(s, k₁) ‖ tag(s, k₂),
+// where k₁, k₂ are MAC keys associated with p₁ and p₂. Party pᵢ holds
+//     ⟨s⟩ᵢ = (sᵢ, tag(sᵢ, k₋ᵢ))  together with its own key kᵢ.
+//
+// Reconstruction towards pᵢ: p₋ᵢ sends its (summand, tag); pᵢ verifies the
+// summand tag under kᵢ, recombines, and verifies the inner tag(s, kᵢ). Any
+// tampering by the other party is detected except with probability ≤ ℓ/p.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.h"
+#include "crypto/mac.h"
+
+namespace fairsfe {
+
+class Rng;
+
+/// One party's share of an authenticated 2-of-2 sharing.
+struct AuthShare2 {
+  Bytes summand;      ///< sᵢ
+  Bytes summand_tag;  ///< tag(sᵢ, k₋ᵢ) — verifiable by the *other* party
+  MacKey key;         ///< kᵢ — this party's verification key
+
+  /// Wire format of the (summand, tag) pair sent during reconstruction.
+  [[nodiscard]] Bytes opening_to_bytes() const;
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static std::optional<AuthShare2> from_bytes(ByteView data);
+};
+
+struct AuthSharing2 {
+  AuthShare2 share1;  ///< held by p₁
+  AuthShare2 share2;  ///< held by p₂
+};
+
+/// Create an authenticated sharing of `secret`.
+AuthSharing2 auth_share2(ByteView secret, Rng& rng);
+
+/// Reconstruct towards the holder of `mine`, given the other party's opening
+/// message (wire format of AuthShare2::opening_to_bytes). Returns the secret,
+/// or std::nullopt if either MAC check fails (⇒ the receiver aborts).
+std::optional<Bytes> auth_reconstruct2(const AuthShare2& mine, ByteView other_opening);
+
+}  // namespace fairsfe

@@ -1,0 +1,81 @@
+#include "crypto/chacha20.h"
+
+#include <cassert>
+
+namespace fairsfe {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) : block_{} {
+  assert(key.size() == kKeySize);
+  assert(nonce.size() == kNonceSize);
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state_[i];
+    block_[4 * i] = static_cast<std::uint8_t>(v);
+    block_[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    block_[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    block_[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  state_[12] += 1;  // block counter
+  block_pos_ = 0;
+}
+
+Bytes ChaCha20::keystream(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (block_pos_ == kBlockSize) refill();
+    const std::size_t take = std::min(kBlockSize - block_pos_, n - out.size());
+    out.insert(out.end(), block_.begin() + static_cast<std::ptrdiff_t>(block_pos_),
+               block_.begin() + static_cast<std::ptrdiff_t>(block_pos_ + take));
+    block_pos_ += take;
+  }
+  return out;
+}
+
+Bytes ChaCha20::process(ByteView data) {
+  const Bytes ks = keystream(data.size());
+  return xor_bytes(data, ks);
+}
+
+}  // namespace fairsfe

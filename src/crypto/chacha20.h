@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439 block function), used as the PRG behind
+// all protocol randomness. Deterministic given (key, nonce), which is what
+// makes every simulated execution reproducible from a 32-byte seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace fairsfe {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  /// key must be 32 bytes; nonce 12 bytes. Counter starts at `counter`.
+  ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter = 0);
+
+  /// Produce the next `n` keystream bytes.
+  Bytes keystream(std::size_t n);
+
+  /// XOR `data` with keystream (encrypt == decrypt).
+  Bytes process(ByteView data);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> block_;
+  std::size_t block_pos_ = kBlockSize;  // forces refill on first use
+};
+
+}  // namespace fairsfe

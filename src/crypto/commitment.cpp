@@ -1,0 +1,27 @@
+#include "crypto/commitment.h"
+
+#include "crypto/rng.h"
+#include "crypto/sha256.h"
+
+namespace fairsfe {
+
+namespace {
+Bytes commit_hash(ByteView msg, ByteView opening) {
+  Writer w;
+  w.str("fairsfe-commit").blob(opening).blob(msg);
+  return sha256(w.bytes());
+}
+}  // namespace
+
+Commitment commit(ByteView msg, Rng& rng) {
+  Commitment c;
+  c.opening = rng.bytes(32);
+  c.com = commit_hash(msg, c.opening);
+  return c;
+}
+
+bool commit_verify(ByteView com, ByteView msg, ByteView opening) {
+  return ct_equal(com, commit_hash(msg, opening));
+}
+
+}  // namespace fairsfe

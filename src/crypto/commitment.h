@@ -1,0 +1,27 @@
+// Non-interactive hash commitments: com = H("commit" ‖ r ‖ m), r ← {0,1}^256.
+//
+// Hiding and binding in the random-oracle sense; used by the contract-signing
+// protocols Π₁/Π₂ of the paper's introduction (commit-then-open exchange and
+// Blum-style coin tossing).
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.h"
+
+namespace fairsfe {
+
+class Rng;
+
+struct Commitment {
+  Bytes com;      ///< published value
+  Bytes opening;  ///< randomness r (kept secret until opening)
+};
+
+/// Commit to `msg` using fresh randomness from `rng`.
+Commitment commit(ByteView msg, Rng& rng);
+
+/// Verify an opening (msg, r) against a commitment string.
+bool commit_verify(ByteView com, ByteView msg, ByteView opening);
+
+}  // namespace fairsfe

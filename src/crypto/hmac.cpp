@@ -1,0 +1,25 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace fairsfe {
+
+Bytes hmac_sha256(ByteView key, ByteView msg) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha256::kBlockSize) k = sha256(k);
+  k.resize(Sha256::kBlockSize, 0x00);
+
+  Bytes ipad(Sha256::kBlockSize), opad(Sha256::kBlockSize);
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  const Bytes inner = Sha256().update(ipad).update(msg).finish();
+  return Sha256().update(opad).update(inner).finish();
+}
+
+bool hmac_verify(ByteView key, ByteView msg, ByteView tag) {
+  return ct_equal(hmac_sha256(key, msg), tag);
+}
+
+}  // namespace fairsfe

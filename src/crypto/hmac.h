@@ -1,0 +1,19 @@
+// HMAC-SHA256 (RFC 2104), built on the in-tree SHA-256.
+//
+// Used as the computational MAC option and for key derivation in the RNG
+// forking scheme. The protocols in `src/fair` use the information-theoretic
+// one-time MAC from `crypto/mac.h` by default; HMAC is provided for the
+// computational instantiation and for tests comparing the two.
+#pragma once
+
+#include "crypto/bytes.h"
+
+namespace fairsfe {
+
+/// HMAC-SHA256(key, msg). Any key length (hashed down if > 64 bytes).
+Bytes hmac_sha256(ByteView key, ByteView msg);
+
+/// Convenience verifier with constant-time tag comparison.
+bool hmac_verify(ByteView key, ByteView msg, ByteView tag);
+
+}  // namespace fairsfe

@@ -1,0 +1,56 @@
+#include "crypto/lamport.h"
+
+#include "crypto/rng.h"
+#include "crypto/sha256.h"
+
+namespace fairsfe {
+
+namespace {
+constexpr std::size_t kBits = 256;
+constexpr std::size_t kChunk = 32;
+constexpr std::size_t kKeyBytes = 2 * kBits * kChunk;
+
+inline ByteView slice(ByteView data, std::size_t index) {
+  return data.subspan(index * kChunk, kChunk);
+}
+
+inline int msg_bit(const Bytes& digest, std::size_t i) {
+  return (digest[i / 8] >> (i % 8)) & 1;
+}
+}  // namespace
+
+LamportKeyPair lamport_gen(Rng& rng) {
+  LamportKeyPair kp;
+  kp.signing_key = rng.bytes(kKeyBytes);
+  kp.verification_key.reserve(kKeyBytes);
+  for (std::size_t i = 0; i < 2 * kBits; ++i) {
+    const Bytes h = sha256(slice(kp.signing_key, i));
+    kp.verification_key.insert(kp.verification_key.end(), h.begin(), h.end());
+  }
+  return kp;
+}
+
+Bytes lamport_sign(const Bytes& signing_key, ByteView msg) {
+  const Bytes digest = sha256(msg);
+  Bytes sig;
+  sig.reserve(kBits * kChunk);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    const std::size_t idx = 2 * i + static_cast<std::size_t>(msg_bit(digest, i));
+    const ByteView pre = slice(signing_key, idx);
+    sig.insert(sig.end(), pre.begin(), pre.end());
+  }
+  return sig;
+}
+
+bool lamport_verify(const Bytes& verification_key, ByteView msg, ByteView sig) {
+  if (verification_key.size() != kKeyBytes || sig.size() != kBits * kChunk) return false;
+  const Bytes digest = sha256(msg);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    const std::size_t idx = 2 * i + static_cast<std::size_t>(msg_bit(digest, i));
+    const Bytes h = sha256(slice(sig, i));
+    if (!ct_equal(h, slice(verification_key, idx))) return false;
+  }
+  return true;
+}
+
+}  // namespace fairsfe

@@ -1,0 +1,36 @@
+// Lamport one-time signatures over SHA-256.
+//
+// The multi-party protocol ΠOptnSFE (paper §4.2 / App. B) has the SFE phase
+// sign the single output value y; the broadcast phase then rejects forged
+// announcements. Since exactly one message is ever signed per key pair, a
+// one-time scheme gives the existential unforgeability the paper requires of
+// [GMR88]-style signatures (see DESIGN.md §5).
+//
+// Key layout: sk = 256 pairs of 32-byte preimages, vk = their hashes.
+// Sign(m): h = SHA-256(m); reveal preimage sk[i][h_i] for each bit i.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/bytes.h"
+
+namespace fairsfe {
+
+class Rng;
+
+struct LamportKeyPair {
+  Bytes signing_key;       ///< 2*256*32 bytes of preimages
+  Bytes verification_key;  ///< 2*256*32 bytes of hashes
+};
+
+/// Generate a fresh one-time key pair.
+LamportKeyPair lamport_gen(Rng& rng);
+
+/// Sign a message (reveals 256 preimages; 256*32 bytes).
+Bytes lamport_sign(const Bytes& signing_key, ByteView msg);
+
+/// Verify a signature against a verification key.
+bool lamport_verify(const Bytes& verification_key, ByteView msg, ByteView sig);
+
+}  // namespace fairsfe

@@ -1,0 +1,41 @@
+#include "crypto/mac.h"
+
+#include "crypto/rng.h"
+
+namespace fairsfe {
+
+MacKey MacKey::random(Rng& rng) {
+  return MacKey{Fp::random(rng), Fp::random(rng)};
+}
+
+Bytes MacKey::to_bytes() const {
+  Writer w;
+  w.u64(a.value()).u64(b.value());
+  return w.take();
+}
+
+std::optional<MacKey> MacKey::from_bytes(ByteView data) {
+  Reader r(data);
+  const auto av = r.u64();
+  const auto bv = r.u64();
+  if (!av || !bv || *av >= Fp::kP || *bv >= Fp::kP) return std::nullopt;
+  return MacKey{Fp(*av), Fp(*bv)};
+}
+
+Bytes mac_tag(const MacKey& key, ByteView msg) {
+  const std::vector<Fp> elems = bytes_to_field(msg);
+  Fp acc = key.b;
+  Fp apow(1);
+  for (const Fp m : elems) {
+    apow *= key.a;
+    acc += apow * m;
+  }
+  return fp_to_bytes(acc);
+}
+
+bool mac_verify(const MacKey& key, ByteView msg, ByteView tag) {
+  const Bytes expect = mac_tag(key, msg);
+  return ct_equal(expect, tag);
+}
+
+}  // namespace fairsfe

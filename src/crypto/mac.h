@@ -1,0 +1,41 @@
+// Information-theoretic one-time message authentication code.
+//
+// This is the `tag(·, k)` primitive of the paper's authenticated secret
+// sharing (Appendix A). Key k = (a, b) ∈ F_p², message m is injectively
+// mapped to field elements m_1..m_ℓ, and
+//
+//     tag(m, k) = b + Σ_i a^i · m_i .
+//
+// Forging a tag for a new message after seeing one (message, tag) pair
+// succeeds with probability ≤ ℓ/p — negligible for our parameters. Being
+// information-theoretic it is *stronger* than the computational MAC the
+// paper assumes, which only helps the reproduction (see DESIGN.md §5).
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.h"
+#include "crypto/field.h"
+
+namespace fairsfe {
+
+class Rng;
+
+struct MacKey {
+  Fp a;
+  Fp b;
+
+  static MacKey random(Rng& rng);
+
+  /// Serialize (16 bytes).
+  [[nodiscard]] Bytes to_bytes() const;
+  static std::optional<MacKey> from_bytes(ByteView data);
+};
+
+/// Compute the one-time MAC tag of `msg` under `key` (8 bytes).
+Bytes mac_tag(const MacKey& key, ByteView msg);
+
+/// Verify a tag; tolerant of malformed tags (returns false).
+bool mac_verify(const MacKey& key, ByteView msg, ByteView tag);
+
+}  // namespace fairsfe

@@ -1,0 +1,60 @@
+#include "crypto/rng.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace fairsfe {
+
+namespace {
+Bytes expand_seed(std::uint64_t seed) {
+  Writer w;
+  w.str("fairsfe-rng-seed").u64(seed);
+  return sha256(w.bytes());
+}
+
+Bytes zero_nonce() {
+  return Bytes(ChaCha20::kNonceSize, 0);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : Rng(expand_seed(seed)) {}
+
+Rng::Rng(const Bytes& key) : key_(key), stream_(key, zero_nonce()) {}
+
+Rng Rng::fork(std::string_view label) {
+  Writer w;
+  w.str(label).u64(fork_counter_++);
+  return Rng(hmac_sha256(key_, w.bytes()));
+}
+
+std::uint64_t Rng::u64() {
+  const Bytes b = stream_.keystream(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t v;
+  do {
+    v = u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+bool Rng::bit() {
+  return (stream_.keystream(1)[0] & 1) != 0;
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  return stream_.keystream(n);
+}
+
+double Rng::uniform() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace fairsfe

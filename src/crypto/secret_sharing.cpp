@@ -1,0 +1,53 @@
+#include "crypto/secret_sharing.h"
+
+#include <cassert>
+
+#include "crypto/rng.h"
+
+namespace fairsfe {
+
+std::vector<Bytes> xor_share(ByteView secret, std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  std::vector<Bytes> shares;
+  shares.reserve(n);
+  Bytes acc(secret.begin(), secret.end());
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    Bytes r = rng.bytes(secret.size());
+    acc = xor_bytes(acc, r);
+    shares.push_back(std::move(r));
+  }
+  shares.push_back(std::move(acc));
+  return shares;
+}
+
+Bytes xor_reconstruct(const std::vector<Bytes>& shares) {
+  assert(!shares.empty());
+  Bytes acc = shares.front();
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    assert(shares[i].size() == acc.size());
+    acc = xor_bytes(acc, shares[i]);
+  }
+  return acc;
+}
+
+std::vector<Fp> additive_share(Fp secret, std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  std::vector<Fp> shares;
+  shares.reserve(n);
+  Fp acc = secret;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const Fp r = Fp::random(rng);
+    acc -= r;
+    shares.push_back(r);
+  }
+  shares.push_back(acc);
+  return shares;
+}
+
+Fp additive_reconstruct(const std::vector<Fp>& shares) {
+  Fp acc;
+  for (const Fp s : shares) acc += s;
+  return acc;
+}
+
+}  // namespace fairsfe

@@ -1,0 +1,131 @@
+#include "crypto/shamir.h"
+
+#include <cassert>
+#include <set>
+
+#include "crypto/rng.h"
+
+namespace fairsfe {
+
+Bytes ShamirShare::to_bytes() const {
+  Writer w;
+  w.u32(x).u32(static_cast<std::uint32_t>(y.size()));
+  for (const Fp v : y) w.u64(v.value());
+  return w.take();
+}
+
+std::optional<ShamirShare> ShamirShare::from_bytes(ByteView data) {
+  Reader r(data);
+  const auto x = r.u32();
+  const auto count = r.u32();
+  if (!x || !count) return std::nullopt;
+  // Validate the element count against the actual remaining bytes before
+  // reserving (a forged header must not drive allocation).
+  if (*count > r.remaining() / 8) return std::nullopt;
+  ShamirShare s;
+  s.x = *x;
+  s.y.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto v = r.u64();
+    if (!v || *v >= Fp::kP) return std::nullopt;
+    s.y.push_back(Fp(*v));
+  }
+  if (!r.at_end()) return std::nullopt;
+  return s;
+}
+
+std::vector<ShamirShare> shamir_share(const std::vector<Fp>& secret,
+                                      std::size_t threshold, std::size_t n, Rng& rng) {
+  assert(threshold >= 1 && threshold <= n);
+  std::vector<ShamirShare> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares[i].x = static_cast<std::uint32_t>(i + 1);
+    shares[i].y.resize(secret.size());
+  }
+  for (std::size_t limb = 0; limb < secret.size(); ++limb) {
+    // Random polynomial of degree threshold-1 with constant term = secret.
+    std::vector<Fp> coeffs(threshold);
+    coeffs[0] = secret[limb];
+    for (std::size_t d = 1; d < threshold; ++d) coeffs[d] = Fp::random(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Fp x(shares[i].x);
+      Fp acc;
+      // Horner evaluation.
+      for (std::size_t d = threshold; d-- > 0;) acc = acc * x + coeffs[d];
+      shares[i].y[limb] = acc;
+    }
+  }
+  return shares;
+}
+
+std::optional<std::vector<Fp>> shamir_reconstruct(const std::vector<ShamirShare>& shares,
+                                                  std::size_t threshold) {
+  if (shares.size() < threshold || threshold == 0) return std::nullopt;
+  // Use the first `threshold` shares with distinct x.
+  std::vector<const ShamirShare*> pts;
+  std::set<std::uint32_t> seen;
+  for (const auto& s : shares) {
+    if (s.x == 0 || seen.count(s.x)) continue;
+    seen.insert(s.x);
+    pts.push_back(&s);
+    if (pts.size() == threshold) break;
+  }
+  if (pts.size() < threshold) return std::nullopt;
+  const std::size_t limbs = pts[0]->y.size();
+  for (const auto* p : pts) {
+    if (p->y.size() != limbs) return std::nullopt;
+  }
+  // Lagrange coefficients at x = 0.
+  std::vector<Fp> lambda(threshold);
+  for (std::size_t i = 0; i < threshold; ++i) {
+    Fp num(1), den(1);
+    const Fp xi(pts[i]->x);
+    for (std::size_t j = 0; j < threshold; ++j) {
+      if (i == j) continue;
+      const Fp xj(pts[j]->x);
+      num *= Fp() - xj;  // (0 - x_j)
+      den *= xi - xj;
+    }
+    lambda[i] = num * den.inverse();
+  }
+  std::vector<Fp> secret(limbs);
+  for (std::size_t limb = 0; limb < limbs; ++limb) {
+    Fp acc;
+    for (std::size_t i = 0; i < threshold; ++i) acc += lambda[i] * pts[i]->y[limb];
+    secret[limb] = acc;
+  }
+  return secret;
+}
+
+namespace {
+// Inverse of bytes_to_field: recover bytes from limbs (length in limb 0).
+std::optional<Bytes> field_to_bytes(const std::vector<Fp>& limbs) {
+  if (limbs.empty()) return std::nullopt;
+  const std::uint64_t len = limbs[0].value();
+  const std::size_t need = (len + 6) / 7;
+  if (limbs.size() != need + 1) return std::nullopt;
+  Bytes out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < need; ++i) {
+    const std::uint64_t v = limbs[i + 1].value();
+    for (std::size_t b = 0; b < 7 && out.size() < len; ++b) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<ShamirShare> shamir_share_bytes(ByteView secret, std::size_t threshold,
+                                            std::size_t n, Rng& rng) {
+  return shamir_share(bytes_to_field(secret), threshold, n, rng);
+}
+
+std::optional<Bytes> shamir_reconstruct_bytes(const std::vector<ShamirShare>& shares,
+                                              std::size_t threshold) {
+  const auto limbs = shamir_reconstruct(shares, threshold);
+  if (!limbs) return std::nullopt;
+  return field_to_bytes(*limbs);
+}
+
+}  // namespace fairsfe

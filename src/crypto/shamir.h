@@ -1,0 +1,46 @@
+// Shamir t-out-of-n threshold secret sharing over F_p.
+//
+// Substrate of the honest-majority GMW variant Π½GMW (Lemma 17): the dealer
+// functionality hands out ⌈n/2⌉-out-of-n shares of the output, which any
+// majority can reconstruct and any minority learns nothing about.
+//
+// Sharing of a byte string shares each of its field-element limbs with the
+// same evaluation points. `threshold` is the number of shares *required* to
+// reconstruct (polynomial degree threshold-1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/field.h"
+
+namespace fairsfe {
+
+class Rng;
+
+struct ShamirShare {
+  std::uint32_t x = 0;        ///< evaluation point (party index + 1, never 0)
+  std::vector<Fp> y;          ///< one evaluation per secret limb
+
+  [[nodiscard]] Bytes to_bytes() const;
+  static std::optional<ShamirShare> from_bytes(ByteView data);
+};
+
+/// Share a field vector with reconstruction threshold `threshold` among `n`
+/// parties. Preconditions: 1 <= threshold <= n.
+std::vector<ShamirShare> shamir_share(const std::vector<Fp>& secret,
+                                      std::size_t threshold, std::size_t n, Rng& rng);
+
+/// Reconstruct from >= threshold shares with distinct x. Returns nullopt on
+/// malformed input (mismatched limb counts, duplicated points, too few).
+std::optional<std::vector<Fp>> shamir_reconstruct(const std::vector<ShamirShare>& shares,
+                                                  std::size_t threshold);
+
+/// Convenience wrappers for byte-string secrets (uses bytes_to_field framing).
+std::vector<ShamirShare> shamir_share_bytes(ByteView secret, std::size_t threshold,
+                                            std::size_t n, Rng& rng);
+std::optional<Bytes> shamir_reconstruct_bytes(const std::vector<ShamirShare>& shares,
+                                              std::size_t threshold);
+
+}  // namespace fairsfe

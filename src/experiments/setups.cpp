@@ -1,0 +1,510 @@
+#include "experiments/setups.h"
+
+#include "adversary/gk_adversary.h"
+#include "adversary/lock_abort.h"
+#include "adversary/mixed.h"
+#include "adversary/strategies.h"
+#include "fair/dummy_ideal.h"
+#include "fair/gk_multi.h"
+#include "fair/lemma18.h"
+#include "fair/opt2sfe.h"
+
+namespace fairsfe::experiments {
+
+using adversary::AbortFunctionality;
+using adversary::GkAborter;
+using adversary::HalfGmwCoalition;
+using adversary::Lemma18Deviator;
+using adversary::LockAbortAdversary;
+using adversary::MixedAdversary;
+using adversary::NoCorruption;
+using adversary::PassiveObserver;
+
+namespace {
+constexpr std::size_t kValueBytes = 8;
+
+std::set<sim::PartyId> prefix_set(std::size_t t) {
+  std::set<sim::PartyId> s;
+  for (std::size_t i = 0; i < t; ++i) s.insert(static_cast<sim::PartyId>(i));
+  return s;
+}
+
+std::set<sim::PartyId> all_but(std::size_t n, std::size_t keep) {
+  std::set<sim::PartyId> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != keep) s.insert(static_cast<sim::PartyId>(i));
+  }
+  return s;
+}
+}  // namespace
+
+mpc::SfeSpec two_party_spec() { return mpc::make_concat_spec(2, kValueBytes); }
+
+mpc::SfeSpec nparty_spec(std::size_t n) { return mpc::make_concat_spec(n, kValueBytes); }
+
+std::vector<Bytes> random_inputs(std::size_t n, Rng& rng) {
+  std::vector<Bytes> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.bytes(kValueBytes));
+  return xs;
+}
+
+// ---------------------------------------------------------------- two-party
+
+rpd::SetupFactory contract_attack(fair::ContractVariant variant, sim::PartyId corrupt) {
+  return [variant, corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(2, rng);
+    const Bytes y = xs[0] + xs[1];
+    s.parties = fair::make_contract_parties(variant, xs[0], xs[1], rng);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt}, y);
+    s.engine.max_rounds = 12;
+    return s;
+  };
+}
+
+namespace {
+rpd::RunSetup opt2_setup(Rng& rng, std::unique_ptr<sim::IAdversary> adv) {
+  rpd::RunSetup s;
+  const mpc::SfeSpec spec = two_party_spec();
+  const auto xs = random_inputs(2, rng);
+  s.parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+  s.functionality = std::make_unique<fair::Opt2ShareFunc>(spec);
+  s.adversary = std::move(adv);
+  s.engine.max_rounds = 12;
+  return s;
+}
+
+Bytes opt2_expected_y(const std::vector<Bytes>& xs) { return xs[0] + xs[1]; }
+}  // namespace
+
+rpd::SetupFactory opt2_lock_abort(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    const auto xs = random_inputs(2, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    s.parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    s.functionality = std::make_unique<fair::Opt2ShareFunc>(spec);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt},
+                                                       opt2_expected_y(xs));
+    s.engine.max_rounds = 12;
+    return s;
+  };
+}
+
+rpd::SetupFactory opt2_agen() {
+  return [](Rng& rng) {
+    const auto xs = random_inputs(2, rng);
+    const Bytes y = opt2_expected_y(xs);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    s.parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    s.functionality = std::make_unique<fair::Opt2ShareFunc>(spec);
+    std::vector<adversary::AdversaryFactory> choices;
+    for (sim::PartyId c : {0, 1}) {
+      choices.push_back([c, y](Rng&) {
+        return std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{c}, y);
+      });
+    }
+    s.adversary = std::make_unique<MixedAdversary>(std::move(choices));
+    s.engine.max_rounds = 12;
+    return s;
+  };
+}
+
+rpd::SetupFactory opt2_abort_phase1() {
+  return [](Rng& rng) {
+    return opt2_setup(rng, std::make_unique<AbortFunctionality>(std::set<sim::PartyId>{0}));
+  };
+}
+
+rpd::SetupFactory opt2_passive() {
+  return [](Rng& rng) {
+    const auto xs = random_inputs(2, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    s.parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    s.functionality = std::make_unique<fair::Opt2ShareFunc>(spec);
+    s.adversary = std::make_unique<PassiveObserver>(std::set<sim::PartyId>{0},
+                                                    opt2_expected_y(xs));
+    s.engine.max_rounds = 12;
+    return s;
+  };
+}
+
+rpd::SetupFactory opt2_no_corruption() {
+  return [](Rng& rng) {
+    return opt2_setup(rng, std::make_unique<NoCorruption>());
+  };
+}
+
+rpd::SetupFactory opt2_corrupt_all() {
+  return [](Rng& rng) {
+    const auto xs = random_inputs(2, rng);
+    return opt2_setup(rng, std::make_unique<PassiveObserver>(std::set<sim::PartyId>{0, 1},
+                                                             opt2_expected_y(xs)));
+  };
+}
+
+rpd::SetupFactory dummy2_lock_abort(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(2, rng);
+    s.parties = fair::make_dummy_parties(xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(two_party_spec(), mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt},
+                                                       xs[0] + xs[1]);
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+rpd::SetupFactory dummy2_abort_gate(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(2, rng);
+    s.parties = fair::make_dummy_parties(xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(two_party_spec(), mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<AbortFunctionality>(std::set<sim::PartyId>{corrupt});
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> two_party_attack_family(
+    const std::function<rpd::SetupFactory(sim::PartyId)>& lock_abort_for) {
+  return {
+      {"lock-abort(p1)", lock_abort_for(0)},
+      {"lock-abort(p2)", lock_abort_for(1)},
+  };
+}
+
+// --------------------------------------------------------------- multi-party
+
+namespace {
+Bytes concat_all(const std::vector<Bytes>& xs) {
+  Bytes y;
+  for (const Bytes& x : xs) y = y + x;
+  return y;
+}
+
+rpd::RunSetup nparty_setup(std::size_t n, Rng& rng,
+                           const std::function<fair::ProtocolInstance(
+                               const mpc::SfeSpec&, const std::vector<Bytes>&, Rng&)>& make,
+                           std::unique_ptr<sim::IAdversary> adv, int max_rounds = 16) {
+  rpd::RunSetup s;
+  const mpc::SfeSpec spec = nparty_spec(n);
+  const auto xs = random_inputs(n, rng);
+  fair::ProtocolInstance inst = make(spec, xs, rng);
+  s.parties = std::move(inst.parties);
+  s.functionality = std::move(inst.functionality);
+  s.adversary = std::move(adv);
+  s.engine.max_rounds = max_rounds;
+  return s;
+}
+}  // namespace
+
+rpd::SetupFactory optn_lock_abort(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_optn_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    s.adversary = std::make_unique<LockAbortAdversary>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory optn_a_ibar_mixed(std::size_t n) {
+  return [n](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    const Bytes y = concat_all(xs);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_optn_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    std::vector<adversary::AdversaryFactory> choices;
+    for (std::size_t keep = 0; keep < n; ++keep) {
+      choices.push_back([n, keep, y](Rng&) {
+        return std::make_unique<LockAbortAdversary>(all_but(n, keep), y);
+      });
+    }
+    s.adversary = std::make_unique<MixedAdversary>(std::move(choices));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory optn_abort_phase1(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    return nparty_setup(n, rng,
+                        [](const mpc::SfeSpec& spec, const std::vector<Bytes>& xs, Rng& r) {
+                          return fair::make_optn_instance(spec, xs, r);
+                        },
+                        std::make_unique<AbortFunctionality>(prefix_set(t)));
+  };
+}
+
+rpd::SetupFactory optn_passive(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_optn_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    s.adversary = std::make_unique<PassiveObserver>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory half_gmw_coalition(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    return nparty_setup(n, rng,
+                        [](const mpc::SfeSpec& spec, const std::vector<Bytes>& xs, Rng& r) {
+                          return fair::make_half_gmw_instance(spec, xs, r);
+                        },
+                        std::make_unique<HalfGmwCoalition>(prefix_set(t), n));
+  };
+}
+
+rpd::SetupFactory half_gmw_lock_abort(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_half_gmw_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    s.adversary = std::make_unique<LockAbortAdversary>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory lemma18_deviator(std::size_t n) {
+  return [n](Rng& rng) {
+    auto setup = nparty_setup(n, rng,
+                              [](const mpc::SfeSpec& spec, const std::vector<Bytes>& xs,
+                                 Rng& r) { return fair::make_lemma18_instance(spec, xs, r); },
+                              std::make_unique<Lemma18Deviator>(static_cast<sim::PartyId>(0)));
+    return setup;
+  };
+}
+
+rpd::SetupFactory lemma18_lock_abort(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_lemma18_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    s.adversary = std::make_unique<LockAbortAdversary>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory mixed_best_attack(std::size_t n, std::size_t t) {
+  if (n % 2 == 1) {
+    return [n, t](Rng& rng) {
+      return nparty_setup(n, rng,
+                          [](const mpc::SfeSpec& spec, const std::vector<Bytes>& xs, Rng& r) {
+                            return fair::make_mixed_instance(spec, xs, r);
+                          },
+                          std::make_unique<HalfGmwCoalition>(prefix_set(t), n));
+    };
+  }
+  return [n, t](Rng& rng) {
+    const auto xs = random_inputs(n, rng);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = nparty_spec(n);
+    fair::ProtocolInstance inst = fair::make_mixed_instance(spec, xs, rng);
+    s.parties = std::move(inst.parties);
+    s.functionality = std::move(inst.functionality);
+    s.adversary = std::make_unique<LockAbortAdversary>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 16;
+    return s;
+  };
+}
+
+rpd::SetupFactory dummyn_lock_abort(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(n, rng);
+    s.parties = fair::make_dummy_parties(xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(nparty_spec(n), mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<LockAbortAdversary>(prefix_set(t), concat_all(xs));
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+rpd::SetupFactory dummyn_abort_gate(std::size_t n, std::size_t t) {
+  return [n, t](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(n, rng);
+    s.parties = fair::make_dummy_parties(xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(nparty_spec(n), mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<AbortFunctionality>(prefix_set(t));
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> nparty_attack_family(NPartyProtocol protocol, std::size_t n,
+                                                   std::size_t t) {
+  switch (protocol) {
+    case NPartyProtocol::kOptN:
+      return {{"lock-abort", optn_lock_abort(n, t)},
+              {"abort-phase1", optn_abort_phase1(n, t)},
+              {"passive", optn_passive(n, t)}};
+    case NPartyProtocol::kHalfGmw:
+      return {{"coalition", half_gmw_coalition(n, t)},
+              {"lock-abort", half_gmw_lock_abort(n, t)}};
+    case NPartyProtocol::kLemma18: {
+      std::vector<rpd::NamedAttack> out = {{"lock-abort", lemma18_lock_abort(n, t)}};
+      if (t == 1) out.push_back({"deviator", lemma18_deviator(n)});
+      return out;
+    }
+    case NPartyProtocol::kMixed:
+      return {{"best-attack", mixed_best_attack(n, t)}};
+    case NPartyProtocol::kDummy:
+      return {{"lock-abort", dummyn_lock_abort(n, t)},
+              {"abort-gate", dummyn_abort_gate(n, t)}};
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------- GK / Π̃
+
+rpd::SetupFactory gk_attack(const fair::GkParams& params, GkAttack attack) {
+  return [params, attack](Rng& rng) {
+    rpd::RunSetup s;
+    auto notes = std::make_shared<mpc::Notes>();
+    const Bytes x0 = params.sample_x1(rng);
+    const Bytes x1 = params.sample_x2(rng);
+    s.parties = fair::make_gk_parties(params, x0, x1, rng);
+    s.functionality = std::make_unique<fair::ShareGenFunc>(params, notes);
+
+    adversary::GkAbortRule rule;
+    switch (attack) {
+      case GkAttack::kAbortAt1:
+        rule = adversary::gk_rule_abort_at(1);
+        break;
+      case GkAttack::kAbortMid:
+        rule = adversary::gk_rule_abort_at(std::max<std::size_t>(1, params.cap() / 2));
+        break;
+      case GkAttack::kGeometric:
+        rule = adversary::gk_rule_geometric(1.0 / static_cast<double>(params.p));
+        break;
+      case GkAttack::kMatchTarget: {
+        // The adversary knows its own input x0 and guesses the peer's.
+        const Bytes target = params.spec.eval({x0, params.sample_x2(rng)});
+        rule = adversary::gk_rule_match_target(target);
+        break;
+      }
+      case GkAttack::kRepeatDetector:
+        rule = adversary::gk_rule_repeat_detector();
+        break;
+    }
+    s.adversary = std::make_unique<GkAborter>(std::move(rule), notes);
+    s.engine.max_rounds = static_cast<int>(2 * params.cap() + 10);
+
+    // F^{f,$} accounting ([GK10, Lemma 2] / Theorem 23's simulator): the only
+    // unsimulatable outcome is an abort exactly at the switch round i* — the
+    // adversary then holds the real y while the honest output was replaced by
+    // a fake draw. Aborts before i* are simulated by a random-input abort;
+    // aborts after i* (and full runs) deliver the correct output to both.
+    const auto unfair_abort = [notes](const sim::ExecutionResult&) {
+      const auto j = notes->vals.find("abort_iteration");
+      const auto istar = notes->vals.find("i_star");
+      return j != notes->vals.end() && istar != notes->vals.end() &&
+             j->second == istar->second;
+    };
+    s.adversary_learned = unfair_abort;
+    s.honest_got_output = [unfair_abort](const sim::ExecutionResult& r) {
+      return !unfair_abort(r);
+    };
+    return s;
+  };
+}
+
+namespace {
+adversary::GkAbortRule gk_rule_for(GkAttack attack, std::size_t p, std::size_t cap,
+                                   const Bytes& target) {
+  switch (attack) {
+    case GkAttack::kAbortAt1:
+      return adversary::gk_rule_abort_at(1);
+    case GkAttack::kAbortMid:
+      return adversary::gk_rule_abort_at(std::max<std::size_t>(1, cap / 2));
+    case GkAttack::kGeometric:
+      return adversary::gk_rule_geometric(1.0 / static_cast<double>(p));
+    case GkAttack::kMatchTarget:
+      return adversary::gk_rule_match_target(target);
+    case GkAttack::kRepeatDetector:
+      return adversary::gk_rule_repeat_detector();
+  }
+  return adversary::gk_rule_abort_at(1);
+}
+}  // namespace
+
+rpd::SetupFactory gk_multi_attack(std::size_t n, std::size_t t, std::size_t p,
+                                  GkAttack attack) {
+  return [n, t, p, attack](Rng& rng) {
+    rpd::RunSetup s;
+    auto notes = std::make_shared<mpc::Notes>();
+    const fair::GkMultiParams params = fair::make_gk_multi_and_params(n, p);
+    const auto xs = params.sample_inputs(rng);
+    s.parties = fair::make_gk_multi_parties(params, xs, rng);
+    s.functionality = std::make_unique<fair::MultiShareGenFunc>(params, notes);
+    // The coalition's best output guess: evaluate f on its own inputs and a
+    // random completion.
+    auto guess_inputs = params.sample_inputs(rng);
+    for (std::size_t i = 0; i < t; ++i) guess_inputs[i] = xs[i];
+    const Bytes target = params.spec.eval(guess_inputs);
+    s.adversary = std::make_unique<adversary::GkMultiAborter>(
+        prefix_set(t), n, gk_rule_for(attack, p, params.cap(), target), notes);
+    s.engine.max_rounds = static_cast<int>(params.cap() + 10);
+
+    const auto unfair_abort = [notes](const sim::ExecutionResult&) {
+      const auto j = notes->vals.find("abort_iteration");
+      const auto istar = notes->vals.find("i_star");
+      return j != notes->vals.end() && istar != notes->vals.end() &&
+             j->second == istar->second;
+    };
+    s.adversary_learned = unfair_abort;
+    s.honest_got_output = [unfair_abort](const sim::ExecutionResult& r) {
+      return !unfair_abort(r);
+    };
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> gk_multi_attack_family(std::size_t n, std::size_t t,
+                                                     std::size_t p) {
+  return {
+      {"abort@1", gk_multi_attack(n, t, p, GkAttack::kAbortAt1)},
+      {"geometric(1/p)", gk_multi_attack(n, t, p, GkAttack::kGeometric)},
+      {"match-target", gk_multi_attack(n, t, p, GkAttack::kMatchTarget)},
+      {"repeat-detector", gk_multi_attack(n, t, p, GkAttack::kRepeatDetector)},
+  };
+}
+
+std::vector<rpd::NamedAttack> gk_attack_family(const fair::GkParams& params) {
+  return {
+      {"abort@1", gk_attack(params, GkAttack::kAbortAt1)},
+      {"abort@mid", gk_attack(params, GkAttack::kAbortMid)},
+      {"geometric(1/p)", gk_attack(params, GkAttack::kGeometric)},
+      {"match-target", gk_attack(params, GkAttack::kMatchTarget)},
+      {"repeat-detector", gk_attack(params, GkAttack::kRepeatDetector)},
+  };
+}
+
+}  // namespace fairsfe::experiments

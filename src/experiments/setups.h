@@ -1,0 +1,104 @@
+// Ready-made experiment setups: protocol × attack-strategy factories for the
+// Monte-Carlo utility estimator. Shared by the test suite and the bench
+// harnesses so that both measure exactly the same configurations.
+//
+// Every factory draws fresh random inputs per run (uniform, so they differ
+// from the all-zero default inputs almost surely), builds the protocol
+// bundle and the adversary, and installs the event-classification
+// predicates. See DESIGN.md §4 for the classification semantics.
+#pragma once
+
+#include <string>
+
+#include "fair/contract.h"
+#include "fair/gk.h"
+#include "fair/mixed.h"
+#include "rpd/fairness_relation.h"
+
+namespace fairsfe::experiments {
+
+// ---------------------------------------------------------------- two-party
+
+/// Π₁/Π₂ under the lock-abort adversary corrupting `corrupt` (E01).
+rpd::SetupFactory contract_attack(fair::ContractVariant variant, sim::PartyId corrupt);
+
+/// ΠOpt2SFE (on the two-party concat ≅ swap function) under:
+rpd::SetupFactory opt2_lock_abort(sim::PartyId corrupt);  ///< A₁ / A₂
+rpd::SetupFactory opt2_agen();                            ///< Agen (Theorem 4)
+rpd::SetupFactory opt2_abort_phase1();                    ///< gate abort (E01 path)
+rpd::SetupFactory opt2_passive();                         ///< run to completion
+rpd::SetupFactory opt2_no_corruption();
+rpd::SetupFactory opt2_corrupt_all();
+
+/// The two-party dummy protocol Φ^Fsfe under lock-abort / gate-abort.
+rpd::SetupFactory dummy2_lock_abort(sim::PartyId corrupt);
+rpd::SetupFactory dummy2_abort_gate(sim::PartyId corrupt);
+
+/// The canonical attack family against a two-party protocol (used for the
+/// sup over adversaries in the fairness relation).
+std::vector<rpd::NamedAttack> two_party_attack_family(
+    const std::function<rpd::SetupFactory(sim::PartyId)>& lock_abort_for);
+
+// --------------------------------------------------------------- multi-party
+
+/// ΠOptnSFE (n-party concat) under a lock-abort t-coalition {0..t-1}.
+rpd::SetupFactory optn_lock_abort(std::size_t n, std::size_t t);
+/// Lemma 13's mixed adversary: corrupt all but one party, chosen at random.
+rpd::SetupFactory optn_a_ibar_mixed(std::size_t n);
+/// Phase-1 gate abort (multi-party: honest parties end with ⊥, event E00).
+rpd::SetupFactory optn_abort_phase1(std::size_t n, std::size_t t);
+/// Passive full run with a t-coalition.
+rpd::SetupFactory optn_passive(std::size_t n, std::size_t t);
+
+/// Π½GMW under the Lemma 17 coalition attack with t parties.
+rpd::SetupFactory half_gmw_coalition(std::size_t n, std::size_t t);
+/// Π½GMW under lock-abort (sanity: single probes cannot reconstruct).
+rpd::SetupFactory half_gmw_lock_abort(std::size_t n, std::size_t t);
+
+/// Lemma 18 protocol: the single-corruption deviator and the standard
+/// t-coalition lock-abort.
+rpd::SetupFactory lemma18_deviator(std::size_t n);
+rpd::SetupFactory lemma18_lock_abort(std::size_t n, std::size_t t);
+
+/// Π′ (mixed protocol) under the coalition/lock-abort attack matching its
+/// branch (used for the balance-vs-optimality separation, E08).
+rpd::SetupFactory mixed_best_attack(std::size_t n, std::size_t t);
+
+/// n-party dummy protocol Φ^Fsfe attacks (ideal benchmark s(t), E09).
+rpd::SetupFactory dummyn_lock_abort(std::size_t n, std::size_t t);
+rpd::SetupFactory dummyn_abort_gate(std::size_t n, std::size_t t);
+
+/// Attack family per corruption budget t for a given protocol kind, used by
+/// the balance profiles of E06-E09.
+enum class NPartyProtocol { kOptN, kHalfGmw, kLemma18, kMixed, kDummy };
+std::vector<rpd::NamedAttack> nparty_attack_family(NPartyProtocol protocol, std::size_t n,
+                                                   std::size_t t);
+
+// ---------------------------------------------------------------- GK / Π̃
+
+/// GK protocol runs under the named abort rule. `rule_target_real_y`: the
+/// match-target rule aims at the actual y (legitimately computable by the
+/// adversary from x1 for AND-like functions).
+enum class GkAttack { kAbortAt1, kAbortMid, kGeometric, kMatchTarget, kRepeatDetector };
+rpd::SetupFactory gk_attack(const fair::GkParams& params, GkAttack attack);
+
+/// All GK attack strategies as a named family.
+std::vector<rpd::NamedAttack> gk_attack_family(const fair::GkParams& params);
+
+/// Multi-party partial fairness (Beimel et al., E16): a t-coalition running
+/// the named abort rule against the n-party GK protocol.
+rpd::SetupFactory gk_multi_attack(std::size_t n, std::size_t t, std::size_t p,
+                                  GkAttack attack);
+std::vector<rpd::NamedAttack> gk_multi_attack_family(std::size_t n, std::size_t t,
+                                                     std::size_t p);
+
+// ---------------------------------------------------------- misc helpers
+
+/// The standard two-party spec used across experiments: 8-byte concat.
+mpc::SfeSpec two_party_spec();
+/// The n-party spec: 8-byte-each concat (Lemma 12's function).
+mpc::SfeSpec nparty_spec(std::size_t n);
+/// Draw uniform inputs for a spec (8 bytes each).
+std::vector<Bytes> random_inputs(std::size_t n, Rng& rng);
+
+}  // namespace fairsfe::experiments

@@ -1,0 +1,158 @@
+#include "fair/coinflip.h"
+
+#include <cassert>
+
+namespace fairsfe::fair {
+
+using sim::Message;
+
+namespace {
+constexpr std::uint8_t kTagCoinCommit = 90;
+constexpr std::uint8_t kTagCoinOpen = 91;
+
+Bytes enc_coin_commit(ByteView com) {
+  Writer w;
+  w.u8(kTagCoinCommit).blob(com);
+  return w.take();
+}
+
+std::optional<Bytes> dec_coin_commit(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagCoinCommit) return std::nullopt;
+  const auto com = r.blob();
+  if (!com || !r.at_end()) return std::nullopt;
+  return com;
+}
+
+Bytes enc_coin_open(bool bit, ByteView opening) {
+  Writer w;
+  w.u8(kTagCoinOpen).u8(bit ? 1 : 0).blob(opening);
+  return w.take();
+}
+
+std::optional<std::pair<bool, Bytes>> dec_coin_open(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagCoinOpen) return std::nullopt;
+  const auto bit = r.u8();
+  const auto opening = r.blob();
+  if (!bit || !opening || !r.at_end()) return std::nullopt;
+  return std::make_pair(*bit != 0, *opening);
+}
+}  // namespace
+
+CoinFlipParty::CoinFlipParty(sim::PartyId id, std::size_t rounds, Rng rng)
+    : PartyBase(id), rounds_(rounds), rng_(std::move(rng)) {
+  assert(rounds_ % 2 == 1);
+}
+
+void CoinFlipParty::finish_majority() {
+  std::size_t ones = 0;
+  for (const bool f : flips_) ones += f ? 1 : 0;
+  // Cleve's model: always output a bit — missing flips become private coins.
+  for (std::size_t f = flips_.size(); f < rounds_; ++f) ones += rng_.bit() ? 1 : 0;
+  finish(Bytes{static_cast<std::uint8_t>(2 * ones > rounds_ ? 1 : 0)});
+}
+
+std::vector<Message> CoinFlipParty::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (step_) {
+    case Step::kCommit: {
+      if (k_ > flips_.size()) {
+        // The peer's opening of the previous flip is due now.
+        const Message* om = first_from(in, 1 - id_);
+        const auto open = om ? dec_coin_open(om->payload) : std::nullopt;
+        const bool valid = open && commit_verify(peer_commitment_,
+                                                 Bytes{static_cast<std::uint8_t>(
+                                                     open->first ? 1 : 0)},
+                                                 open->second);
+        if (!valid) {
+          finish_majority();
+          return {};
+        }
+        flips_.push_back(my_bit_ != open->first);
+      }
+      if (flips_.size() == rounds_) {
+        finish_majority();  // all flips completed honestly
+        return {};
+      }
+      my_bit_ = rng_.bit();
+      my_commitment_ = commit(Bytes{static_cast<std::uint8_t>(my_bit_ ? 1 : 0)}, rng_);
+      ++k_;
+      step_ = Step::kOpen;
+      return {Message{id_, 1 - id_, enc_coin_commit(my_commitment_.com)}};
+    }
+    case Step::kOpen: {
+      const Message* cm = first_from(in, 1 - id_);
+      const auto com = cm ? dec_coin_commit(cm->payload) : std::nullopt;
+      if (!com) {
+        finish_majority();
+        return {};
+      }
+      peer_commitment_ = *com;
+      step_ = Step::kCommit;
+      return {Message{id_, 1 - id_, enc_coin_open(my_bit_, my_commitment_.opening)}};
+    }
+    case Step::kDone:
+      return {};
+  }
+  return {};
+}
+
+void CoinFlipParty::on_abort() {
+  if (!done()) finish_majority();
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_coinflip_parties(std::size_t rounds,
+                                                                Rng& rng) {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.push_back(std::make_unique<CoinFlipParty>(0, rounds, rng.fork("coin-p0")));
+  parties.push_back(std::make_unique<CoinFlipParty>(1, rounds, rng.fork("coin-p1")));
+  return parties;
+}
+
+CoinBiasAdversary::CoinBiasAdversary(sim::PartyId corrupt, bool target, bool eager)
+    : pid_(corrupt), target_(target), eager_(eager) {}
+
+void CoinBiasAdversary::setup(sim::AdvContext& ctx) { ctx.corrupt(pid_); }
+
+std::vector<Message> CoinBiasAdversary::on_round(sim::AdvContext& ctx,
+                                                 const sim::AdvView& view) {
+  if (aborted_) return {};
+  std::vector<Message> out = ctx.honest_step(pid_, addressed_to(view.delivered, pid_));
+
+  // Are we about to release an opening? If so, rush: read the honest opening
+  // of the same flip first and decide.
+  bool releasing_opening = false;
+  for (const Message& m : out) {
+    if (dec_coin_open(m.payload)) releasing_opening = true;
+  }
+  if (!releasing_opening) return out;
+
+  std::optional<bool> peer_bit;
+  for (const Message& m : view.rushed) {
+    const auto open = dec_coin_open(m.payload);
+    if (open) peer_bit = open->first;
+  }
+  if (!peer_bit) return out;  // honest opening not visible (yet): play on
+
+  const auto& party = dynamic_cast<const CoinFlipParty&>(ctx.party(pid_));
+  const bool outcome = party.my_bit() != *peer_bit;
+  if (outcome == target_) return out;
+
+  if (eager_) {
+    aborted_ = true;
+    return {};
+  }
+  // Tally rule: keep playing while we are ahead; abort once a bad flip would
+  // erase the lead.
+  int lead = 0;
+  for (const bool f : party.flips()) lead += (f == target_) ? 1 : -1;
+  if (lead <= 0) {
+    aborted_ = true;
+    return {};
+  }
+  return out;
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,81 @@
+// Collective coin flipping — the problem behind Cleve's impossibility
+// theorem (STOC'86, the paper's starting point [10]).
+//
+// The protocol runs r sequential Blum flips: per flip both parties commit to
+// a random bit, then open simultaneously; the flip outcome is the XOR. The
+// final output is the majority of the r flips (r odd). In Cleve's model an
+// honest party must always output *some* bit, so on any deviation it
+// replaces the current and all remaining flips with fresh private coins and
+// outputs the majority.
+//
+// A rushing adversary reads the honest opening before releasing its own and
+// can abort whenever the flip displeases it, converting that flip (and the
+// rest) into uniform noise. Cleve: some party can always bias the outcome by
+// Ω(1/r); the classic single-flip bias is exactly 1/4, decaying roughly like
+// 1/√r for the majority protocol. Experiment E17 measures the decay.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/commitment.h"
+#include "crypto/rng.h"
+#include "sim/adversary.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+class CoinFlipParty final : public sim::PartyBase<CoinFlipParty> {
+ public:
+  /// `rounds` must be odd (majority of r flips).
+  CoinFlipParty(sim::PartyId id, std::size_t rounds, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+  // Adversary-visible state (the adversary owns corrupted parties).
+  [[nodiscard]] std::size_t flip_index() const { return k_; }
+  [[nodiscard]] const std::vector<bool>& flips() const { return flips_; }
+  [[nodiscard]] bool my_bit() const { return my_bit_; }
+
+ private:
+  enum class Step { kCommit, kOpen, kDone };
+
+  /// Majority over completed flips + private coins for the missing ones.
+  void finish_majority();
+
+  std::size_t rounds_;
+  Rng rng_;
+
+  Step step_ = Step::kCommit;
+  std::size_t k_ = 0;  // current flip
+  bool my_bit_ = false;
+  Commitment my_commitment_;
+  Bytes peer_commitment_;
+  std::vector<bool> flips_;
+};
+
+std::vector<std::unique_ptr<sim::IParty>> make_coinflip_parties(std::size_t rounds,
+                                                                Rng& rng);
+
+/// Greedy bias attack: corrupt one party, rush every opening, withhold the
+/// moment the flip outcome (or the projected majority) disfavors `target`.
+/// `eager` aborts on the first bad flip; otherwise the rule aborts only when
+/// the running tally would fall behind.
+class CoinBiasAdversary final : public sim::IAdversary {
+ public:
+  CoinBiasAdversary(sim::PartyId corrupt, bool target, bool eager);
+
+  void setup(sim::AdvContext& ctx) override;
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+  [[nodiscard]] bool learned_output() const override { return false; }
+
+ private:
+  sim::PartyId pid_;
+  bool target_;
+  bool eager_;
+  bool aborted_ = false;
+};
+
+}  // namespace fairsfe::fair

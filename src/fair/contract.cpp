@@ -1,0 +1,233 @@
+#include "fair/contract.h"
+
+#include "crypto/commitment.h"
+
+namespace fairsfe::fair {
+
+namespace {
+
+using sim::Message;
+
+constexpr std::uint8_t kTagCommit = 1;
+constexpr std::uint8_t kTagCoinCommit = 2;
+constexpr std::uint8_t kTagCoinOpen = 3;
+constexpr std::uint8_t kTagOpen = 4;
+
+Bytes enc_commit(std::uint8_t tag, ByteView com) {
+  Writer w;
+  w.u8(tag).blob(com);
+  return w.take();
+}
+
+Bytes enc_open(std::uint8_t tag, ByteView msg, ByteView opening) {
+  Writer w;
+  w.u8(tag).blob(msg).blob(opening);
+  return w.take();
+}
+
+struct Opened {
+  Bytes msg;
+  Bytes opening;
+};
+
+std::optional<Bytes> find_tagged(const std::vector<Message>& in, sim::PartyId from,
+                                 std::uint8_t tag) {
+  for (const Message& m : in) {
+    if (m.from != from) continue;
+    Reader r(m.payload);
+    const auto t = r.u8();
+    if (t && *t == tag) return m.payload;
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> read_commit(const Bytes& payload) {
+  Reader r(payload);
+  r.u8();
+  const auto com = r.blob();
+  if (!com || !r.at_end()) return std::nullopt;
+  return com;
+}
+
+std::optional<Opened> read_open(const Bytes& payload) {
+  Reader r(payload);
+  r.u8();
+  const auto msg = r.blob();
+  const auto opening = r.blob();
+  if (!msg || !opening || !r.at_end()) return std::nullopt;
+  return Opened{*msg, *opening};
+}
+
+// Shared machinery of Π₁/Π₂. The state machine is driven by call count, not
+// absolute engine rounds, so clones probed by the adversary behave correctly.
+class ContractParty final : public sim::PartyBase<ContractParty> {
+ public:
+  ContractParty(sim::PartyId id, ContractVariant variant, Bytes contract, Rng rng)
+      : PartyBase(id),
+        variant_(variant),
+        contract_(std::move(contract)),
+        rng_(std::move(rng)) {}
+
+  std::vector<Message> on_round(int /*round*/, const std::vector<Message>& in) override {
+    switch (step_) {
+      case Step::kSendCommit: {
+        my_commit_ = commit(contract_, rng_);
+        std::vector<Message> out;
+        out.push_back(Message{id_, peer(), enc_commit(kTagCommit, my_commit_.com)});
+        if (variant_ == ContractVariant::kPi2) {
+          coin_ = rng_.bit();
+          Bytes bit{static_cast<std::uint8_t>(coin_ ? 1 : 0)};
+          my_coin_commit_ = commit(bit, rng_);
+          out.push_back(Message{id_, peer(), enc_commit(kTagCoinCommit, my_coin_commit_.com)});
+        }
+        step_ = Step::kAwaitCommit;
+        return out;
+      }
+      case Step::kAwaitCommit: {
+        const auto c = find_tagged(in, peer(), kTagCommit);
+        const auto com = c ? read_commit(*c) : std::nullopt;
+        if (!com) {
+          finish_bot();
+          return {};
+        }
+        peer_commit_ = *com;
+        if (variant_ == ContractVariant::kPi2) {
+          const auto cc = find_tagged(in, peer(), kTagCoinCommit);
+          const auto ccom = cc ? read_commit(*cc) : std::nullopt;
+          if (!ccom) {
+            finish_bot();
+            return {};
+          }
+          peer_coin_commit_ = *ccom;
+          // Single simultaneous round of coin openings.
+          step_ = Step::kAwaitCoinOpen;
+          Bytes bit{static_cast<std::uint8_t>(coin_ ? 1 : 0)};
+          return {Message{id_, peer(),
+                          enc_open(kTagCoinOpen, bit, my_coin_commit_.opening)}};
+        }
+        // Π₁: p0 opens first.
+        if (id_ == 0) {
+          step_ = Step::kIdleBeforeFinal;
+          return {Message{id_, peer(), enc_open(kTagOpen, contract_, my_commit_.opening)}};
+        }
+        step_ = Step::kAwaitFirstOpen;
+        return {};
+      }
+      case Step::kAwaitCoinOpen: {
+        const auto o = find_tagged(in, peer(), kTagCoinOpen);
+        const auto opened = o ? read_open(*o) : std::nullopt;
+        if (!opened || opened->msg.size() != 1 ||
+            !commit_verify(peer_coin_commit_, opened->msg, opened->opening)) {
+          finish_bot();
+          return {};
+        }
+        const bool peer_coin = opened->msg[0] != 0;
+        const bool b = coin_ != peer_coin;
+        // b selects the first opener: party 0 if b == false, party 1 if true.
+        first_opener_ = b ? 1 : 0;
+        if (id_ == first_opener_) {
+          step_ = Step::kIdleBeforeFinal;
+          return {Message{id_, peer(), enc_open(kTagOpen, contract_, my_commit_.opening)}};
+        }
+        step_ = Step::kAwaitFirstOpen;
+        return {};
+      }
+      case Step::kIdleBeforeFinal: {
+        // The peer is processing my opening this round; its reply arrives next
+        // round (or this one, if it rushed).
+        if (const auto o = find_tagged(in, peer(), kTagOpen)) {
+          const auto opened = read_open(*o);
+          if (opened && commit_verify(peer_commit_, opened->msg, opened->opening)) {
+            finish(result(opened->msg));
+          } else {
+            finish_bot();
+          }
+          return {};
+        }
+        step_ = Step::kAwaitFinalOpen;
+        return {};
+      }
+      case Step::kAwaitFirstOpen: {
+        // I open second: receive the peer's contract, then reveal mine.
+        const auto o = find_tagged(in, peer(), kTagOpen);
+        const auto opened = o ? read_open(*o) : std::nullopt;
+        if (!opened || !commit_verify(peer_commit_, opened->msg, opened->opening)) {
+          finish_bot();
+          return {};
+        }
+        peer_contract_ = opened->msg;
+        std::vector<Message> out;
+        out.push_back(Message{id_, peer(), enc_open(kTagOpen, contract_, my_commit_.opening)});
+        finish(result(*peer_contract_));
+        return out;
+      }
+      case Step::kAwaitFinalOpen: {
+        const auto o = find_tagged(in, peer(), kTagOpen);
+        const auto opened = o ? read_open(*o) : std::nullopt;
+        if (!opened || !commit_verify(peer_commit_, opened->msg, opened->opening)) {
+          finish_bot();  // opened my contract, got nothing back: unfair abort
+          return {};
+        }
+        finish(result(opened->msg));
+        return {};
+      }
+    }
+    return {};
+  }
+
+  void on_abort() override {
+    if (done()) return;
+    if (peer_contract_) {
+      finish(result(*peer_contract_));
+    } else {
+      finish_bot();
+    }
+  }
+
+ private:
+  enum class Step {
+    kSendCommit,
+    kAwaitCommit,
+    kAwaitCoinOpen,
+    kAwaitFirstOpen,
+    kIdleBeforeFinal,
+    kAwaitFinalOpen,
+  };
+
+  [[nodiscard]] sim::PartyId peer() const { return 1 - id_; }
+
+  /// Output is x0 ‖ x1 regardless of which side we are.
+  [[nodiscard]] Bytes result(const Bytes& peer_contract) const {
+    return id_ == 0 ? contract_ + peer_contract : peer_contract + contract_;
+  }
+
+  ContractVariant variant_;
+  Bytes contract_;
+  Rng rng_;
+
+  Step step_ = Step::kSendCommit;
+  bool coin_ = false;
+  sim::PartyId first_opener_ = 0;
+  Commitment my_commit_;
+  Commitment my_coin_commit_;
+  Bytes peer_commit_;
+  Bytes peer_coin_commit_;
+  std::optional<Bytes> peer_contract_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sim::IParty>> make_contract_parties(ContractVariant variant,
+                                                                const Bytes& x0,
+                                                                const Bytes& x1, Rng& rng) {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.push_back(std::make_unique<ContractParty>(0, variant, x0, rng.fork("contract-p0")));
+  parties.push_back(std::make_unique<ContractParty>(1, variant, x1, rng.fork("contract-p1")));
+  return parties;
+}
+
+mpc::SfeSpec contract_spec(std::size_t contract_size) {
+  return mpc::make_concat_spec(2, contract_size);
+}
+
+}  // namespace fairsfe::fair

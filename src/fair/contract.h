@@ -1,0 +1,37 @@
+// The two contract-signing protocols of the paper's introduction.
+//
+// Both compute the exchange f(x1, x2) = x1 ‖ x2 of the parties' (signed)
+// contracts over commitments:
+//
+//   Π₁ — commit-then-open, fixed order: parties exchange commitments, then
+//        p1 opens, then p2 opens. The party opening second can always take
+//        the other's contract and abort — the best attacker gets γ10 with
+//        probability 1.
+//   Π₂ — like Π₁, but a Blum coin toss (commit/open of random bits, XOR)
+//        decides who opens first. The cheating window halves: the best
+//        attacker gets (γ10 + γ11)/2.
+//
+// These are the protocols the comparative fairness relation is motivated
+// with: Π₂ ≻γ Π₁ ("twice as fair"). Experiment E01.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+enum class ContractVariant { kPi1, kPi2 };
+
+/// Build the two parties of Π₁/Π₂ for contracts x0, x1 (fixed width).
+std::vector<std::unique_ptr<sim::IParty>> make_contract_parties(ContractVariant variant,
+                                                                const Bytes& x0,
+                                                                const Bytes& x1, Rng& rng);
+
+/// The function both protocols evaluate: concat of the two contracts.
+mpc::SfeSpec contract_spec(std::size_t contract_size);
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,34 @@
+// Φ^Fsfe — the dummy protocol in the fully fair Fsfe-hybrid model
+// (Definition 19 and Appendix B.2).
+//
+// Parties forward their inputs to the fair functionality and output whatever
+// it returns. Against Φ the best t-adversary (0 < t < n) gets
+// max(γ00, γ11): abort before anything is computed (E00) or let the
+// evaluation complete (E11). Φ is the benchmark for "ideal γ^C-fairness".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+class DummyIdealParty final : public sim::PartyBase<DummyIdealParty> {
+ public:
+  DummyIdealParty(sim::PartyId id, Bytes input);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  Bytes input_;
+  bool sent_ = false;
+};
+
+/// Build the dummy parties; pair with SfeFunc(spec, SfeMode::kFair).
+std::vector<std::unique_ptr<sim::IParty>> make_dummy_parties(const std::vector<Bytes>& inputs);
+
+}  // namespace fairsfe::fair

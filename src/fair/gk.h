@@ -1,0 +1,113 @@
+// The Gordon–Katz partially fair ("1/p-secure") two-party protocols
+// [GK, Eurocrypt'10], analysed by the paper in Section 5 / Appendix C.
+//
+// Structure (ShareGen-hybrid): the functionality picks a switch round
+// i* ~ Geometric(α) (truncated at the round cap) and prepares two value
+// streams of authenticated sharings,
+//     a_j = fake for j < i*, a_j = y for j ≥ i*   (delivered to p1),
+//     b_j = fake for j < i*, b_j = y for j ≥ i*   (delivered to p2),
+// plus unshared fallback values a_0 / b_0. Reconstruction alternates: in
+// iteration j, p2 first opens a_j towards p1, then p1 opens b_j towards p2.
+// On abort, a party outputs the last value it reconstructed — which is the
+// randomized-abort guarantee F^{f,$}_sfe (Appendix C.2): an early abort
+// replaces the honest output by a fresh fake draw.
+//
+// Variants: kPolyDomain fakes a_j = f(x1, ŷ) with ŷ uniform over p2's
+// (polynomial-size) input domain, α = 1/(p·|Y|) (Theorem 23, O(p·|Y|)
+// rounds); kPolyRange fakes uniform range elements, α = 1/(p²·|Z|)
+// (Theorem 24, O(p²·|Z|) rounds).
+//
+// Utility shape (experiment E10): under ~γ = (0, 0, 1, 0) the best attacker
+// aborts exactly at i* and earns ≤ 1/p.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/auth_share.h"
+#include "crypto/rng.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+struct GkParams {
+  enum class Variant { kPolyDomain, kPolyRange };
+
+  mpc::SfeSpec spec;  ///< must be two-party
+  std::size_t p = 2;  ///< the 1/p-security target
+  Variant variant = Variant::kPolyDomain;
+  std::function<Bytes(Rng&)> sample_x1;     ///< uniform element of p1's domain
+  std::function<Bytes(Rng&)> sample_x2;     ///< uniform element of p2's domain
+  std::function<Bytes(Rng&)> sample_range;  ///< uniform range element (kPolyRange)
+  std::size_t domain_size = 2;  ///< |Y| (kPolyDomain) or |Z| (kPolyRange)
+  std::size_t rounds = 0;       ///< explicit round cap; 0 = auto
+
+  [[nodiscard]] double alpha() const;
+  [[nodiscard]] std::size_t cap() const;
+};
+
+/// Ready-made parameters for the single-bit AND function (Section 5's
+/// example; with p = 4 this is the "standard 1/4-secure protocol").
+GkParams make_gk_and_params(std::size_t p);
+
+/// ShareGen functionality. Unfair abort gate. Records "y" (blob), "i_star".
+class ShareGenFunc final : public sim::IFunctionality {
+ public:
+  explicit ShareGenFunc(GkParams params, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
+                                     const std::vector<sim::Message>& in) override;
+
+ private:
+  GkParams params_;
+  mpc::NotesPtr notes_;
+  bool fired_ = false;
+};
+
+class GkParty final : public sim::PartyBase<GkParty> {
+ public:
+  GkParty(sim::PartyId id, GkParams params, Bytes input, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+  /// Adversary-visible state (the adversary owns corrupted parties): the last
+  /// reconstructed value and the current iteration. Used by the GK attack
+  /// strategies in src/adversary/gk_adversary.h.
+  [[nodiscard]] const Bytes& last_value() const { return last_value_; }
+  [[nodiscard]] std::size_t iteration() const { return j_; }
+  [[nodiscard]] bool stream_started() const { return step_ == Step::kIterate; }
+
+  /// The opening message this party would send for iteration j of its
+  /// outgoing stream (used by attack strategies that deviate selectively).
+  [[nodiscard]] std::vector<sim::Message> make_opening(std::size_t j) const;
+
+ private:
+  enum class Step { kSendInput, kAwaitShares, kIterate };
+
+  void finish_with_default();
+
+  GkParams params_;
+  Bytes input_;
+  Rng rng_;
+
+  Step step_ = Step::kSendInput;
+  std::size_t rounds_ = 0;
+  std::size_t j_ = 1;           // current iteration
+  bool expecting_ = false;       // p1: waiting for a_j; p2: waiting for b_j
+  Bytes last_value_;             // a_{j-1} / b_{j-1} fallback
+  std::vector<AuthShare2> incoming_shares_;  // my halves of the stream I read
+  std::vector<AuthShare2> outgoing_shares_;  // my halves of the stream I open
+};
+
+/// Build the two GK parties for inputs (x1, x2); pair with ShareGenFunc.
+std::vector<std::unique_ptr<sim::IParty>> make_gk_parties(const GkParams& params,
+                                                          const Bytes& x0, const Bytes& x1,
+                                                          Rng& rng);
+
+/// Wire helpers (shared with the Π̃ wrapper in fair/leaky_and.h).
+Bytes encode_gk_opening(std::size_t j, ByteView opening);
+std::optional<std::pair<std::size_t, Bytes>> decode_gk_opening(ByteView payload);
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,256 @@
+#include "fair/gk_multi.h"
+
+#include "crypto/secret_sharing.h"
+#include "crypto/sha256.h"
+
+namespace fairsfe::fair {
+
+using sim::Message;
+
+namespace {
+constexpr std::uint8_t kTagMultiShare = 65;
+}  // namespace
+
+GkMultiParams make_gk_multi_and_params(std::size_t n, std::size_t p) {
+  GkMultiParams params;
+  params.spec.n = n;
+  params.spec.eval = [](const std::vector<Bytes>& xs) {
+    std::uint8_t acc = 1;
+    for (const Bytes& x : xs) acc &= (x.empty() ? 0 : (x[0] & 1));
+    return Bytes{acc};
+  };
+  params.spec.default_inputs.assign(n, Bytes{0});
+  params.p = p;
+  params.sample_inputs = [n](Rng& rng) {
+    std::vector<Bytes> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(Bytes{static_cast<std::uint8_t>(rng.bit())});
+    return xs;
+  };
+  params.domain_size = 2;
+  return params;
+}
+
+Bytes encode_gk_multi_share(std::size_t j, ByteView summand, ByteView nonce) {
+  Writer w;
+  w.u8(kTagMultiShare).u32(static_cast<std::uint32_t>(j)).blob(summand).blob(nonce);
+  return w.take();
+}
+
+std::optional<GkMultiShare> decode_gk_multi_share(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagMultiShare) return std::nullopt;
+  const auto j = r.u32();
+  const auto summand = r.blob();
+  const auto nonce = r.blob();
+  if (!j || !summand || !nonce || !r.at_end()) return std::nullopt;
+  return GkMultiShare{static_cast<std::size_t>(*j), *summand, *nonce};
+}
+
+Bytes gk_multi_share_hash(std::size_t j, ByteView nonce, ByteView summand) {
+  Writer w;
+  w.u64(j).blob(nonce).blob(summand);
+  return sha256_labeled("gk-multi", w.bytes());
+}
+
+MultiShareGenFunc::MultiShareGenFunc(GkMultiParams params, mpc::NotesPtr notes)
+    : params_(std::move(params)), notes_(std::move(notes)) {}
+
+std::vector<Message> MultiShareGenFunc::on_round(sim::FuncContext& ctx, int /*round*/,
+                                                 const std::vector<Message>& in) {
+  if (fired_ || in.empty()) return {};
+  fired_ = true;
+
+  const std::size_t n = params_.spec.n;
+  std::vector<std::optional<Bytes>> inputs(n);
+  for (const Message& m : in) {
+    if (m.from < 0 || m.from >= static_cast<sim::PartyId>(n)) continue;
+    const auto x = sim::decode_func_input(m.payload);
+    if (x && !inputs[static_cast<std::size_t>(m.from)]) {
+      inputs[static_cast<std::size_t>(m.from)] = *x;
+    }
+  }
+
+  std::vector<Message> out;
+  bool complete = true;
+  for (const auto& x : inputs) {
+    if (!x) complete = false;
+  }
+  if (!complete) {
+    if (notes_) notes_->vals["phase1_aborted"] = 1;
+    for (std::size_t p = 0; p < n; ++p) {
+      out.push_back(Message{sim::kFunc, static_cast<sim::PartyId>(p),
+                            sim::encode_func_abort()});
+    }
+    return out;
+  }
+
+  Rng& rng = ctx.rng();
+  std::vector<Bytes> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = *inputs[i];
+  const Bytes y = params_.spec.eval(xs);
+
+  const std::size_t cap = params_.cap();
+  const double alpha = params_.alpha();
+  std::size_t i_star = 1;
+  while (i_star < cap && rng.uniform() >= alpha) ++i_star;
+  if (notes_) {
+    notes_->blobs["y"] = y;
+    notes_->vals["i_star"] = i_star;
+  }
+
+  auto fake = [&]() { return params_.spec.eval(params_.sample_inputs(rng)); };
+
+  // Per-party output blobs.
+  std::vector<Writer> blobs(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    blobs[p].u32(static_cast<std::uint32_t>(cap));
+    blobs[p].blob(fake());  // independent v_0 fallback per party
+  }
+  for (std::size_t j = 1; j <= cap; ++j) {
+    const Bytes v = (j < i_star) ? fake() : y;
+    const auto summands = xor_share(v, n, rng);
+    std::vector<Bytes> nonces(n);
+    std::vector<Bytes> hashes(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      nonces[p] = rng.bytes(16);
+      hashes[p] = gk_multi_share_hash(j, nonces[p], summands[p]);
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      blobs[p].blob(summands[p]).blob(nonces[p]);
+      for (const Bytes& h : hashes) blobs[p].blob(h);
+    }
+  }
+
+  std::vector<Message> deliveries;
+  for (std::size_t p = 0; p < n; ++p) {
+    deliveries.push_back(Message{sim::kFunc, static_cast<sim::PartyId>(p),
+                                 sim::encode_func_output(blobs[p].bytes())});
+  }
+  std::vector<Message> corrupted_outputs;
+  for (const Message& m : deliveries) {
+    if (ctx.corrupted().count(m.to)) corrupted_outputs.push_back(m);
+  }
+  const bool abort = ctx.adversary_abort_gate(corrupted_outputs);
+  if (notes_) notes_->vals["phase1_aborted"] = abort ? 1 : 0;
+  for (Message& m : deliveries) {
+    if (abort && !ctx.corrupted().count(m.to)) m.payload = sim::encode_func_abort();
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+GkMultiParty::GkMultiParty(sim::PartyId id, GkMultiParams params, Bytes input, Rng rng)
+    : PartyBase(id), params_(std::move(params)), input_(std::move(input)),
+      rng_(std::move(rng)) {}
+
+void GkMultiParty::finish_with_default() {
+  std::vector<Bytes> xs = params_.spec.default_inputs;
+  xs[static_cast<std::size_t>(id_)] = input_;
+  finish(params_.spec.eval(xs));
+}
+
+std::vector<Message> GkMultiParty::on_round(int /*round*/, const std::vector<Message>& in) {
+  const std::size_t n = params_.spec.n;
+  switch (step_) {
+    case Step::kSendInput: {
+      step_ = Step::kAwaitShares;
+      return {Message{id_, sim::kFunc, sim::encode_func_input(input_)}};
+    }
+    case Step::kAwaitShares: {
+      const Message* fm = first_from(in, sim::kFunc);
+      if (fm == nullptr) return {};
+      const auto body = sim::decode_func_output(fm->payload);
+      if (!body) {
+        finish_with_default();
+        return {};
+      }
+      Reader r(*body);
+      const auto cap = r.u32();
+      const auto fallback = r.blob();
+      if (!cap || !fallback) {
+        finish_with_default();
+        return {};
+      }
+      rounds_ = *cap;
+      last_value_ = *fallback;
+      for (std::size_t j = 1; j <= rounds_; ++j) {
+        const auto summand = r.blob();
+        const auto nonce = r.blob();
+        if (!summand || !nonce) {
+          finish_with_default();
+          return {};
+        }
+        my_summands_.push_back(*summand);
+        my_nonces_.push_back(*nonce);
+        std::vector<Bytes> hs(n);
+        for (std::size_t p = 0; p < n; ++p) {
+          const auto h = r.blob();
+          if (!h) {
+            finish_with_default();
+            return {};
+          }
+          hs[p] = *h;
+        }
+        hashes_.push_back(std::move(hs));
+      }
+      step_ = Step::kIterate;
+      j_ = 1;
+      return {Message{id_, sim::kBroadcast,
+                      encode_gk_multi_share(1, my_summands_[0], my_nonces_[0])}};
+    }
+    case Step::kIterate: {
+      // Collect everyone's round-j_ summands (my own broadcast loops back).
+      std::vector<std::optional<Bytes>> summands(n);
+      for (const Message& m : in) {
+        if (m.from < 0 || m.from >= static_cast<sim::PartyId>(n)) continue;
+        const auto sh = decode_gk_multi_share(m.payload);
+        if (!sh || sh->j != j_) continue;
+        const std::size_t p = static_cast<std::size_t>(m.from);
+        if (gk_multi_share_hash(j_, sh->nonce, sh->summand) != hashes_[j_ - 1][p]) continue;
+        if (!summands[p]) summands[p] = sh->summand;
+      }
+      std::vector<Bytes> pool;
+      for (const auto& s : summands) {
+        if (s) pool.push_back(*s);
+      }
+      if (pool.size() != n) {
+        // Someone withheld or forged: end with the last reconstructed value.
+        finish(last_value_);
+        return {};
+      }
+      last_value_ = xor_reconstruct(pool);
+      if (j_ == rounds_) {
+        finish(last_value_);
+        return {};
+      }
+      ++j_;
+      return {Message{id_, sim::kBroadcast,
+                      encode_gk_multi_share(j_, my_summands_[j_ - 1], my_nonces_[j_ - 1])}};
+    }
+  }
+  return {};
+}
+
+void GkMultiParty::on_abort() {
+  if (done()) return;
+  if (step_ == Step::kIterate) {
+    finish(last_value_);
+  } else {
+    finish_with_default();
+  }
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_gk_multi_parties(
+    const GkMultiParams& params, const std::vector<Bytes>& inputs, Rng& rng) {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.reserve(inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    parties.push_back(std::make_unique<GkMultiParty>(static_cast<sim::PartyId>(p), params,
+                                                     inputs[p], rng.fork("gk-multi")));
+  }
+  return parties;
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,74 @@
+// Π½GMW — the honest-majority (threshold) SFE protocol of Lemma 17.
+//
+// Phase 1 (unfair SFE, modeled by the dealer functionality ShamirDealFunc)
+// computes y and deals a verifiable ⌊n/2⌋+1-out-of-n Shamir sharing of it;
+// phase 2 publicly reconstructs by broadcasting shares. Shares are bound by
+// hash commitments distributed with the dealing, so a corrupted party cannot
+// inject a wrong share.
+//
+// Fairness profile (Lemma 17): a rushing coalition always learns y at the
+// broadcast round; honest parties reconstruct iff n − t ≥ ⌊n/2⌋+1. Hence for
+// even n the utility jumps from γ11 (t < n/2) to γ10 (t ≥ n/2) — the
+// protocol is fully fair for honest majorities and *not utility-balanced*.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "crypto/shamir.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+/// Reconstruction threshold used by Π½GMW.
+inline std::size_t half_gmw_threshold(std::size_t n) { return n / 2 + 1; }
+
+/// Dealer functionality: computes y, Shamir-shares it, hands party i its
+/// share + a nonce + the hash commitments of all shares. Unfair abort gate.
+/// Records "y" into notes.
+class ShamirDealFunc final : public sim::IFunctionality {
+ public:
+  explicit ShamirDealFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
+                                     const std::vector<sim::Message>& in) override;
+
+ private:
+  mpc::SfeSpec spec_;
+  mpc::NotesPtr notes_;
+  bool fired_ = false;
+};
+
+class HalfGmwParty final : public sim::PartyBase<HalfGmwParty> {
+ public:
+  HalfGmwParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Step { kSendInput, kAwaitShare, kAwaitBroadcasts };
+
+  mpc::SfeSpec spec_;
+  Bytes input_;
+  Rng rng_;
+
+  Step step_ = Step::kSendInput;
+  ShamirShare my_share_;
+  Bytes my_nonce_;
+  std::vector<Bytes> share_hashes_;  // commitment of every party's share
+};
+
+std::vector<std::unique_ptr<sim::IParty>> make_half_gmw_parties(
+    const mpc::SfeSpec& spec, const std::vector<Bytes>& inputs, Rng& rng);
+
+/// Hash binding a share to its dealing: H("half-gmw-share" ‖ nonce ‖ share).
+Bytes half_gmw_share_hash(ByteView nonce, const ShamirShare& share);
+
+/// Wire format of the broadcast (share, nonce) pair.
+Bytes encode_share_broadcast(const ShamirShare& share, ByteView nonce);
+std::optional<std::pair<ShamirShare, Bytes>> decode_share_broadcast(ByteView payload);
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,178 @@
+#include "fair/gradual.h"
+
+namespace fairsfe::fair {
+
+using sim::Message;
+
+namespace {
+constexpr std::uint8_t kTagCommitVec = 80;
+constexpr std::uint8_t kTagBitOpen = 81;
+
+Bytes enc_commit_vec(const std::vector<Commitment>& cs) {
+  Writer w;
+  w.u8(kTagCommitVec).u32(static_cast<std::uint32_t>(cs.size()));
+  for (const Commitment& c : cs) w.blob(c.com);
+  return w.take();
+}
+
+std::optional<std::vector<Bytes>> dec_commit_vec(ByteView payload, std::size_t expect) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagCommitVec) return std::nullopt;
+  const auto count = r.u32();
+  if (!count || *count != expect) return std::nullopt;
+  std::vector<Bytes> out;
+  for (std::size_t i = 0; i < expect; ++i) {
+    const auto c = r.blob();
+    if (!c) return std::nullopt;
+    out.push_back(*c);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+Bytes enc_bit_open(std::size_t i, bool bit, ByteView opening) {
+  Writer w;
+  w.u8(kTagBitOpen).u32(static_cast<std::uint32_t>(i)).u8(bit ? 1 : 0).blob(opening);
+  return w.take();
+}
+
+struct BitOpen {
+  std::size_t index;
+  bool bit;
+  Bytes opening;
+};
+
+std::optional<BitOpen> dec_bit_open(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagBitOpen) return std::nullopt;
+  const auto i = r.u32();
+  const auto b = r.u8();
+  const auto o = r.blob();
+  if (!i || !b || !o || !r.at_end()) return std::nullopt;
+  return BitOpen{*i, *b != 0, *o};
+}
+}  // namespace
+
+GradualParty::GradualParty(sim::PartyId id, GradualConfig cfg, Bytes secret,
+                           Bytes peer_secret, Rng rng)
+    : PartyBase(id),
+      cfg_(cfg),
+      secret_(std::move(secret)),
+      peer_secret_(std::move(peer_secret)),
+      rng_(std::move(rng)) {}
+
+bool GradualParty::bit_of(const Bytes& s, std::size_t i) const {
+  const std::size_t byte = i / 8;
+  if (byte >= s.size()) return false;
+  return ((s[byte] >> (i % 8)) & 1) != 0;
+}
+
+std::vector<Message> GradualParty::open_bit(std::size_t i) {
+  const bool b = bit_of(secret_, i);
+  return {Message{id_, 1 - id_, enc_bit_open(i, b, my_commitments_[i].opening)}};
+}
+
+Bytes GradualParty::result() const {
+  return id_ == 0 ? secret_ + peer_secret_ : peer_secret_ + secret_;
+}
+
+void GradualParty::finalize() {
+  const std::size_t missing = cfg_.secret_bits - peer_bits_;
+  if (missing <= cfg_.budget_bits[static_cast<std::size_t>(id_)]) {
+    // Brute force the remaining bits against the binding commitments.
+    finish(result());
+  } else {
+    finish_bot();
+  }
+}
+
+std::vector<Message> GradualParty::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (step_) {
+    case Step::kSendCommitments: {
+      my_commitments_.reserve(cfg_.secret_bits);
+      for (std::size_t i = 0; i < cfg_.secret_bits; ++i) {
+        const Bytes bit{static_cast<std::uint8_t>(bit_of(secret_, i) ? 1 : 0)};
+        my_commitments_.push_back(commit(bit, rng_));
+      }
+      step_ = Step::kAwaitCommitments;
+      return {Message{id_, 1 - id_, enc_commit_vec(my_commitments_)}};
+    }
+    case Step::kAwaitCommitments: {
+      const Message* cm = first_from(in, 1 - id_);
+      const auto vec = cm ? dec_commit_vec(cm->payload, cfg_.secret_bits) : std::nullopt;
+      if (!vec) {
+        finish_bot();
+        return {};
+      }
+      peer_commitments_ = *vec;
+      step_ = Step::kExchange;
+      // p0 opens bit 0 first; p1 expects that opening next round. After p0's
+      // send, the next round is a gap (the peer is processing).
+      if (id_ == 0) {
+        my_turn_ = false;  // gap round follows my send
+        return open_bit(next_bit_++);
+      }
+      my_turn_ = true;  // an opening is due next round
+      return {};
+    }
+    case Step::kExchange: {
+      // Expect the peer's opening of bit `peer_bits_` whenever it is due.
+      const Message* om = first_from(in, 1 - id_);
+      if (om == nullptr && !my_turn_) {
+        // Gap round: my own opening is in flight; the reply is due next round.
+        my_turn_ = true;
+        return {};
+      }
+      if (om != nullptr) {
+        const auto open = dec_bit_open(om->payload);
+        const bool valid =
+            open && open->index == peer_bits_ && open->index < cfg_.secret_bits &&
+            commit_verify(peer_commitments_[open->index],
+                          Bytes{static_cast<std::uint8_t>(open->bit ? 1 : 0)},
+                          open->opening);
+        if (!valid) {
+          finalize();  // peer deviated: fall back on brute force or ⊥
+          return {};
+        }
+        ++peer_bits_;
+        if (peer_bits_ == cfg_.secret_bits && next_bit_ == cfg_.secret_bits) {
+          // Everything revealed; all openings verified against commitments.
+          finish(result());
+          return {};
+        }
+        // My reply: open my next bit; a gap round follows.
+        if (next_bit_ < cfg_.secret_bits) {
+          std::vector<Message> out = open_bit(next_bit_++);
+          if (peer_bits_ == cfg_.secret_bits && next_bit_ == cfg_.secret_bits) {
+            finish(result());
+          } else {
+            my_turn_ = false;
+          }
+          return out;
+        }
+        return {};
+      }
+      // The opening was due this round and did not arrive: the peer aborted.
+      finalize();
+      return {};
+    }
+  }
+  return {};
+}
+
+void GradualParty::on_abort() {
+  if (!done()) finalize();
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_gradual_parties(const GradualConfig& cfg,
+                                                               const Bytes& x0,
+                                                               const Bytes& x1, Rng& rng) {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.push_back(std::make_unique<GradualParty>(0, cfg, x0, x1, rng.fork("grad-p0")));
+  parties.push_back(std::make_unique<GradualParty>(1, cfg, x1, x0, rng.fork("grad-p1")));
+  return parties;
+}
+
+}  // namespace fairsfe::fair

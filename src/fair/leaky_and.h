@@ -1,0 +1,50 @@
+// Π̃ — the intuitively insecure protocol of Section 5 / Appendix C.5 that
+// separates 1/p-security from the paper's utility-based notion.
+//
+// Computing x1 ∧ x2:
+//   * the first message is a 0-bit from p2 to p1;
+//   * if p2 sent a 1-bit instead (only a corrupted p2 does), p1 tosses a
+//     biased coin C with Pr[C=1] = 1/4 and sends its *input* x1 to p2 when
+//     C = 1 (otherwise an empty message);
+//   * then both run the standard 1/4-secure protocol (GK with p = 4).
+//
+// Π̃ is provably 1/2-secure and fully private in the sense of [GK10]
+// (Lemma 27) yet leaks the honest input with probability 1/4 — it does not
+// realize F^{f,$}_sfe (Lemma 26). Experiment E11 measures the leak and the
+// distinguishing gap.
+#pragma once
+
+#include "fair/gk.h"
+
+namespace fairsfe::fair {
+
+class LeakyAndParty final : public sim::PartyBase<LeakyAndParty> {
+ public:
+  LeakyAndParty(sim::PartyId id, Bytes input, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  Bytes input_;
+  Rng rng_;
+  GkParty inner_;
+  bool preamble_done_ = false;
+  int calls_ = 0;
+};
+
+/// The preamble bit message (p2 -> p1) and the leak message (p1 -> p2).
+Bytes encode_preamble(std::uint8_t bit);
+std::optional<std::uint8_t> decode_preamble(ByteView payload);
+Bytes encode_leak(const std::optional<Bytes>& input);
+/// Returns the leaked input if the message carries one; an engaged optional
+/// holding std::nullopt-like empty marker is encoded as flag 0.
+std::optional<std::optional<Bytes>> decode_leak(ByteView payload);
+
+std::vector<std::unique_ptr<sim::IParty>> make_leaky_and_parties(const Bytes& x0,
+                                                                 const Bytes& x1, Rng& rng);
+
+/// The ShareGen functionality Π̃'s embedded GK protocol expects.
+std::unique_ptr<sim::IFunctionality> make_leaky_and_functionality(mpc::NotesPtr notes);
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,48 @@
+// Protocol bundles and the mixed protocol Π′ of Appendix B.1.
+//
+// `ProtocolInstance` packages a protocol's parties with the hybrid
+// functionality they expect — the unit the estimator's setup factories and
+// the benches construct.
+//
+// Π′ dispatches on the number of parties: for odd n it runs the fully fair
+// honest-majority protocol Π½GMW (whose per-t utilities meet the balance sum
+// exactly when n is odd), and for even n it runs ΠOptnSFE. Π′ is
+// utility-balanced for every n but *not* optimally fair (a ⌈n/2⌉-coalition
+// against the odd-n branch earns γ10 > ((n-1)γ10+γ11)/n) — one half of the
+// separation shown in Appendix B.1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fair/gmw_half.h"
+#include "fair/optnsfe.h"
+
+namespace fairsfe::fair {
+
+struct ProtocolInstance {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  std::unique_ptr<sim::IFunctionality> functionality;
+};
+
+/// ΠOptnSFE bundle (parties + PrivOutputFunc).
+ProtocolInstance make_optn_instance(const mpc::SfeSpec& spec,
+                                    const std::vector<Bytes>& inputs, Rng& rng,
+                                    mpc::NotesPtr notes = nullptr);
+
+/// Π½GMW bundle (parties + ShamirDealFunc).
+ProtocolInstance make_half_gmw_instance(const mpc::SfeSpec& spec,
+                                        const std::vector<Bytes>& inputs, Rng& rng,
+                                        mpc::NotesPtr notes = nullptr);
+
+/// Lemma 18 bundle (parties + PrivOutputFunc).
+ProtocolInstance make_lemma18_instance(const mpc::SfeSpec& spec,
+                                       const std::vector<Bytes>& inputs, Rng& rng,
+                                       mpc::NotesPtr notes = nullptr);
+
+/// Π′: Π½GMW for odd n, ΠOptnSFE for even n.
+ProtocolInstance make_mixed_instance(const mpc::SfeSpec& spec,
+                                     const std::vector<Bytes>& inputs, Rng& rng,
+                                     mpc::NotesPtr notes = nullptr);
+
+}  // namespace fairsfe::fair

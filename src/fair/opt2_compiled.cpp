@@ -1,0 +1,251 @@
+#include "fair/opt2_compiled.h"
+
+#include <cassert>
+
+namespace fairsfe::fair {
+
+using circuit::Gate;
+using circuit::GateType;
+using sim::Message;
+
+namespace {
+constexpr std::uint8_t kTagSummand = 21;
+constexpr int kOpeningDeadline = 5;
+
+Bytes enc_summand(const std::vector<bool>& bits) {
+  Writer w;
+  w.u8(kTagSummand).u32(static_cast<std::uint32_t>(bits.size()));
+  w.blob(circuit::bits_to_bytes(bits));
+  return w.take();
+}
+
+std::optional<std::vector<bool>> dec_summand(ByteView payload, std::size_t expect) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagSummand) return std::nullopt;
+  const auto count = r.u32();
+  const auto blob = r.blob();
+  if (!count || !blob || *count != expect || !r.at_end()) return std::nullopt;
+  return circuit::bytes_to_bits(*blob, expect);
+}
+
+bool is_inner_traffic(const Message& m) {
+  if (m.from == sim::kFunc) return true;
+  Reader r(m.payload);
+  const auto tag = r.u8();
+  return tag && *tag != kTagSummand;
+}
+}  // namespace
+
+mpc::YaoConfig make_opt2_fprime(const circuit::Circuit& base) {
+  assert(base.num_parties() == 2);
+  const std::size_t m = base.outputs().size();
+  const std::size_t w0 = base.input_width(0);
+  const std::size_t w1 = base.input_width(1);
+
+  std::vector<Gate> gates = base.gates();
+  std::vector<std::size_t> widths = {w0 + m + 1, w1 + 1};
+
+  auto push_input = [&gates](std::uint32_t party, std::size_t index) {
+    Gate g;
+    g.type = GateType::kInput;
+    g.party = party;
+    g.input_index = static_cast<std::uint32_t>(index);
+    gates.push_back(g);
+    return static_cast<circuit::Wire>(gates.size() - 1);
+  };
+  auto push_xor = [&gates](circuit::Wire a, circuit::Wire b) {
+    Gate g;
+    g.type = GateType::kXor;
+    g.a = a;
+    g.b = b;
+    gates.push_back(g);
+    return static_cast<circuit::Wire>(gates.size() - 1);
+  };
+
+  // p0 extra inputs: mask (m bits) then coin; p1 extra input: coin.
+  std::vector<circuit::Wire> mask;
+  mask.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) mask.push_back(push_input(0, w0 + i));
+  const circuit::Wire coin0 = push_input(0, w0 + m);
+  const circuit::Wire coin1 = push_input(1, w1);
+
+  std::vector<circuit::Wire> outputs;
+  outputs.reserve(m + 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    outputs.push_back(push_xor(base.outputs()[i], mask[i]));  // y_i ^ mask_i
+  }
+  outputs.push_back(push_xor(coin0, coin1));  // î
+
+  mpc::YaoConfig cfg;
+  cfg.circuit = std::make_shared<const circuit::Circuit>(2, std::move(gates),
+                                                         std::move(widths),
+                                                         std::move(outputs));
+  // p1 learns its (blinded) summand and î; p0 learns only î.
+  cfg.output_map[0] = {m};
+  cfg.output_map[1].resize(m + 1);
+  for (std::size_t i = 0; i <= m; ++i) cfg.output_map[1][i] = i;
+  return cfg;
+}
+
+Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
+                                     std::shared_ptr<const circuit::Circuit> base,
+                                     std::vector<bool> input, Rng rng)
+    : PartyBase(id), base_(std::move(base)), input_(std::move(input)),
+      rng_(std::move(rng)) {
+  assert(id == 0 || id == 1);
+  const mpc::YaoConfig cfg = make_opt2_fprime(*base_);
+  const std::size_t m = base_->outputs().size();
+  std::vector<bool> padded = input_;
+  if (id == 0) {
+    mask_.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) mask_.push_back(rng_.bit());
+    padded.insert(padded.end(), mask_.begin(), mask_.end());
+    padded.push_back(rng_.bit());  // coin0
+    inner_ = std::make_unique<mpc::YaoGarbler>(cfg, padded, rng_.fork("inner-yao"));
+  } else {
+    padded.push_back(rng_.bit());  // coin1
+    inner_ = std::make_unique<mpc::YaoEvaluator>(cfg, padded);
+  }
+}
+
+Opt2CompiledParty::Opt2CompiledParty(const Opt2CompiledParty& other)
+    : PartyBase(other),
+      base_(other.base_),
+      input_(other.input_),
+      rng_(other.rng_),
+      inner_(other.inner_->clone()),
+      mask_(other.mask_),
+      phase_(other.phase_),
+      i_hat_(other.i_hat_),
+      my_summand_(other.my_summand_),
+      wait_(other.wait_) {}
+
+void Opt2CompiledParty::finish_with_default() {
+  // Evaluate the base circuit on my input and the peer's default (all-zero)
+  // input.
+  std::vector<std::vector<bool>> xs = {
+      std::vector<bool>(base_->input_width(0), false),
+      std::vector<bool>(base_->input_width(1), false)};
+  xs[static_cast<std::size_t>(id_)] = input_;
+  finish(circuit::bits_to_bytes(base_->eval(xs)));
+}
+
+bool Opt2CompiledParty::absorb_inner_output() {
+  const auto out = inner_->output();
+  if (!out) return false;
+  const std::size_t m = base_->outputs().size();
+  if (id_ == 0) {
+    // Output = [î] (1 bit); my summand is the mask I chose.
+    const auto bits = circuit::bytes_to_bits(*out, 1);
+    i_hat_ = bits[0] ? 1 : 0;
+    my_summand_ = mask_;
+  } else {
+    // Output = [blinded y (m bits), î].
+    const auto bits = circuit::bytes_to_bits(*out, m + 1);
+    my_summand_.assign(bits.begin(), bits.begin() + static_cast<std::ptrdiff_t>(m));
+    i_hat_ = bits[m] ? 1 : 0;
+  }
+  return true;
+}
+
+std::vector<Message> Opt2CompiledParty::on_round(int round, const std::vector<Message>& in) {
+  std::vector<Message> inner_in;
+  std::vector<Message> wrapper_in;
+  for (const Message& m : in) {
+    (is_inner_traffic(m) ? inner_in : wrapper_in).push_back(m);
+  }
+
+  std::vector<Message> out;
+  if (phase_ == Phase::kInner) {
+    if (!inner_->done()) {
+      std::vector<Message> io = inner_->on_round(round, inner_in);
+      out.insert(out.end(), io.begin(), io.end());
+    }
+    if (inner_->done()) {
+      if (!absorb_inner_output()) {
+        // Phase 1 aborted: default-input local evaluation.
+        finish_with_default();
+        return out;
+      }
+      wait_ = 0;
+      if (i_hat_ == id_) {
+        phase_ = Phase::kAwaitOpening;
+      } else {
+        // I open first — but one round later, so both parties (whose inner
+        // protocols finish one round apart) are past phase 1.
+        phase_ = Phase::kOpen;
+      }
+    }
+    return out;
+  }
+
+  switch (phase_) {
+    case Phase::kInner:
+      return out;  // unreachable
+    case Phase::kOpen: {
+      phase_ = Phase::kAwaitFinal;
+      wait_ = 0;
+      out.push_back(Message{id_, 1 - id_, enc_summand(my_summand_)});
+      return out;
+    }
+    case Phase::kAwaitOpening: {
+      const std::size_t m = base_->outputs().size();
+      for (const Message& msg : wrapper_in) {
+        if (msg.from != 1 - id_) continue;
+        const auto peer = dec_summand(msg.payload, m);
+        if (!peer) continue;
+        std::vector<bool> y(m);
+        for (std::size_t i = 0; i < m; ++i) y[i] = my_summand_[i] != (*peer)[i];
+        finish(circuit::bits_to_bytes(y));
+        out.push_back(Message{id_, 1 - id_, enc_summand(my_summand_)});
+        return out;
+      }
+      if (++wait_ > kOpeningDeadline) finish_with_default();
+      return out;
+    }
+    case Phase::kAwaitFinal: {
+      const std::size_t m = base_->outputs().size();
+      for (const Message& msg : wrapper_in) {
+        if (msg.from != 1 - id_) continue;
+        const auto peer = dec_summand(msg.payload, m);
+        if (!peer) continue;
+        std::vector<bool> y(m);
+        for (std::size_t i = 0; i < m; ++i) y[i] = my_summand_[i] != (*peer)[i];
+        finish(circuit::bits_to_bytes(y));
+        return out;
+      }
+      if (++wait_ > kOpeningDeadline) finish_bot();  // the unfair abort
+      return out;
+    }
+  }
+  return out;
+}
+
+void Opt2CompiledParty::on_abort() {
+  if (done()) return;
+  switch (phase_) {
+    case Phase::kInner:
+    case Phase::kAwaitOpening:
+      finish_with_default();
+      return;
+    case Phase::kOpen:
+    case Phase::kAwaitFinal:
+      finish_bot();
+      return;
+  }
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
+    std::shared_ptr<const circuit::Circuit> base,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng) {
+  assert(inputs.size() == 2);
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.push_back(
+      std::make_unique<Opt2CompiledParty>(0, base, inputs[0], rng.fork("opt2c-p0")));
+  parties.push_back(
+      std::make_unique<Opt2CompiledParty>(1, base, inputs[1], rng.fork("opt2c-p1")));
+  return parties;
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,65 @@
+// ΠOpt2SFE compiled end-to-end: phase 1 instantiated with the Yao
+// garbled-circuit substrate instead of the ideal F^{f′,⊥} box.
+//
+// The f′ circuit extends the base circuit C for f with
+//   * an m-bit mask input for p0 (its XOR summand of y = C(x0, x1)),
+//   * one coin bit per party (î = coin0 ⊕ coin1),
+// and outputs [y ⊕ mask]  — visible to p1 only (its summand) — plus î,
+// visible to both. Phase 2 then opens the two summands towards p_î first,
+// exactly as in the hybrid ΠOpt2SFE (fair/opt2sfe.h): a phase-1 failure or a
+// first-opening failure falls back to the default-input local evaluation; a
+// failure of the closing opening is the unavoidable unfair abort.
+//
+// Difference from the hybrid version: the sharing is *unauthenticated* (MACs
+// inside a garbled circuit would be disproportionate); against the
+// honest-but-aborting adversaries of the paper's bounds this changes
+// nothing — deviations are detected as missing messages, never as forged
+// ones — and experiment E12 confirms the measured utility is identical to
+// the hybrid protocol's, which is the RPD composition claim in action.
+#pragma once
+
+#include "circuit/builder.h"
+#include "mpc/yao.h"
+
+namespace fairsfe::fair {
+
+/// Build the f′ circuit and Yao output visibility for a base 2-party circuit.
+mpc::YaoConfig make_opt2_fprime(const circuit::Circuit& base);
+
+class Opt2CompiledParty final : public sim::PartyBase<Opt2CompiledParty> {
+ public:
+  /// `base` is the circuit for f; `input` this party's packed input bits.
+  Opt2CompiledParty(sim::PartyId id, std::shared_ptr<const circuit::Circuit> base,
+                    std::vector<bool> input, Rng rng);
+
+  Opt2CompiledParty(const Opt2CompiledParty& other);
+  Opt2CompiledParty& operator=(const Opt2CompiledParty&) = delete;
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Phase { kInner, kOpen, kAwaitOpening, kAwaitFinal };
+
+  void finish_with_default();
+  /// Parse the inner Yao output into (my summand, î).
+  bool absorb_inner_output();
+
+  std::shared_ptr<const circuit::Circuit> base_;
+  std::vector<bool> input_;
+  Rng rng_;
+
+  std::unique_ptr<sim::IParty> inner_;
+  std::vector<bool> mask_;  // p0 only: its summand
+  Phase phase_ = Phase::kInner;
+  sim::PartyId i_hat_ = 0;
+  std::vector<bool> my_summand_;
+  int wait_ = 0;
+};
+
+/// Build both parties (p0 garbles). Run with an OtHub functionality.
+std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
+    std::shared_ptr<const circuit::Circuit> base,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng);
+
+}  // namespace fairsfe::fair

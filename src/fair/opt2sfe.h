@@ -1,0 +1,79 @@
+// ΠOpt2SFE — the optimally γ-fair two-party SFE protocol (paper Section 4.1).
+//
+// Phase 1 evaluates, via unfair SFE, the function f′ that outputs an
+// authenticated 2-of-2 sharing ⟨y⟩ of y = f(x1, x2) together with a uniform
+// index î ∈ {1, 2}. Here phase 1 is the hybrid functionality
+// `Opt2ShareFunc` (F^{f′,⊥}_sfe); the RPD composition theorem lets any
+// secure-with-abort protocol (e.g. the GMW substrate) replace it without
+// changing the utility — experiment E12 checks this empirically.
+//
+// Phase 2 reconstructs the sharing towards p_î first, then towards p_{¬î}:
+//   * if phase 1 aborts, the honest party substitutes the default input for
+//     its peer and computes f locally;
+//   * if the *first* reconstruction round fails, p_î does the same;
+//   * if the *second* round fails, p_{¬î} outputs ⊥ — this is the unfair
+//     abort the adversary can force with probability 1/2 (event E10),
+//     matching the tight bound (γ10 + γ11)/2 of Theorems 3 and 4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/auth_share.h"
+#include "crypto/rng.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+/// The f′ functionality: authenticated sharing of y plus the index î.
+/// Unfair (abort gate after corrupted outputs). Records "y" (blob) and
+/// "i_hat" into notes.
+class Opt2ShareFunc final : public sim::IFunctionality {
+ public:
+  explicit Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
+                                     const std::vector<sim::Message>& in) override;
+
+ private:
+  mpc::SfeSpec spec_;
+  mpc::NotesPtr notes_;
+  bool fired_ = false;
+};
+
+class Opt2Party final : public sim::PartyBase<Opt2Party> {
+ public:
+  Opt2Party(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Step {
+    kSendInput,
+    kAwaitShare,     // waiting for f′ output (share, î)
+    kAwaitOpening,   // î == me: peer opens towards me first
+    kIdleOneRound,   // î == peer: my opening is out; peer's reply is 2 rounds away
+    kAwaitFinal,     // î == peer: expect the closing opening now
+  };
+
+  [[nodiscard]] sim::PartyId peer() const { return 1 - id_; }
+  /// Local fallback: f on my input and the peer's default input.
+  void finish_with_default();
+
+  mpc::SfeSpec spec_;
+  Bytes input_;
+  Rng rng_;
+
+  Step step_ = Step::kSendInput;
+  AuthShare2 share_;
+  sim::PartyId i_hat_ = 0;
+};
+
+/// Build the two ΠOpt2SFE parties plus the matching f′ hybrid functionality.
+std::vector<std::unique_ptr<sim::IParty>> make_opt2_parties(const mpc::SfeSpec& spec,
+                                                            const Bytes& x0, const Bytes& x1,
+                                                            Rng& rng);
+
+}  // namespace fairsfe::fair

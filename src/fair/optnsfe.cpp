@@ -1,0 +1,190 @@
+#include "fair/optnsfe.h"
+
+namespace fairsfe::fair {
+
+using sim::Message;
+
+namespace {
+constexpr std::uint8_t kTagAnnounce = 30;
+}  // namespace
+
+Bytes encode_announcement(const std::optional<std::pair<Bytes, Bytes>>& value) {
+  Writer w;
+  w.u8(kTagAnnounce);
+  if (value) {
+    w.u8(1).blob(value->first).blob(value->second);
+  } else {
+    w.u8(0);
+  }
+  return w.take();
+}
+
+std::optional<std::pair<Bytes, Bytes>> decode_announcement(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != kTagAnnounce) return std::nullopt;
+  const auto flag = r.u8();
+  if (!flag || *flag == 0) return std::nullopt;
+  const auto y = r.blob();
+  const auto sig = r.blob();
+  if (!y || !sig || !r.at_end()) return std::nullopt;
+  return std::make_pair(*y, *sig);
+}
+
+std::optional<PrivOutput> decode_priv_output(ByteView body) {
+  Reader r(body);
+  const auto flag = r.u8();
+  if (!flag) return std::nullopt;
+  PrivOutput out;
+  out.has_value = (*flag != 0);
+  if (out.has_value) {
+    const auto y = r.blob();
+    const auto sig = r.blob();
+    if (!y || !sig) return std::nullopt;
+    out.y = *y;
+    out.sig = *sig;
+  }
+  const auto vk = r.blob();
+  if (!vk || !r.at_end()) return std::nullopt;
+  out.vk = *vk;
+  return out;
+}
+
+PrivOutputFunc::PrivOutputFunc(mpc::SfeSpec spec, mpc::NotesPtr notes)
+    : spec_(std::move(spec)), notes_(std::move(notes)) {}
+
+std::vector<Message> PrivOutputFunc::on_round(sim::FuncContext& ctx, int /*round*/,
+                                              const std::vector<Message>& in) {
+  if (fired_ || in.empty()) return {};
+  fired_ = true;
+
+  std::vector<std::optional<Bytes>> inputs(spec_.n);
+  for (const Message& m : in) {
+    if (m.from < 0 || m.from >= static_cast<sim::PartyId>(spec_.n)) continue;
+    const auto x = sim::decode_func_input(m.payload);
+    if (x && !inputs[static_cast<std::size_t>(m.from)]) {
+      inputs[static_cast<std::size_t>(m.from)] = *x;
+    }
+  }
+
+  std::vector<Message> out;
+  bool complete = true;
+  for (const auto& x : inputs) {
+    if (!x) complete = false;
+  }
+  if (!complete) {
+    if (notes_) notes_->vals["phase1_aborted"] = 1;
+    for (std::size_t p = 0; p < spec_.n; ++p) {
+      out.push_back(Message{sim::kFunc, static_cast<sim::PartyId>(p),
+                            sim::encode_func_abort()});
+    }
+    return out;
+  }
+
+  std::vector<Bytes> xs(spec_.n);
+  for (std::size_t i = 0; i < spec_.n; ++i) xs[i] = *inputs[i];
+  const Bytes y = spec_.eval(xs);
+  const LamportKeyPair kp = lamport_gen(ctx.rng());
+  const Bytes sig = lamport_sign(kp.signing_key, y);
+  const std::size_t i_star = ctx.rng().below(spec_.n);
+  if (notes_) {
+    notes_->blobs["y"] = y;
+    notes_->vals["i_star"] = i_star;
+  }
+
+  std::vector<Message> deliveries;
+  for (std::size_t p = 0; p < spec_.n; ++p) {
+    Writer w;
+    if (p == i_star) {
+      w.u8(1).blob(y).blob(sig);
+    } else {
+      w.u8(0);
+    }
+    w.blob(kp.verification_key);
+    deliveries.push_back(Message{sim::kFunc, static_cast<sim::PartyId>(p),
+                                 sim::encode_func_output(w.bytes())});
+  }
+
+  std::vector<Message> corrupted_outputs;
+  for (const Message& m : deliveries) {
+    if (ctx.corrupted().count(m.to)) corrupted_outputs.push_back(m);
+  }
+  const bool abort = ctx.adversary_abort_gate(corrupted_outputs);
+  if (notes_) notes_->vals["phase1_aborted"] = abort ? 1 : 0;
+  for (Message& m : deliveries) {
+    if (abort && !ctx.corrupted().count(m.to)) m.payload = sim::encode_func_abort();
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+OptNParty::OptNParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng)
+    : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)), rng_(std::move(rng)) {}
+
+std::vector<Message> OptNParty::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (step_) {
+    case Step::kSendInput: {
+      step_ = Step::kAwaitFuncOutput;
+      return {Message{id_, sim::kFunc, sim::encode_func_input(input_)}};
+    }
+    case Step::kAwaitFuncOutput: {
+      const Message* fm = first_from(in, sim::kFunc);
+      if (fm == nullptr) return {};
+      const auto body = sim::decode_func_output(fm->payload);
+      const auto priv = body ? decode_priv_output(*body) : std::nullopt;
+      if (!priv) {
+        // Phase-1 abort: the whole protocol aborts (paper, App. B).
+        finish_bot();
+        return {};
+      }
+      vk_ = priv->vk;
+      if (priv->has_value && lamport_verify(vk_, priv->y, priv->sig)) {
+        my_value_ = std::make_pair(priv->y, priv->sig);
+      }
+      step_ = Step::kAwaitBroadcasts;
+      return {Message{id_, sim::kBroadcast, encode_announcement(my_value_)}};
+    }
+    case Step::kAwaitBroadcasts: {
+      if (my_value_) {
+        // p_{i*} broadcast a validly signed value itself and can adopt it
+        // regardless of what anyone else announced.
+        finish(my_value_->first);
+        return {};
+      }
+      for (const Message& m : in) {
+        const auto ann = decode_announcement(m.payload);
+        if (ann && lamport_verify(vk_, ann->first, ann->second)) {
+          finish(ann->first);
+          return {};
+        }
+      }
+      finish_bot();  // nobody announced a validly signed value
+      return {};
+    }
+  }
+  return {};
+}
+
+void OptNParty::on_abort() {
+  if (done()) return;
+  if (my_value_) {
+    // p_{i*} can always adopt its own value.
+    finish(my_value_->first);
+  } else {
+    finish_bot();
+  }
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_optn_parties(const mpc::SfeSpec& spec,
+                                                            const std::vector<Bytes>& inputs,
+                                                            Rng& rng) {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.reserve(inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    parties.push_back(std::make_unique<OptNParty>(static_cast<sim::PartyId>(p), spec,
+                                                  inputs[p], rng.fork("optn-party")));
+  }
+  return parties;
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,61 @@
+// fairsfe — utility-based fairness for secure function evaluation.
+//
+// Umbrella header for the public API. A reproduction of Garay, Katz,
+// Tackmann, Zikas: "How Fair is Your Protocol? A Utility-based Approach to
+// Protocol Optimality" (PODC 2015). See README.md for a tour and DESIGN.md
+// for the system inventory and experiment index.
+//
+// Layering (each header is usable on its own):
+//   crypto/    hashes, PRG, commitments, MACs, secret sharing, signatures
+//   circuit/   boolean circuit IR + builder + reference evaluator
+//   sim/       synchronous execution engine, adversary & functionality model
+//   mpc/       GMW (unfair SFE substrate), OT hub, ideal SFE functionalities
+//   rpd/       fairness events, payoff vectors Γfair, utility estimation,
+//              the fairness partial order, utility balance, corruption costs
+//   fair/      the paper's protocols: Π₁/Π₂, ΠOpt2SFE, ΠOptnSFE, Φ^Fsfe,
+//              Π½GMW, the Lemma 18 protocol, Π′, Gordon–Katz 1/p, Π̃
+//   adversary/ the constructive attack strategies from the proofs
+#pragma once
+
+#include "adversary/base.h"
+#include "adversary/gk_adversary.h"
+#include "adversary/lock_abort.h"
+#include "adversary/mixed.h"
+#include "adversary/strategies.h"
+#include "circuit/builder.h"
+#include "circuit/circuit.h"
+#include "crypto/auth_share.h"
+#include "crypto/bytes.h"
+#include "crypto/chacha20.h"
+#include "crypto/commitment.h"
+#include "crypto/field.h"
+#include "crypto/hmac.h"
+#include "crypto/lamport.h"
+#include "crypto/mac.h"
+#include "crypto/rng.h"
+#include "crypto/secret_sharing.h"
+#include "crypto/sha256.h"
+#include "crypto/shamir.h"
+#include "fair/contract.h"
+#include "fair/dummy_ideal.h"
+#include "fair/gk.h"
+#include "fair/gk_multi.h"
+#include "fair/gmw_half.h"
+#include "fair/gradual.h"
+#include "fair/leaky_and.h"
+#include "fair/lemma18.h"
+#include "fair/mixed.h"
+#include "fair/opt2_compiled.h"
+#include "fair/opt2sfe.h"
+#include "fair/optnsfe.h"
+#include "mpc/gmw.h"
+#include "mpc/ot.h"
+#include "mpc/sfe_functionalities.h"
+#include "mpc/yao.h"
+#include "rpd/balance.h"
+#include "rpd/cost.h"
+#include "rpd/estimator.h"
+#include "rpd/events.h"
+#include "rpd/fairness_relation.h"
+#include "rpd/payoff.h"
+#include "sim/engine.h"

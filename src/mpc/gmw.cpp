@@ -1,0 +1,336 @@
+#include "mpc/gmw.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpc/ot.h"
+
+namespace fairsfe::mpc {
+
+using circuit::Gate;
+using circuit::GateType;
+using sim::Message;
+
+GmwConfig GmwConfig::public_output(circuit::Circuit c) {
+  GmwConfig cfg{std::move(c), {}};
+  std::vector<std::size_t> all(cfg.circuit.outputs().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  cfg.output_map.assign(cfg.circuit.num_parties(), all);
+  return cfg;
+}
+
+std::vector<std::vector<std::size_t>> GmwConfig::and_layers() const {
+  const auto& gates = circuit.gates();
+  std::vector<std::size_t> depth(gates.size(), 0);
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst:
+        depth[i] = 0;
+        break;
+      case GateType::kNot:
+        depth[i] = depth[g.a];
+        break;
+      case GateType::kXor:
+        depth[i] = std::max(depth[g.a], depth[g.b]);
+        break;
+      case GateType::kAnd:
+        depth[i] = std::max(depth[g.a], depth[g.b]) + 1;
+        max_depth = std::max(max_depth, depth[i]);
+        break;
+    }
+  }
+  std::vector<std::vector<std::size_t>> layers(max_depth);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].type == GateType::kAnd) layers[depth[i] - 1].push_back(i);
+  }
+  return layers;
+}
+
+GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
+                   std::vector<bool> input, Rng rng)
+    : PartyBase(id), cfg_(std::move(cfg)), input_(std::move(input)), rng_(std::move(rng)) {
+  const auto& c = cfg_->circuit;
+  if (c.num_parties() < 2) throw std::invalid_argument("GMW needs >= 2 parties");
+  if (input_.size() != c.input_width(static_cast<std::size_t>(id))) {
+    throw std::invalid_argument("GmwParty: wrong input width");
+  }
+  layers_ = cfg_->and_layers();
+  known_.assign(c.num_wires(), 0);
+  share_.assign(c.num_wires(), 0);
+}
+
+namespace {
+// Unique OT label for (gate, sender, receiver).
+std::uint64_t ot_label(std::size_t gate, std::size_t sender, std::size_t receiver,
+                       std::size_t n) {
+  return (static_cast<std::uint64_t>(gate) * n + sender) * n + receiver;
+}
+}  // namespace
+
+std::vector<Message> GmwParty::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (phase_) {
+    case Phase::kSendInputShares: {
+      phase_ = Phase::kAwaitInputShares;
+      return send_input_shares();
+    }
+    case Phase::kAwaitInputShares: {
+      if (!absorb_input_shares(in)) {
+        finish_bot();
+        return {};
+      }
+      propagate();
+      if (layer_ < layers_.size()) {
+        phase_ = Phase::kOtRoundTrip;
+        ot_wait_ = 2;
+        return send_layer_ots();
+      }
+      phase_ = Phase::kAwaitOutputs;
+      return send_output_shares();
+    }
+    case Phase::kOtRoundTrip: {
+      if (--ot_wait_ > 0) return {};  // hub is pairing; nothing due yet
+      if (!absorb_ot_results(in)) {
+        finish_bot();
+        return {};
+      }
+      propagate();
+      ++layer_;
+      if (layer_ < layers_.size()) {
+        ot_wait_ = 2;
+        return send_layer_ots();
+      }
+      phase_ = Phase::kAwaitOutputs;
+      return send_output_shares();
+    }
+    case Phase::kAwaitOutputs: {
+      if (!absorb_output_shares(in)) finish_bot();
+      return {};
+    }
+  }
+  return {};
+}
+
+void GmwParty::on_abort() {
+  if (!done()) finish_bot();
+}
+
+std::vector<Message> GmwParty::send_input_shares() {
+  const auto& c = cfg_->circuit;
+  const std::size_t n = c.num_parties();
+  // shares[j][k] = party j's share of my k-th input bit.
+  std::vector<std::vector<bool>> shares(n, std::vector<bool>(input_.size()));
+  for (std::size_t k = 0; k < input_.size(); ++k) {
+    bool acc = input_[k];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == static_cast<std::size_t>(id_)) continue;
+      const bool r = rng_.bit();
+      shares[j][k] = r;
+      acc = acc != r;
+    }
+    shares[static_cast<std::size_t>(id_)][k] = acc;
+  }
+  // Record my own shares on my input wires.
+  {
+    std::size_t k = 0;
+    for (std::size_t w = 0; w < c.gates().size(); ++w) {
+      const Gate& g = c.gates()[w];
+      if (g.type == GateType::kInput && g.party == static_cast<std::uint32_t>(id_)) {
+        known_[w] = 1;
+        share_[w] = shares[static_cast<std::size_t>(id_)][g.input_index] ? 1 : 0;
+        ++k;
+      }
+    }
+    (void)k;
+  }
+  std::vector<Message> out;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == static_cast<std::size_t>(id_)) continue;
+    Writer w;
+    w.blob(circuit::bits_to_bytes(shares[j]));
+    w.u32(static_cast<std::uint32_t>(input_.size()));
+    out.push_back(Message{id_, static_cast<sim::PartyId>(j), w.take()});
+  }
+  return out;
+}
+
+bool GmwParty::absorb_input_shares(const std::vector<Message>& in) {
+  const auto& c = cfg_->circuit;
+  const std::size_t n = c.num_parties();
+  std::vector<std::vector<bool>> from(n);
+  for (const Message& m : in) {
+    if (m.from < 0 || m.from >= static_cast<sim::PartyId>(n)) continue;
+    Reader r(m.payload);
+    const auto blob = r.blob();
+    const auto count = r.u32();
+    if (!blob || !count || !r.at_end()) continue;
+    if (*count != c.input_width(static_cast<std::size_t>(m.from))) continue;
+    from[static_cast<std::size_t>(m.from)] = circuit::bytes_to_bits(*blob, *count);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == static_cast<std::size_t>(id_)) continue;
+    if (from[j].size() != c.input_width(j)) return false;  // missing/invalid
+  }
+  for (std::size_t w = 0; w < c.gates().size(); ++w) {
+    const Gate& g = c.gates()[w];
+    if (g.type != GateType::kInput) continue;
+    if (g.party == static_cast<std::uint32_t>(id_)) continue;  // already set
+    known_[w] = 1;
+    share_[w] = from[g.party][g.input_index] ? 1 : 0;
+  }
+  return true;
+}
+
+void GmwParty::propagate() {
+  const auto& gates = cfg_->circuit.gates();
+  for (std::size_t w = 0; w < gates.size(); ++w) {
+    if (known_[w]) continue;
+    const Gate& g = gates[w];
+    switch (g.type) {
+      case GateType::kConst:
+        // Only party 0 contributes the constant so the XOR over parties is it.
+        known_[w] = 1;
+        share_[w] = (id_ == 0 && g.const_value) ? 1 : 0;
+        break;
+      case GateType::kXor:
+        if (known_[g.a] && known_[g.b]) {
+          known_[w] = 1;
+          share_[w] = share_[g.a] ^ share_[g.b];
+        }
+        break;
+      case GateType::kNot:
+        if (known_[g.a]) {
+          known_[w] = 1;
+          // Negation flips exactly one party's share.
+          share_[w] = (id_ == 0) ? (share_[g.a] ^ 1) : share_[g.a];
+        }
+        break;
+      case GateType::kAnd: {
+        auto it = and_acc_.find(w);
+        if (it != and_acc_.end() && expected_ot_results_ == 0) {
+          known_[w] = 1;
+          share_[w] = it->second ? 1 : 0;
+          and_acc_.erase(it);
+        }
+        break;
+      }
+      case GateType::kInput:
+        break;
+    }
+  }
+}
+
+std::vector<Message> GmwParty::send_layer_ots() {
+  const std::size_t n = cfg_->circuit.num_parties();
+  const std::size_t me = static_cast<std::size_t>(id_);
+  const auto& gates = cfg_->circuit.gates();
+  std::vector<Message> out;
+  expected_ot_results_ = 0;
+  for (const std::size_t g : layers_[layer_]) {
+    const bool x = share_[gates[g].a] != 0;
+    const bool y = share_[gates[g].b] != 0;
+    bool acc = x && y;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == me) continue;
+      // As sender to j: offer (r, r ^ x); j selects with its y-share.
+      const bool r = rng_.bit();
+      acc = acc != r;
+      out.push_back(Message{id_, sim::kFunc,
+                            encode_ot_send(ot_label(g, me, j, n), r, r != x)});
+      // As receiver from j: choose with my y-share.
+      out.push_back(Message{id_, sim::kFunc,
+                            encode_ot_choose(ot_label(g, j, me, n), y)});
+      ++expected_ot_results_;
+    }
+    and_acc_[g] = acc;
+  }
+  return out;
+}
+
+bool GmwParty::absorb_ot_results(const std::vector<Message>& in) {
+  const std::size_t n = cfg_->circuit.num_parties();
+  const std::size_t me = static_cast<std::size_t>(id_);
+  std::size_t got = 0;
+  for (const Message& m : in) {
+    if (m.from != sim::kFunc) continue;
+    const auto res = decode_ot_result(m.payload);
+    if (!res) continue;
+    const std::size_t gate = static_cast<std::size_t>(res->label / (n * n));
+    const std::size_t recv = static_cast<std::size_t>(res->label % n);
+    if (recv != me) continue;
+    auto it = and_acc_.find(gate);
+    if (it == and_acc_.end()) continue;
+    it->second = it->second != res->value;
+    ++got;
+  }
+  if (got != expected_ot_results_) return false;
+  expected_ot_results_ = 0;
+  return true;
+}
+
+std::vector<Message> GmwParty::send_output_shares() {
+  const auto& c = cfg_->circuit;
+  const std::size_t n = c.num_parties();
+  std::vector<Message> out;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p == static_cast<std::size_t>(id_)) continue;
+    std::vector<bool> bits;
+    bits.reserve(cfg_->output_map[p].size());
+    for (const std::size_t oi : cfg_->output_map[p]) {
+      bits.push_back(share_[c.outputs()[oi]] != 0);
+    }
+    Writer w;
+    w.blob(circuit::bits_to_bytes(bits));
+    w.u32(static_cast<std::uint32_t>(bits.size()));
+    out.push_back(Message{id_, static_cast<sim::PartyId>(p), w.take()});
+  }
+  return out;
+}
+
+bool GmwParty::absorb_output_shares(const std::vector<Message>& in) {
+  const auto& c = cfg_->circuit;
+  const std::size_t n = c.num_parties();
+  const std::size_t me = static_cast<std::size_t>(id_);
+  const auto& my_outputs = cfg_->output_map[me];
+
+  std::vector<bool> acc(my_outputs.size());
+  for (std::size_t k = 0; k < my_outputs.size(); ++k) {
+    acc[k] = share_[c.outputs()[my_outputs[k]]] != 0;
+  }
+  std::vector<char> have(n, 0);
+  have[me] = 1;
+  for (const Message& m : in) {
+    if (m.from < 0 || m.from >= static_cast<sim::PartyId>(n)) continue;
+    if (have[static_cast<std::size_t>(m.from)]) continue;
+    Reader r(m.payload);
+    const auto blob = r.blob();
+    const auto count = r.u32();
+    if (!blob || !count || !r.at_end()) continue;
+    if (*count != my_outputs.size()) continue;
+    const auto bits = circuit::bytes_to_bits(*blob, *count);
+    for (std::size_t k = 0; k < acc.size(); ++k) acc[k] = acc[k] != bits[k];
+    have[static_cast<std::size_t>(m.from)] = 1;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!have[j]) return false;
+  }
+  finish(circuit::bits_to_bytes(acc));
+  return true;
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_gmw_parties(
+    std::shared_ptr<const GmwConfig> cfg, const std::vector<std::vector<bool>>& inputs,
+    Rng& rng) {
+  assert(inputs.size() == cfg->circuit.num_parties());
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.reserve(inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    parties.push_back(std::make_unique<GmwParty>(static_cast<sim::PartyId>(p), cfg,
+                                                 inputs[p], rng.fork("gmw-party")));
+  }
+  return parties;
+}
+
+}  // namespace fairsfe::mpc

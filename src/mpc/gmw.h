@@ -1,0 +1,89 @@
+// The GMW protocol (Goldreich–Micali–Wigderson '87) over boolean circuits,
+// in the OT-hybrid model — the paper's "unfair SFE" substrate ΠGMW.
+//
+// Each wire is XOR-shared among the n parties. XOR/NOT gates are local; each
+// AND layer is evaluated with one batch of pairwise OTs (cross terms
+// x_i·y_j); outputs are opened by exchanging output-wire shares according to
+// a per-party output map (supporting private outputs).
+//
+// Adversary model: this implementation provides passive security plus abort
+// (an aborting or deviating party causes honest parties to output ⊥, never a
+// wrong value for honest-but-aborting adversaries). That is exactly the
+// power the paper's lower-bound adversaries use — they run corrupted parties
+// honestly until aborting — and active security for the fairness phase is
+// modeled by the ideal-hybrid mode (see DESIGN.md §5). The protocol is
+// adaptively secure in this setting because channels are ideally private.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "circuit/circuit.h"
+#include "crypto/rng.h"
+#include "sim/party.h"
+
+namespace fairsfe::mpc {
+
+struct GmwConfig {
+  circuit::Circuit circuit;
+  /// output_map[p] lists the indices (into circuit.outputs()) that party p
+  /// learns. Use public_output() for the everyone-learns-everything case.
+  std::vector<std::vector<std::size_t>> output_map;
+
+  static GmwConfig public_output(circuit::Circuit c);
+
+  /// AND-layer schedule: layers[d] = gate indices with AND-depth d+1.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> and_layers() const;
+};
+
+class GmwParty final : public sim::PartyBase<GmwParty> {
+ public:
+  /// `input` must have cfg->circuit.input_width(id) bits.
+  GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
+           std::vector<bool> input, Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Phase {
+    kSendInputShares,
+    kAwaitInputShares,
+    kOtRoundTrip,   // OT requests in flight (2-round latency)
+    kAwaitOutputs,  // output shares in flight
+  };
+
+  std::vector<sim::Message> send_input_shares();
+  bool absorb_input_shares(const std::vector<sim::Message>& in);
+  /// Evaluate every gate whose operands are known (local gates + completed ANDs).
+  void propagate();
+  /// Emit OT traffic for AND layer `layer_`; empty if no layers remain.
+  std::vector<sim::Message> send_layer_ots();
+  bool absorb_ot_results(const std::vector<sim::Message>& in);
+  std::vector<sim::Message> send_output_shares();
+  bool absorb_output_shares(const std::vector<sim::Message>& in);
+
+  std::shared_ptr<const GmwConfig> cfg_;
+  std::vector<bool> input_;
+  Rng rng_;
+
+  Phase phase_ = Phase::kSendInputShares;
+  int ot_wait_ = 0;
+
+  std::vector<std::vector<std::size_t>> layers_;
+  std::size_t layer_ = 0;
+
+  // Per-wire share state.
+  std::vector<char> known_;
+  std::vector<char> share_;
+  // Partial AND accumulators (gate -> current XOR of local term + r_ij + o_ji).
+  std::map<std::size_t, bool> and_acc_;
+  std::size_t expected_ot_results_ = 0;
+};
+
+/// Build one GmwParty per party for the given inputs (inputs[p] = bit vector).
+std::vector<std::unique_ptr<sim::IParty>> make_gmw_parties(
+    std::shared_ptr<const GmwConfig> cfg, const std::vector<std::vector<bool>>& inputs,
+    Rng& rng);
+
+}  // namespace fairsfe::mpc

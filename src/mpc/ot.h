@@ -1,0 +1,62 @@
+// Ideal 1-out-of-2 bit oblivious transfer, as a hybrid functionality hub.
+//
+// GMW evaluates AND gates via pairwise OTs; the protocol is designed in the
+// OT-hybrid model (standard since GMW87). The hub multiplexes arbitrarily
+// many logical OT instances per round, keyed by a caller-chosen label:
+// the sender submits (label, m0, m1), the receiver submits (label, c), and
+// one round later the receiver gets (label, m_c). The sender learns nothing
+// about c; the receiver learns nothing about m_{1-c} — trivially true here
+// because the hub simply never emits them.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "sim/functionality.h"
+
+namespace fairsfe::mpc {
+
+/// Wire formats for bit-OT traffic (party -> kFunc and kFunc -> party).
+Bytes encode_ot_send(std::uint64_t label, bool m0, bool m1);
+Bytes encode_ot_choose(std::uint64_t label, bool c);
+Bytes encode_ot_result(std::uint64_t label, bool mc);
+
+struct OtResult {
+  std::uint64_t label = 0;
+  bool value = false;
+};
+/// Parse a kFunc->receiver OT result; nullopt if payload is something else.
+std::optional<OtResult> decode_ot_result(ByteView payload);
+
+/// String-OT variants (used by the Yao garbled-circuit substrate to transfer
+/// wire labels). Same pairing semantics, byte-string messages.
+Bytes encode_ot_send_str(std::uint64_t label, ByteView m0, ByteView m1);
+Bytes encode_ot_choose_str(std::uint64_t label, bool c);
+Bytes encode_ot_result_str(std::uint64_t label, ByteView mc);
+
+struct OtStrResult {
+  std::uint64_t label = 0;
+  Bytes value;
+};
+std::optional<OtStrResult> decode_ot_result_str(ByteView payload);
+
+/// The hub functionality. Pairs sender/receiver submissions by label; replies
+/// to the receiver next round. Unmatched submissions persist (a late
+/// counterpart still completes the transfer).
+class OtHub final : public sim::IFunctionality {
+ public:
+  std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
+                                     const std::vector<sim::Message>& in) override;
+
+ private:
+  struct Pending {
+    std::optional<std::pair<Bytes, Bytes>> messages;  // m0, m1 (1 byte for bit-OT)
+    std::optional<bool> choice;
+    sim::PartyId receiver = 0;
+    bool is_string = false;
+    bool delivered = false;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace fairsfe::mpc

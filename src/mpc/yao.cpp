@@ -1,0 +1,368 @@
+#include "mpc/yao.h"
+
+#include <cassert>
+
+#include "crypto/sha256.h"
+#include "mpc/ot.h"
+
+namespace fairsfe::mpc {
+
+using circuit::Gate;
+using circuit::GateType;
+using sim::Message;
+
+namespace {
+
+constexpr std::uint8_t kTagTables = 70;
+constexpr std::uint8_t kTagOutputLabels = 71;
+
+/// Select bit of a label (point-and-permute).
+inline bool select_bit(const Bytes& label) {
+  return (label[kYaoLabelSize - 1] & 1) != 0;
+}
+
+/// Encryption pad for one gate row, derived from the active input labels.
+Bytes row_pad(const Bytes& ka, const Bytes& kb, std::size_t gate, int row) {
+  Writer w;
+  w.blob(ka).blob(kb).u64(gate).u8(static_cast<std::uint8_t>(row));
+  Bytes h = sha256_labeled("yao-row", w.bytes());
+  h.resize(kYaoLabelSize);
+  return h;
+}
+
+Bytes unary_pad(const Bytes& ka, std::size_t gate, int row) {
+  return row_pad(ka, Bytes{}, gate, row);
+}
+
+bool eval_gate(GateType t, bool a, bool b) {
+  switch (t) {
+    case GateType::kXor: return a != b;
+    case GateType::kAnd: return a && b;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+YaoConfig YaoConfig::public_output(std::shared_ptr<const circuit::Circuit> circuit) {
+  YaoConfig cfg;
+  std::vector<std::size_t> all(circuit->outputs().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  cfg.output_map = {all, all};
+  cfg.circuit = std::move(circuit);
+  return cfg;
+}
+
+YaoGarbler::YaoGarbler(YaoConfig cfg, std::vector<bool> input, Rng rng)
+    : PartyBase(0), cfg_(std::move(cfg)), input_(std::move(input)), rng_(std::move(rng)) {
+  assert(cfg_.circuit->num_parties() == 2);
+  assert(input_.size() == cfg_.circuit->input_width(0));
+}
+
+YaoGarbler::YaoGarbler(std::shared_ptr<const circuit::Circuit> circuit,
+                       std::vector<bool> input, Rng rng)
+    : YaoGarbler(YaoConfig::public_output(std::move(circuit)), std::move(input),
+                 std::move(rng)) {}
+
+std::vector<Message> YaoGarbler::garble() {
+  const auto& gates = cfg_.circuit->gates();
+  labels_.resize(gates.size());
+  // Fresh labels with random select bits for every wire.
+  for (auto& pair : labels_) {
+    pair[0] = rng_.bytes(kYaoLabelSize);
+    pair[1] = rng_.bytes(kYaoLabelSize);
+    // Ensure complementary select bits.
+    pair[1][kYaoLabelSize - 1] =
+        static_cast<std::uint8_t>((pair[1][kYaoLabelSize - 1] & ~1) |
+                                  (select_bit(pair[0]) ? 0 : 1));
+  }
+
+  Writer blob;
+  blob.u8(kTagTables);
+  blob.u32(static_cast<std::uint32_t>(gates.size()));
+  std::vector<Message> out;
+
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    const Gate& gate = gates[g];
+    switch (gate.type) {
+      case GateType::kInput: {
+        if (gate.party == 0) {
+          // Garbler input: ship the active label directly.
+          blob.blob(labels_[g][input_[gate.input_index] ? 1 : 0]);
+        } else {
+          // Evaluator input: offer both labels via string-OT.
+          out.push_back(Message{id_, sim::kFunc,
+                                encode_ot_send_str(g, labels_[g][0], labels_[g][1])});
+        }
+        break;
+      }
+      case GateType::kConst:
+        blob.blob(labels_[g][gate.const_value ? 1 : 0]);
+        break;
+      case GateType::kNot: {
+        // Two rows indexed by the input label's select bit.
+        std::array<Bytes, 2> rows;
+        for (int va = 0; va <= 1; ++va) {
+          const Bytes& ka = labels_[gate.a][va];
+          rows[select_bit(ka) ? 1 : 0] =
+              xor_bytes(unary_pad(ka, g, select_bit(ka) ? 1 : 0), labels_[g][va ? 0 : 1]);
+        }
+        blob.blob(rows[0]).blob(rows[1]);
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kAnd: {
+        std::array<Bytes, 4> rows;
+        for (int va = 0; va <= 1; ++va) {
+          for (int vb = 0; vb <= 1; ++vb) {
+            const Bytes& ka = labels_[gate.a][va];
+            const Bytes& kb = labels_[gate.b][vb];
+            const int row = (select_bit(ka) ? 2 : 0) | (select_bit(kb) ? 1 : 0);
+            const bool v = eval_gate(gate.type, va != 0, vb != 0);
+            rows[row] = xor_bytes(row_pad(ka, kb, g, row), labels_[g][v ? 1 : 0]);
+          }
+        }
+        for (const Bytes& r : rows) blob.blob(r);
+        break;
+      }
+    }
+  }
+  // Output decode map: (output index, permute bit) for every output the
+  // evaluator is allowed to learn.
+  blob.u32(static_cast<std::uint32_t>(cfg_.output_map[1].size()));
+  for (const std::size_t oi : cfg_.output_map[1]) {
+    const auto w = cfg_.circuit->outputs()[oi];
+    blob.u32(static_cast<std::uint32_t>(oi));
+    blob.u8(select_bit(labels_[w][0]) ? 1 : 0);
+  }
+  out.push_back(Message{id_, 1, blob.take()});
+  return out;
+}
+
+std::vector<Message> YaoGarbler::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (step_) {
+    case Step::kGarble:
+      step_ = Step::kAwaitOutputLabels;
+      return garble();
+    case Step::kAwaitOutputLabels: {
+      for (const Message& m : in) {
+        if (m.from != 1) continue;
+        Reader r(m.payload);
+        if (r.u8() != std::optional<std::uint8_t>{kTagOutputLabels}) continue;
+        // Verify each claimed output label and decode (my visible outputs).
+        std::vector<bool> bits;
+        bool ok = true;
+        for (const std::size_t oi : cfg_.output_map[0]) {
+          const auto w = cfg_.circuit->outputs()[oi];
+          const auto label = r.blob();
+          if (!label) {
+            ok = false;
+            break;
+          }
+          if (*label == labels_[w][0]) {
+            bits.push_back(false);
+          } else if (*label == labels_[w][1]) {
+            bits.push_back(true);
+          } else {
+            ok = false;  // forged label
+            break;
+          }
+        }
+        if (ok && r.at_end()) {
+          finish(circuit::bits_to_bytes(bits));
+        } else {
+          finish_bot();
+        }
+        return {};
+      }
+      // The evaluator replies in engine round 2 (delivered round 3); anything
+      // later means it aborted.
+      if (++waited_ >= 3) finish_bot();
+      return {};
+    }
+  }
+  return {};
+}
+
+void YaoGarbler::on_abort() {
+  if (!done()) finish_bot();
+}
+
+YaoEvaluator::YaoEvaluator(YaoConfig cfg, std::vector<bool> input)
+    : PartyBase(1), cfg_(std::move(cfg)), input_(std::move(input)) {
+  assert(cfg_.circuit->num_parties() == 2);
+  assert(input_.size() == cfg_.circuit->input_width(1));
+}
+
+YaoEvaluator::YaoEvaluator(std::shared_ptr<const circuit::Circuit> circuit,
+                           std::vector<bool> input)
+    : YaoEvaluator(YaoConfig::public_output(std::move(circuit)), std::move(input)) {}
+
+std::vector<Message> YaoEvaluator::on_round(int /*round*/, const std::vector<Message>& in) {
+  switch (step_) {
+    case Step::kSendChoices: {
+      step_ = Step::kAwaitTables;
+      std::vector<Message> out;
+      const auto& gates = cfg_.circuit->gates();
+      for (std::size_t g = 0; g < gates.size(); ++g) {
+        if (gates[g].type == GateType::kInput && gates[g].party == 1) {
+          out.push_back(Message{id_, sim::kFunc,
+                                encode_ot_choose_str(g, input_[gates[g].input_index])});
+        }
+      }
+      return out;
+    }
+    case Step::kAwaitTables: {
+      const Message* tm = nullptr;
+      for (const Message& m : in) {
+        Reader r(m.payload);
+        if (m.from == 0 && r.u8() == std::optional<std::uint8_t>{kTagTables}) tm = &m;
+      }
+      if (tm == nullptr) {
+        finish_bot();
+        return {};
+      }
+      tables_ = tm->payload;
+      step_ = Step::kAwaitOtResults;
+      return {};
+    }
+    case Step::kAwaitOtResults: {
+      // Collect my input-wire labels from the hub.
+      std::map<std::size_t, Bytes> my_labels;
+      for (const Message& m : in) {
+        if (m.from != sim::kFunc) continue;
+        const auto res = decode_ot_result_str(m.payload);
+        if (res) my_labels[static_cast<std::size_t>(res->label)] = res->value;
+      }
+
+      const auto& gates = cfg_.circuit->gates();
+      Reader r(tables_);
+      r.u8();  // tag
+      const auto count = r.u32();
+      if (!count || *count != gates.size()) {
+        finish_bot();
+        return {};
+      }
+      std::vector<Bytes> active(gates.size());
+      bool ok = true;
+      for (std::size_t g = 0; g < gates.size() && ok; ++g) {
+        const Gate& gate = gates[g];
+        switch (gate.type) {
+          case GateType::kInput: {
+            if (gate.party == 0) {
+              const auto label = r.blob();
+              ok = label.has_value();
+              if (ok) active[g] = *label;
+            } else {
+              const auto it = my_labels.find(g);
+              ok = (it != my_labels.end() && it->second.size() == kYaoLabelSize);
+              if (ok) active[g] = it->second;
+            }
+            break;
+          }
+          case GateType::kConst: {
+            const auto label = r.blob();
+            ok = label.has_value();
+            if (ok) active[g] = *label;
+            break;
+          }
+          case GateType::kNot: {
+            std::array<Bytes, 2> rows;
+            for (auto& row : rows) {
+              const auto b = r.blob();
+              if (!b) {
+                ok = false;
+                break;
+              }
+              row = *b;
+            }
+            if (!ok) break;
+            const Bytes& ka = active[gate.a];
+            const int row = select_bit(ka) ? 1 : 0;
+            active[g] = xor_bytes(unary_pad(ka, g, row), rows[static_cast<std::size_t>(row)]);
+            break;
+          }
+          case GateType::kXor:
+          case GateType::kAnd: {
+            std::array<Bytes, 4> rows;
+            for (auto& row : rows) {
+              const auto b = r.blob();
+              if (!b) {
+                ok = false;
+                break;
+              }
+              row = *b;
+            }
+            if (!ok) break;
+            const Bytes& ka = active[gate.a];
+            const Bytes& kb = active[gate.b];
+            const int row = (select_bit(ka) ? 2 : 0) | (select_bit(kb) ? 1 : 0);
+            active[g] =
+                xor_bytes(row_pad(ka, kb, g, row), rows[static_cast<std::size_t>(row)]);
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        finish_bot();
+        return {};
+      }
+      // Decode my visible outputs from the permute bits; return the labels
+      // of the garbler's visible outputs as proof.
+      const auto out_count = r.u32();
+      if (!out_count || *out_count != cfg_.output_map[1].size()) {
+        finish_bot();
+        return {};
+      }
+      std::map<std::size_t, bool> perms;
+      for (std::size_t k = 0; k < *out_count; ++k) {
+        const auto oi = r.u32();
+        const auto perm = r.u8();
+        if (!oi || !perm) {
+          finish_bot();
+          return {};
+        }
+        perms[*oi] = (*perm != 0);
+      }
+      std::vector<bool> bits;
+      for (const std::size_t oi : cfg_.output_map[1]) {
+        const auto it = perms.find(oi);
+        if (it == perms.end()) {
+          finish_bot();
+          return {};
+        }
+        const auto w = cfg_.circuit->outputs()[oi];
+        bits.push_back(select_bit(active[w]) != it->second);
+      }
+      Writer proof;
+      proof.u8(kTagOutputLabels);
+      for (const std::size_t oi : cfg_.output_map[0]) {
+        proof.blob(active[cfg_.circuit->outputs()[oi]]);
+      }
+      finish(circuit::bits_to_bytes(bits));
+      return {Message{id_, 0, proof.take()}};
+    }
+  }
+  return {};
+}
+
+void YaoEvaluator::on_abort() {
+  if (!done()) finish_bot();
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
+    std::shared_ptr<const circuit::Circuit> circuit,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng) {
+  return make_yao_parties(YaoConfig::public_output(std::move(circuit)), inputs, rng);
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
+    const YaoConfig& cfg, const std::vector<std::vector<bool>>& inputs, Rng& rng) {
+  assert(inputs.size() == 2);
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.push_back(std::make_unique<YaoGarbler>(cfg, inputs[0], rng.fork("yao-garbler")));
+  parties.push_back(std::make_unique<YaoEvaluator>(cfg, inputs[1]));
+  return parties;
+}
+
+}  // namespace fairsfe::mpc

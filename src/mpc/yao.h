@@ -1,0 +1,90 @@
+// Yao's garbled-circuit protocol — the classical two-party unfair-SFE
+// substrate (Lindell–Pinkas, J. Cryptology 2009; the paper's reference [22]
+// for two-party SFE techniques).
+//
+// Party 0 (the garbler) assigns two random 16-byte labels per wire with
+// point-and-permute select bits, encrypts each gate's truth table under the
+// input labels (pads derived from SHA-256), and sends the tables, its own
+// input labels, and the output permute bits to party 1 (the evaluator). The
+// evaluator obtains labels for its own input bits via string-OT (the
+// OT-hybrid `OtHub`), decrypts gate by gate, decodes the outputs, and
+// returns the output *labels* to the garbler — a corrupted evaluator cannot
+// announce a wrong output without forging a label.
+//
+// Adversary model: passive + abort, matching the GMW substrate (see
+// mpc/gmw.h) — the power the paper's lower-bound adversaries need.
+// Round structure: 4 engine rounds (garble/choose, OT pairing, evaluate,
+// decode).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "circuit/circuit.h"
+#include "crypto/rng.h"
+#include "sim/party.h"
+
+namespace fairsfe::mpc {
+
+inline constexpr std::size_t kYaoLabelSize = 16;
+
+/// Per-party output visibility: output_map[p] lists indices into
+/// circuit.outputs() that party p learns. The garbler ships permute bits only
+/// for evaluator-visible outputs; the evaluator returns labels only for
+/// garbler-visible outputs (it cannot decode the rest without the permute
+/// bits — the labels alone are uniform).
+struct YaoConfig {
+  std::shared_ptr<const circuit::Circuit> circuit;
+  std::array<std::vector<std::size_t>, 2> output_map;
+
+  static YaoConfig public_output(std::shared_ptr<const circuit::Circuit> circuit);
+};
+
+class YaoGarbler final : public sim::PartyBase<YaoGarbler> {
+ public:
+  YaoGarbler(YaoConfig cfg, std::vector<bool> input, Rng rng);
+  YaoGarbler(std::shared_ptr<const circuit::Circuit> circuit, std::vector<bool> input,
+             Rng rng);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Step { kGarble, kAwaitOutputLabels };
+
+  std::vector<sim::Message> garble();
+
+  YaoConfig cfg_;
+  std::vector<bool> input_;
+  Rng rng_;
+  Step step_ = Step::kGarble;
+  int waited_ = 0;
+  /// labels_[w][b] = label of wire w carrying value b.
+  std::vector<std::array<Bytes, 2>> labels_;
+};
+
+class YaoEvaluator final : public sim::PartyBase<YaoEvaluator> {
+ public:
+  YaoEvaluator(YaoConfig cfg, std::vector<bool> input);
+  YaoEvaluator(std::shared_ptr<const circuit::Circuit> circuit, std::vector<bool> input);
+
+  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  void on_abort() override;
+
+ private:
+  enum class Step { kSendChoices, kAwaitTables, kAwaitOtResults };
+
+  YaoConfig cfg_;
+  std::vector<bool> input_;
+  Step step_ = Step::kSendChoices;
+  Bytes tables_;  // raw garbler blob, parsed during evaluation
+};
+
+/// Build the (garbler, evaluator) pair; run with an OtHub functionality.
+std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
+    std::shared_ptr<const circuit::Circuit> circuit,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng);
+std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
+    const YaoConfig& cfg, const std::vector<std::vector<bool>>& inputs, Rng& rng);
+
+}  // namespace fairsfe::mpc

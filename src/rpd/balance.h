@@ -1,0 +1,40 @@
+// Utility-balanced fairness (Definition 5) and φ-fairness (Definition 21).
+//
+// A protocol is utility-balanced γ-fair if the sum over t = 1..n-1 of the
+// best t-adversary's utility is (negligibly close to) minimal; Lemma 14/16
+// pin this minimum at (n-1)(γ10+γ11)/2 for ΠOptnSFE-style protocols.
+#pragma once
+
+#include <vector>
+
+#include "rpd/estimator.h"
+#include "rpd/fairness_relation.h"
+
+namespace fairsfe::rpd {
+
+/// Per-corruption-budget assessment: entry t-1 holds the best utility a
+/// t-adversary achieves (t = 1..n-1). This is the function φ of Def. 21.
+struct BalanceProfile {
+  std::size_t n = 0;
+  std::vector<AttackResult> best_per_t;  ///< index t-1
+
+  [[nodiscard]] double phi(std::size_t t) const {
+    return best_per_t[t - 1].estimate.utility;
+  }
+  [[nodiscard]] double sum() const;
+  /// Total 3-sigma margin on the sum.
+  [[nodiscard]] double sum_margin() const;
+};
+
+/// For each t in 1..n-1 run every strategy in `attacks_for_t(t)` and keep the
+/// best; `attacks_for_t` lets the caller tailor the family per budget.
+BalanceProfile balance_profile(
+    std::size_t n,
+    const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
+    const PayoffVector& payoff, std::size_t runs, std::uint64_t seed);
+
+/// Definition 5 check, one-sided: does the profile sum stay within the
+/// Lemma 14 optimum (n-1)(γ10+γ11)/2 up to its statistical margin?
+bool is_utility_balanced(const BalanceProfile& profile, const PayoffVector& payoff);
+
+}  // namespace fairsfe::rpd

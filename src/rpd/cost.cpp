@@ -1,0 +1,39 @@
+#include "rpd/cost.h"
+
+namespace fairsfe::rpd {
+
+double ideal_payoff(const PayoffVector& payoff, std::size_t t, std::size_t n) {
+  if (t == 0) return payoff.g01;
+  if (t >= n) return payoff.g11;
+  // Against the fully fair Fsfe the adversary chooses between aborting before
+  // outputs (γ00) and letting the evaluation complete (γ11); for Γ+fair the
+  // latter is at least as good.
+  return std::max(payoff.g00, payoff.g11);
+}
+
+CostFunction cost_from_profile(const BalanceProfile& profile, const PayoffVector& payoff) {
+  CostFunction cost;
+  cost.c.reserve(profile.best_per_t.size());
+  for (std::size_t t = 1; t <= profile.best_per_t.size(); ++t) {
+    cost.c.push_back(profile.phi(t) - ideal_payoff(payoff, t, profile.n));
+  }
+  return cost;
+}
+
+bool weakly_dominates(const CostFunction& a, const CostFunction& b, double tol) {
+  if (a.c.size() != b.c.size()) return false;
+  for (std::size_t i = 0; i < a.c.size(); ++i) {
+    if (a.c[i] < b.c[i] - tol) return false;
+  }
+  return true;
+}
+
+bool strictly_dominates(const CostFunction& a, const CostFunction& b, double tol) {
+  if (a.c.size() != b.c.size()) return false;
+  for (std::size_t i = 0; i < a.c.size(); ++i) {
+    if (a.c[i] <= b.c[i] + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace fairsfe::rpd

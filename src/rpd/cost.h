@@ -1,0 +1,49 @@
+// Corruption costs and ideal γ^C-fairness (Section 4.2 / Appendix B.2).
+//
+// The payoff is extended with a cost -C(I) for corrupting set I; for
+// symmetric protocols C(I) = c(|I|). `s(t)` is the best payoff a
+// t-adversary extracts from the *dummy* Fsfe-hybrid protocol Φ (full
+// fairness): with γ ∈ Γ+fair that is γ11 for 1 ≤ t ≤ n-1 — the adversary's
+// best move against an ideally fair protocol is to let it complete.
+//
+// Lemma 22 links the notions: Π is φ-fair  ⟺  Π is ideally γ^C-fair with
+// c(t) = φ(t) - s(t). Theorem 6 then says a utility-balanced protocol's
+// cost function cannot be strictly dominated.
+#pragma once
+
+#include <vector>
+
+#include "rpd/balance.h"
+#include "rpd/payoff.h"
+
+namespace fairsfe::rpd {
+
+/// Symmetric corruption-cost function c : [n-1] -> R (index t-1 holds c(t)).
+struct CostFunction {
+  std::vector<double> c;
+
+  [[nodiscard]] double of(std::size_t t) const { return c[t - 1]; }
+  [[nodiscard]] std::size_t max_t() const { return c.size(); }
+};
+
+/// The ideal benchmark s(t): best t-adversary payoff against the dummy
+/// protocol Φ^Fsfe, for γ ∈ Γ+fair. (Equals γ11 for every 1 ≤ t ≤ n-1: the
+/// fully fair functionality either aborts before anyone learns anything —
+/// worth γ00 ≤ γ11 — or delivers to everyone.)
+double ideal_payoff(const PayoffVector& payoff, std::size_t t, std::size_t n);
+
+/// Lemma 22: the cost function under which a φ-fair protocol is ideally
+/// γ^C-fair, c(t) = φ(t) - s(t).
+CostFunction cost_from_profile(const BalanceProfile& profile, const PayoffVector& payoff);
+
+/// Definition 20: does `a` weakly dominate `b` (a(t) >= b(t) for all t)?
+bool weakly_dominates(const CostFunction& a, const CostFunction& b, double tol = 0.0);
+/// Strict domination: a(t) > b(t) for all t (beyond tolerance).
+bool strictly_dominates(const CostFunction& a, const CostFunction& b, double tol = 0.0);
+
+/// Utility net of corruption cost for a t-adversary with raw utility u.
+inline double net_utility(double u, const CostFunction& cost, std::size_t t) {
+  return u - cost.of(t);
+}
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,57 @@
+#include "rpd/estimator.h"
+
+#include <cmath>
+
+namespace fairsfe::rpd {
+
+sim::ExecutionResult execute(RunSetup setup, Rng rng) {
+  const std::size_t n = setup.parties.size();
+  sim::Engine engine(std::move(setup.parties), std::move(setup.functionality),
+                     std::move(setup.adversary), std::move(rng), setup.engine);
+  sim::ExecutionResult result = engine.run();
+  (void)n;
+  return result;
+}
+
+UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
+                                 std::size_t runs, std::uint64_t seed) {
+  UtilityEstimate est;
+  est.runs = runs;
+  Rng master(seed);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::array<std::size_t, 4> counts{};
+
+  for (std::size_t i = 0; i < runs; ++i) {
+    Rng run_rng = master.fork("run");
+    Rng setup_rng = run_rng.fork("setup");
+    RunSetup setup = factory(setup_rng);
+    const std::size_t n = setup.parties.size();
+    auto j_predicate = setup.honest_got_output;
+    auto i_predicate = setup.adversary_learned;
+    sim::ExecutionResult result = execute(std::move(setup), run_rng.fork("engine"));
+
+    const bool j_bit = j_predicate ? j_predicate(result) : all_honest_nonbot(result, n);
+    Outcome o = outcome_of(result, n, j_bit);
+    if (i_predicate) o.adversary_learned = i_predicate(result);
+    const FairnessEvent e = classify(o);
+    counts[static_cast<std::size_t>(e)]++;
+    const double pay = payoff.of(e);
+    sum += pay;
+    sum_sq += pay * pay;
+  }
+
+  const double mean = sum / static_cast<double>(runs);
+  est.utility = mean;
+  if (runs > 1) {
+    const double var =
+        (sum_sq - static_cast<double>(runs) * mean * mean) / static_cast<double>(runs - 1);
+    est.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(runs));
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    est.event_freq[k] = static_cast<double>(counts[k]) / static_cast<double>(runs);
+  }
+  return est;
+}
+
+}  // namespace fairsfe::rpd

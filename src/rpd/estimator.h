@@ -1,0 +1,63 @@
+// Monte-Carlo estimation of the attacker's utility u_A(Π, A).
+//
+// The paper defines u_A(Π, A) as the ideal-world expected payoff of the best
+// simulator for A under the least favorable environment. For the
+// constructive adversaries analysed in the paper (and implemented in
+// src/adversary), the simulator's event is determined by two observable
+// predicates of the real execution (see DESIGN.md §4); the estimator repeats
+// the execution with fresh randomness, classifies each run into E_ij, and
+// returns the empirical payoff with its standard error.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpd/events.h"
+#include "rpd/payoff.h"
+#include "sim/engine.h"
+
+namespace fairsfe::rpd {
+
+/// Everything needed to execute one protocol run and classify it.
+struct RunSetup {
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  std::unique_ptr<sim::IFunctionality> functionality;  // may be null
+  std::unique_ptr<sim::IAdversary> adversary;          // may be null
+  sim::EngineConfig engine;
+  /// j-bit of the event: did honest parties learn their (correct) output?
+  /// Defaults to all_honest_nonbot if unset. The factory captures the run's
+  /// inputs, so the predicate can check actual correctness.
+  std::function<bool(const sim::ExecutionResult&)> honest_got_output;
+  /// i-bit override: did the adversary learn the actual output? Defaults to
+  /// the adversary's own report. Experiments with ground truth (e.g. the GK
+  /// runs, where the attacker cannot tell a fake from the real value) compare
+  /// result.adversary_output against the recorded y instead.
+  std::function<bool(const sim::ExecutionResult&)> adversary_learned;
+};
+
+/// A factory producing a fresh RunSetup from per-run randomness.
+using SetupFactory = std::function<RunSetup(Rng&)>;
+
+struct UtilityEstimate {
+  double utility = 0.0;       ///< empirical mean payoff
+  double std_error = 0.0;     ///< standard error of the mean
+  std::array<double, 4> event_freq{};  ///< empirical Pr[E_ij], indexed by event
+  std::size_t runs = 0;
+
+  [[nodiscard]] double freq(FairnessEvent e) const {
+    return event_freq[static_cast<std::size_t>(e)];
+  }
+  /// Conservative high-probability half-width (3 standard errors).
+  [[nodiscard]] double margin() const { return 3.0 * std_error; }
+};
+
+/// Estimate u_A(Π, A) over `runs` independent executions seeded from `seed`.
+UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
+                                 std::size_t runs, std::uint64_t seed);
+
+/// Run a single execution from a setup (used by tests needing transcripts).
+sim::ExecutionResult execute(RunSetup setup, Rng rng);
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,43 @@
+#include "rpd/events.h"
+
+namespace fairsfe::rpd {
+
+std::string to_string(FairnessEvent e) {
+  switch (e) {
+    case FairnessEvent::kE00: return "E00";
+    case FairnessEvent::kE01: return "E01";
+    case FairnessEvent::kE10: return "E10";
+    case FairnessEvent::kE11: return "E11";
+  }
+  return "E??";
+}
+
+FairnessEvent classify(const Outcome& o) {
+  // Paper conventions: all parties corrupted => E11 (no one to be unfair to);
+  // no corruption at all falls out of the i=0 branch as E01.
+  if (o.all_corrupted) return FairnessEvent::kE11;
+  if (o.adversary_learned) {
+    return o.honest_got_output ? FairnessEvent::kE11 : FairnessEvent::kE10;
+  }
+  return o.honest_got_output ? FairnessEvent::kE01 : FairnessEvent::kE00;
+}
+
+Outcome outcome_of(const sim::ExecutionResult& r, std::size_t n, bool honest_got_output) {
+  Outcome o;
+  o.all_corrupted = (r.corrupted.size() == n);
+  o.any_honest = (r.corrupted.size() < n);
+  o.adversary_learned = r.adversary_learned;
+  o.honest_got_output = honest_got_output;
+  return o;
+}
+
+bool all_honest_nonbot(const sim::ExecutionResult& r, std::size_t n) {
+  for (std::size_t pid = 0; pid < n; ++pid) {
+    const auto id = static_cast<sim::PartyId>(pid);
+    if (r.corrupted.count(id)) continue;
+    if (!r.outputs[pid].has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,44 @@
+// The fairness events of the paper's Step 2 (Section 3).
+//
+// E_ij is indexed by i = "did the adversary learn (noticeable information
+// about) the corrupted parties' output?" and j = "did the honest parties
+// learn their output?". Two boundary conventions from the paper:
+//   * if no party is corrupted, the event is E01 (honest learn, adversary
+//     has nothing to learn);
+//   * if every party is corrupted, the event is E11 (no one to be unfair to).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sim/engine.h"
+
+namespace fairsfe::rpd {
+
+enum class FairnessEvent : int { kE00 = 0, kE01 = 1, kE10 = 2, kE11 = 3 };
+
+inline constexpr std::array<FairnessEvent, 4> kAllEvents = {
+    FairnessEvent::kE00, FairnessEvent::kE01, FairnessEvent::kE10, FairnessEvent::kE11};
+
+std::string to_string(FairnessEvent e);
+
+/// The observable predicates of one execution that determine the event.
+struct Outcome {
+  bool any_honest = true;         ///< at least one party stayed honest
+  bool all_corrupted = false;     ///< the adversary corrupted everyone
+  bool adversary_learned = false; ///< i-bit
+  bool honest_got_output = false; ///< j-bit
+};
+
+/// Map an execution outcome to its fairness event (paper Section 3, Step 2).
+FairnessEvent classify(const Outcome& o);
+
+/// Build the outcome of an engine execution. `honest_got_output` is supplied
+/// by the experiment (it knows the inputs, hence the correct value); the
+/// default predicate `all_honest_nonbot` is exported for the common case.
+Outcome outcome_of(const sim::ExecutionResult& r, std::size_t n, bool honest_got_output);
+
+/// Default j-bit: every honest party terminated with a non-⊥ output.
+bool all_honest_nonbot(const sim::ExecutionResult& r, std::size_t n);
+
+}  // namespace fairsfe::rpd

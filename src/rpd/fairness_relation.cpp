@@ -1,0 +1,29 @@
+#include "rpd/fairness_relation.h"
+
+namespace fairsfe::rpd {
+
+ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
+                                   const PayoffVector& payoff, std::size_t runs,
+                                   std::uint64_t seed) {
+  ProtocolAssessment out;
+  out.attacks.reserve(attacks.size());
+  std::uint64_t s = seed;
+  for (const NamedAttack& a : attacks) {
+    AttackResult r;
+    r.name = a.name;
+    r.estimate = estimate_utility(a.factory, payoff, runs, s++);
+    out.attacks.push_back(std::move(r));
+  }
+  for (std::size_t i = 1; i < out.attacks.size(); ++i) {
+    if (out.attacks[i].estimate.utility > out.attacks[out.best_index].estimate.utility) {
+      out.best_index = i;
+    }
+  }
+  return out;
+}
+
+bool at_least_as_fair(const ProtocolAssessment& a, const ProtocolAssessment& b) {
+  return a.best_utility() <= b.best_utility() + a.best_margin() + b.best_margin();
+}
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,47 @@
+// The relative-fairness partial order (Definition 1) and protocol assessment.
+//
+// Π ⪰γ Π′ ("Π is at least as γ-fair as Π′") iff
+//     sup_A u_A(Π, A)  ≤negl  sup_A u_A(Π′, A).
+// Operationally the supremum is taken over a finite family of named attack
+// strategies (which for the protocols studied here includes the provably
+// optimal attacker), estimated by Monte Carlo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpd/estimator.h"
+
+namespace fairsfe::rpd {
+
+/// A named attack strategy against a fixed protocol: the factory builds the
+/// full run (protocol parties + this adversary).
+struct NamedAttack {
+  std::string name;
+  SetupFactory factory;
+};
+
+struct AttackResult {
+  std::string name;
+  UtilityEstimate estimate;
+};
+
+/// Utility of the best attacker in the family: sup_A u_A(Π, A).
+struct ProtocolAssessment {
+  std::vector<AttackResult> attacks;  ///< one per strategy, input order
+  std::size_t best_index = 0;
+
+  [[nodiscard]] double best_utility() const { return attacks[best_index].estimate.utility; }
+  [[nodiscard]] const std::string& best_attack_name() const { return attacks[best_index].name; }
+  [[nodiscard]] double best_margin() const { return attacks[best_index].estimate.margin(); }
+};
+
+ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
+                                   const PayoffVector& payoff, std::size_t runs,
+                                   std::uint64_t seed);
+
+/// Definition 1, empirically: is `a` at least as fair as `b`? Statistical
+/// noise is absorbed by both margins (the analogue of the negligible slack).
+bool at_least_as_fair(const ProtocolAssessment& a, const ProtocolAssessment& b);
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,44 @@
+#include "rpd/payoff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fairsfe::rpd {
+
+double PayoffVector::of(FairnessEvent e) const {
+  switch (e) {
+    case FairnessEvent::kE00: return g00;
+    case FairnessEvent::kE01: return g01;
+    case FairnessEvent::kE10: return g10;
+    case FairnessEvent::kE11: return g11;
+  }
+  return 0.0;
+}
+
+bool PayoffVector::in_gamma_fair() const {
+  return g01 == 0.0 && g01 <= std::min(g00, g11) && std::max(g00, g11) < g10;
+}
+
+bool PayoffVector::in_gamma_fair_plus() const {
+  return in_gamma_fair() && g00 <= g11;
+}
+
+PayoffVector PayoffVector::normalized() const {
+  return PayoffVector{g00 - g01, 0.0, g10 - g01, g11 - g01};
+}
+
+std::string PayoffVector::to_string() const {
+  std::ostringstream os;
+  os << "(" << g00 << ", " << g01 << ", " << g10 << ", " << g11 << ")";
+  return os.str();
+}
+
+PayoffVector PayoffVector::standard() {
+  return PayoffVector{0.25, 0.0, 1.0, 0.5};
+}
+
+PayoffVector PayoffVector::partial_fairness() {
+  return PayoffVector{0.0, 0.0, 1.0, 0.0};
+}
+
+}  // namespace fairsfe::rpd

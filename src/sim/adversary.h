@@ -1,0 +1,105 @@
+// The adversary interface: rushing, adaptive, with full control of corrupted
+// parties.
+//
+// Timing (engine round r):
+//   1. honest parties consume round-(r-1) messages and emit round-r messages;
+//   2. the hybrid functionality does the same (with its unfair-abort gate);
+//   3. the adversary moves *last*: it sees both the normal deliveries for its
+//      corrupted parties (round r-1 traffic — what an honest party would
+//      consume now) and the *rushed* round-r traffic already addressed to
+//      them, then chooses the corrupted parties' round-r messages.
+// This is exactly the rushing model the paper's lower-bound adversaries
+// exploit ("receive all messages of round ℓ, then decide whether to abort
+// before sending p's ℓ-round messages").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "sim/message.h"
+#include "sim/party.h"
+
+namespace fairsfe::sim {
+
+/// What the adversary observes in one round.
+struct AdvView {
+  int round = 0;
+  /// Round r-1 messages addressed to corrupted parties (or broadcast): the
+  /// input an honestly-behaving corrupted party consumes this round.
+  std::vector<Message> delivered;
+  /// Round r messages addressed to corrupted parties (or broadcast), seen
+  /// early thanks to rushing.
+  std::vector<Message> rushed;
+};
+
+/// Engine-provided capabilities handed to the adversary.
+class AdvContext {
+ public:
+  virtual ~AdvContext() = default;
+
+  [[nodiscard]] virtual int n() const = 0;
+  [[nodiscard]] virtual int round() const = 0;
+  virtual Rng& rng() = 0;
+
+  [[nodiscard]] virtual const std::set<PartyId>& corrupted() const = 0;
+  [[nodiscard]] virtual bool is_corrupted(PartyId pid) const = 0;
+
+  /// Adaptively corrupt a party (idempotent). From this round on the engine
+  /// no longer runs the party; the adversary drives it via honest_step.
+  virtual void corrupt(PartyId pid) = 0;
+
+  /// Advance the *real* state of corrupted party `pid` by one honest round on
+  /// adversary-chosen input, returning the messages honest execution would
+  /// send. The adversary may forward, modify, or drop them.
+  virtual std::vector<Message> honest_step(PartyId pid, const std::vector<Message>& in) = 0;
+
+  /// Hypothetical continuation probe on corrupted party `pid`: clone its
+  /// current state, feed each batch in `batches` as one further round of
+  /// input, then finalize via on_abort() and return the clone's output.
+  /// The real state is untouched.
+  [[nodiscard]] virtual std::optional<Bytes> probe_output(
+      PartyId pid, const std::vector<std::vector<Message>>& batches) const = 0;
+
+  /// Direct access to a corrupted party's state.
+  virtual IParty& party(PartyId pid) = 0;
+};
+
+class IAdversary {
+ public:
+  virtual ~IAdversary() = default;
+
+  /// Called once before round 0; performs initial corruptions.
+  virtual void setup(AdvContext& ctx) = 0;
+
+  /// The rushing move: produce corrupted parties' round-r messages.
+  virtual std::vector<Message> on_round(AdvContext& ctx, const AdvView& view) = 0;
+
+  /// Unfair-functionality gate: the hybrid functionality has computed its
+  /// outputs and shows those addressed to corrupted parties; return true to
+  /// make it abort (honest parties then receive ⊥ from it). Mirrors the
+  /// F⊥sfe capability of asking for corrupted outputs and then aborting.
+  virtual bool abort_functionality(AdvContext& ctx,
+                                   const std::vector<Message>& corrupted_outputs) {
+    (void)ctx;
+    (void)corrupted_outputs;
+    return false;
+  }
+
+  /// Whether the attack strategy extracted the (actual) evaluation output.
+  /// Drives the i-index of the fairness event E_ij (see rpd/events.h).
+  [[nodiscard]] virtual bool learned_output() const = 0;
+
+  /// The output value the adversary extracted, if any (tests use this to
+  /// check it really is the actual output and not a guess).
+  [[nodiscard]] virtual std::optional<Bytes> extracted_output() const { return std::nullopt; }
+
+  /// Engine stop condition when *no* honest parties exist (all corrupted):
+  /// once true the execution ends.
+  [[nodiscard]] virtual bool finished() const { return false; }
+};
+
+}  // namespace fairsfe::sim

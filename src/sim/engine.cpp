@@ -1,0 +1,234 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fairsfe::sim {
+
+bool ExecutionResult::honest_output_present(PartyId pid) const {
+  if (corrupted.count(pid)) return false;
+  const auto idx = static_cast<std::size_t>(pid);
+  return idx < outputs.size() && outputs[idx].has_value();
+}
+
+// Shared context implementing both the adversary- and functionality-facing
+// capability interfaces against the engine state.
+class Engine::Ctx final : public AdvContext, public FuncContext {
+ public:
+  Ctx(Engine& e, Rng adv_rng, Rng func_rng)
+      : engine_(e), adv_rng_(std::move(adv_rng)), func_rng_(std::move(func_rng)) {}
+
+  // ---- common ----
+  [[nodiscard]] int n() const override {
+    return static_cast<int>(engine_.parties_.size());
+  }
+  [[nodiscard]] int round() const override { return round_; }
+
+  // ---- AdvContext ----
+  Rng& rng() override { return adv_rng_; }
+
+  [[nodiscard]] const std::set<PartyId>& corrupted() const override { return corrupted_; }
+  [[nodiscard]] bool is_corrupted(PartyId pid) const override {
+    return corrupted_.count(pid) > 0;
+  }
+
+  void corrupt(PartyId pid) override {
+    if (pid < 0 || pid >= n()) throw std::invalid_argument("corrupt: bad pid");
+    corrupted_.insert(pid);
+  }
+
+  std::vector<Message> honest_step(PartyId pid, const std::vector<Message>& in) override {
+    require_corrupted(pid);
+    IParty& p = *engine_.parties_[static_cast<std::size_t>(pid)];
+    if (p.done()) return {};
+    return p.on_round(round_, in);
+  }
+
+  [[nodiscard]] std::optional<Bytes> probe_output(
+      PartyId pid, const std::vector<std::vector<Message>>& batches) const override {
+    require_corrupted(pid);
+    const IParty& p = *engine_.parties_[static_cast<std::size_t>(pid)];
+    std::unique_ptr<IParty> ghost = p.clone();
+    int r = round_;
+    for (const auto& batch : batches) {
+      if (ghost->done()) break;
+      ghost->on_round(r++, batch);
+    }
+    if (!ghost->done()) ghost->on_abort();
+    return ghost->output();
+  }
+
+  IParty& party(PartyId pid) override {
+    require_corrupted(pid);
+    return *engine_.parties_[static_cast<std::size_t>(pid)];
+  }
+
+  // ---- FuncContext ----
+  bool adversary_abort_gate(const std::vector<Message>& outputs_to_corrupted) override {
+    if (!engine_.adversary_) return false;
+    return engine_.adversary_->abort_functionality(*this, outputs_to_corrupted);
+  }
+
+  Rng& func_rng() { return func_rng_; }
+  void set_round(int r) { round_ = r; }
+
+ private:
+  void require_corrupted(PartyId pid) const {
+    if (!is_corrupted(pid)) {
+      throw std::logic_error("adversary touched an uncorrupted party");
+    }
+  }
+
+  Engine& engine_;
+  Rng adv_rng_;
+  Rng func_rng_;
+  std::set<PartyId> corrupted_;
+  int round_ = 0;
+};
+
+namespace {
+
+// FuncContext wrapper that swaps in the functionality's rng.
+class FuncCtxView final : public FuncContext {
+ public:
+  explicit FuncCtxView(Engine::Ctx& inner) : inner_(inner) {}
+  [[nodiscard]] int n() const override { return inner_.n(); }
+  Rng& rng() override { return inner_.func_rng(); }
+  [[nodiscard]] const std::set<PartyId>& corrupted() const override {
+    return inner_.corrupted();
+  }
+  bool adversary_abort_gate(const std::vector<Message>& outs) override {
+    return inner_.adversary_abort_gate(outs);
+  }
+
+ private:
+  Engine::Ctx& inner_;
+};
+
+std::vector<Message> visible_to_adversary(const std::vector<Message>& msgs,
+                                          const std::set<PartyId>& corrupted) {
+  std::vector<Message> out;
+  for (const Message& m : msgs) {
+    if (m.to == kBroadcast || (m.to >= 0 && corrupted.count(m.to))) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(std::vector<std::unique_ptr<IParty>> parties,
+               std::unique_ptr<IFunctionality> functionality,
+               std::unique_ptr<IAdversary> adversary, Rng rng, EngineConfig cfg)
+    : parties_(std::move(parties)),
+      functionality_(std::move(functionality)),
+      adversary_(std::move(adversary)),
+      rng_(std::move(rng)),
+      cfg_(cfg) {
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    assert(parties_[i] && parties_[i]->id() == static_cast<PartyId>(i));
+  }
+  ctx_ = std::make_unique<Ctx>(*this, rng_.fork("adversary"), rng_.fork("functionality"));
+}
+
+Engine::~Engine() = default;
+
+ExecutionResult Engine::run() {
+  ExecutionResult result;
+  const int n = static_cast<int>(parties_.size());
+
+  if (adversary_) adversary_->setup(*ctx_);
+
+  FuncCtxView func_ctx(*ctx_);
+  std::vector<Message> prev_sends;
+  int r = 0;
+  for (; r < cfg_.max_rounds; ++r) {
+    ctx_->set_round(r);
+    std::vector<Message> sends;
+
+    // 1. Honest parties move.
+    for (PartyId pid = 0; pid < n; ++pid) {
+      if (ctx_->is_corrupted(pid)) continue;
+      IParty& p = *parties_[static_cast<std::size_t>(pid)];
+      if (p.done()) continue;
+      std::vector<Message> out = p.on_round(r, addressed_to(prev_sends, pid));
+      for (Message& m : out) {
+        m.from = pid;  // authenticated channels: sender identity is bound
+        sends.push_back(std::move(m));
+      }
+    }
+
+    // 2. Hybrid functionality moves (sees last round's kFunc traffic).
+    if (functionality_) {
+      std::vector<Message> func_in;
+      for (const Message& m : prev_sends) {
+        if (m.to == kFunc) func_in.push_back(m);
+      }
+      std::vector<Message> out = functionality_->on_round(func_ctx, r, func_in);
+      for (Message& m : out) {
+        m.from = kFunc;
+        sends.push_back(std::move(m));
+      }
+    }
+
+    // 3. Adversary moves last (rushing).
+    if (adversary_) {
+      AdvView view;
+      view.round = r;
+      view.delivered = visible_to_adversary(prev_sends, ctx_->corrupted());
+      view.rushed = visible_to_adversary(sends, ctx_->corrupted());
+      std::vector<Message> out = adversary_->on_round(*ctx_, view);
+      for (Message& m : out) {
+        // Channel authenticity: adversary may only speak for corrupted parties.
+        if (!ctx_->is_corrupted(m.from)) continue;
+        sends.push_back(std::move(m));
+      }
+    }
+
+    if (cfg_.record_transcript) {
+      std::vector<std::string> lines;
+      lines.reserve(sends.size());
+      for (const Message& m : sends) lines.push_back(describe(m));
+      result.transcript.push_back(std::move(lines));
+    }
+
+    prev_sends = std::move(sends);
+
+    // Termination: all honest parties done, or (if none) adversary finished.
+    bool honest_exists = false;
+    bool all_honest_done = true;
+    for (PartyId pid = 0; pid < n; ++pid) {
+      if (ctx_->is_corrupted(pid)) continue;
+      honest_exists = true;
+      if (!parties_[static_cast<std::size_t>(pid)]->done()) all_honest_done = false;
+    }
+    if (honest_exists ? all_honest_done : (!adversary_ || adversary_->finished())) {
+      ++r;
+      break;
+    }
+  }
+
+  result.rounds = r;
+  result.hit_round_cap = (r >= cfg_.max_rounds);
+
+  // Finalize any party still running (round cap / corrupted leftovers).
+  result.outputs.resize(static_cast<std::size_t>(n));
+  for (PartyId pid = 0; pid < n; ++pid) {
+    IParty& p = *parties_[static_cast<std::size_t>(pid)];
+    if (!ctx_->is_corrupted(pid) && !p.done()) p.on_abort();
+    result.outputs[static_cast<std::size_t>(pid)] = p.done() ? p.output() : std::nullopt;
+  }
+  result.corrupted = ctx_->corrupted();
+  if (adversary_) {
+    result.adversary_learned = adversary_->learned_output();
+    result.adversary_output = adversary_->extracted_output();
+  }
+  return result;
+}
+
+ExecutionResult run_honest(std::vector<std::unique_ptr<IParty>> parties, Rng rng,
+                           EngineConfig cfg) {
+  Engine engine(std::move(parties), nullptr, nullptr, std::move(rng), cfg);
+  return engine.run();
+}
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,78 @@
+// Synchronous protocol-execution engine.
+//
+// Drives one execution of a protocol (a vector of party state machines, an
+// optional hybrid functionality, and an optional adversary) through rounds
+// until every honest party has terminated. The engine enforces the channel
+// model: point-to-point messages are private; broadcast reaches everyone;
+// the adversary may only originate traffic from corrupted parties; rushing
+// and adaptive corruption follow the ordering documented in sim/adversary.h.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "sim/adversary.h"
+#include "sim/functionality.h"
+#include "sim/message.h"
+#include "sim/party.h"
+
+namespace fairsfe::sim {
+
+struct EngineConfig {
+  int max_rounds = 512;
+  bool record_transcript = false;
+};
+
+struct ExecutionResult {
+  /// Per-party output; std::nullopt = ⊥ (abort). Index = PartyId.
+  std::vector<std::optional<Bytes>> outputs;
+  std::set<PartyId> corrupted;
+  /// The adversary strategy's own report of having extracted the output.
+  bool adversary_learned = false;
+  std::optional<Bytes> adversary_output;
+  int rounds = 0;
+  bool hit_round_cap = false;
+  /// Per-round message log (only if record_transcript).
+  std::vector<std::vector<std::string>> transcript;
+
+  /// True iff party pid was honest at the end and output a value (non-⊥).
+  [[nodiscard]] bool honest_output_present(PartyId pid) const;
+};
+
+class Engine {
+ public:
+  /// parties[i] must have id() == i. `functionality` and `adversary` may be
+  /// null (no hybrid / all parties honest).
+  Engine(std::vector<std::unique_ptr<IParty>> parties,
+         std::unique_ptr<IFunctionality> functionality,
+         std::unique_ptr<IAdversary> adversary, Rng rng, EngineConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run to completion. Must be called at most once.
+  ExecutionResult run();
+
+  class Ctx;  // shared AdvContext/FuncContext implementation (internal)
+
+ private:
+
+  std::vector<std::unique_ptr<IParty>> parties_;
+  std::unique_ptr<IFunctionality> functionality_;
+  std::unique_ptr<IAdversary> adversary_;
+  Rng rng_;
+  EngineConfig cfg_;
+  std::unique_ptr<Ctx> ctx_;
+};
+
+/// Convenience: run a protocol with no adversary and no hybrid slot.
+ExecutionResult run_honest(std::vector<std::unique_ptr<IParty>> parties, Rng rng,
+                           EngineConfig cfg = {});
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,47 @@
+#include "sim/functionality.h"
+
+namespace fairsfe::sim {
+
+Bytes encode_func_input(ByteView input) {
+  Writer w;
+  w.u8(functag::kInput).blob(input);
+  return w.take();
+}
+
+std::optional<Bytes> decode_func_input(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != functag::kInput) return std::nullopt;
+  const auto body = r.blob();
+  if (!body || !r.at_end()) return std::nullopt;
+  return body;
+}
+
+Bytes encode_func_output(ByteView output) {
+  Writer w;
+  w.u8(functag::kOutput).blob(output);
+  return w.take();
+}
+
+Bytes encode_func_abort() {
+  Writer w;
+  w.u8(functag::kAbort);
+  return w.take();
+}
+
+std::optional<Bytes> decode_func_output(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  if (!tag || *tag != functag::kOutput) return std::nullopt;
+  const auto body = r.blob();
+  if (!body || !r.at_end()) return std::nullopt;
+  return body;
+}
+
+bool is_func_abort(ByteView payload) {
+  Reader r(payload);
+  const auto tag = r.u8();
+  return tag && *tag == functag::kAbort && r.at_end();
+}
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,36 @@
+#include "sim/message.h"
+
+#include <sstream>
+
+namespace fairsfe::sim {
+
+std::vector<Message> addressed_to(const std::vector<Message>& msgs, PartyId pid) {
+  std::vector<Message> out;
+  for (const Message& m : msgs) {
+    if (m.to == pid || m.to == kBroadcast) out.push_back(m);
+  }
+  return out;
+}
+
+const Message* first_from(const std::vector<Message>& msgs, PartyId from) {
+  for (const Message& m : msgs) {
+    if (m.from == from) return &m;
+  }
+  return nullptr;
+}
+
+std::string describe(const Message& m) {
+  std::ostringstream os;
+  os << m.from << " -> ";
+  if (m.to == kBroadcast) {
+    os << "broadcast";
+  } else if (m.to == kFunc) {
+    os << "F";
+  } else {
+    os << m.to;
+  }
+  os << " (" << m.payload.size() << " bytes)";
+  return os.str();
+}
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,40 @@
+// Messages of the synchronous execution model.
+//
+// Point-to-point channels are *secure* (private and authenticated): only the
+// addressee observes a message, and the engine enforces that the adversary
+// can only originate messages from corrupted parties. `kBroadcast` is the
+// standard authenticated broadcast channel the paper assumes for the
+// multi-party protocols (App. B): delivered to every party, visible to the
+// adversary the moment it is sent. `kFunc` addresses the hybrid ideal
+// functionality slot, if one is installed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+
+namespace fairsfe::sim {
+
+using PartyId = int;
+
+inline constexpr PartyId kBroadcast = -1;  ///< to: every party
+inline constexpr PartyId kFunc = -2;       ///< to/from: the hybrid functionality
+
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  Bytes payload;
+};
+
+/// Filter helper: all messages in `msgs` addressed to `pid` (including
+/// broadcasts, which every party receives).
+std::vector<Message> addressed_to(const std::vector<Message>& msgs, PartyId pid);
+
+/// Filter helper: the first message from `from` in `msgs`, if any.
+const Message* first_from(const std::vector<Message>& msgs, PartyId from);
+
+/// Render a message for transcript logs.
+std::string describe(const Message& m);
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,125 @@
+// Tests for the boolean circuit IR, builder combinators, and bit packing.
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+
+namespace fairsfe::circuit {
+namespace {
+
+TEST(Bits, RoundTrip) {
+  const Bytes data = {0xa5, 0x3c};
+  const auto bits = bytes_to_bits(data, 16);
+  EXPECT_EQ(bits_to_bytes(bits), data);
+  EXPECT_EQ(bits_to_u64(u64_to_bits(0x123456789abcdef0ULL, 64)), 0x123456789abcdef0ULL);
+}
+
+TEST(Bits, PartialWidths) {
+  const auto bits = u64_to_bits(0b1011, 4);
+  EXPECT_EQ(bits, (std::vector<bool>{true, true, false, true}));
+  EXPECT_EQ(bits_to_u64(bits), 0b1011u);
+}
+
+TEST(Builder, GatePrimitivesTruthTables) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      Builder bld(2);
+      const Word x = bld.input(0, 1);
+      const Word y = bld.input(1, 1);
+      bld.output({bld.xor_gate(x[0], y[0]), bld.and_gate(x[0], y[0]),
+                  bld.or_gate(x[0], y[0]), bld.not_gate(x[0]),
+                  bld.mux(x[0], y[0], bld.constant(false))});
+      const Circuit c = bld.build();
+      const auto out = c.eval({{a != 0}, {b != 0}});
+      EXPECT_EQ(out[0], (a ^ b) != 0);
+      EXPECT_EQ(out[1], (a & b) != 0);
+      EXPECT_EQ(out[2], (a | b) != 0);
+      EXPECT_EQ(out[3], a == 0);
+      EXPECT_EQ(out[4], a ? (b != 0) : false);  // mux(sel=a, y, 0)
+    }
+  }
+}
+
+TEST(Builder, AdderExhaustive4Bit) {
+  Builder bld(2);
+  const Word x = bld.input(0, 4);
+  const Word y = bld.input(1, 4);
+  bld.output(bld.add(x, y));
+  const Circuit c = bld.build();
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const auto out = c.eval({u64_to_bits(a, 4), u64_to_bits(b, 4)});
+      EXPECT_EQ(bits_to_u64(out), (a + b) % 16) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Builder, ComparatorExhaustive4Bit) {
+  Builder bld(2);
+  const Word x = bld.input(0, 4);
+  const Word y = bld.input(1, 4);
+  bld.output({bld.gt(x, y), bld.eq(x, y)});
+  const Circuit c = bld.build();
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const auto out = c.eval({u64_to_bits(a, 4), u64_to_bits(b, 4)});
+      EXPECT_EQ(out[0], a > b);
+      EXPECT_EQ(out[1], a == b);
+    }
+  }
+}
+
+TEST(Builder, MuxWordSelects) {
+  Builder bld(1);
+  const Word s = bld.input(0, 1);
+  const Word a = bld.constant_word(0b1010, 4);
+  const Word b = bld.constant_word(0b0101, 4);
+  bld.output(bld.mux_word(s[0], a, b));
+  const Circuit c = bld.build();
+  EXPECT_EQ(bits_to_u64(c.eval({{true}})), 0b1010u);
+  EXPECT_EQ(bits_to_u64(c.eval({{false}})), 0b0101u);
+}
+
+TEST(PrebuiltCircuits, Swap) {
+  const Circuit c = make_swap_circuit(8);
+  const auto out = c.eval({u64_to_bits(0x12, 8), u64_to_bits(0x34, 8)});
+  // Output is x2 then x1.
+  EXPECT_EQ(bits_to_u64({out.begin(), out.begin() + 8}), 0x34u);
+  EXPECT_EQ(bits_to_u64({out.begin() + 8, out.end()}), 0x12u);
+  EXPECT_EQ(c.and_count(), 0u);
+}
+
+TEST(PrebuiltCircuits, And) {
+  const Circuit c = make_and_circuit();
+  EXPECT_EQ(c.eval({{true}, {true}}), std::vector<bool>{true});
+  EXPECT_EQ(c.eval({{true}, {false}}), std::vector<bool>{false});
+  EXPECT_EQ(c.and_count(), 1u);
+}
+
+TEST(PrebuiltCircuits, Millionaires) {
+  const Circuit c = make_millionaires_circuit(16);
+  EXPECT_EQ(c.eval({u64_to_bits(1000, 16), u64_to_bits(999, 16)}), std::vector<bool>{true});
+  EXPECT_EQ(c.eval({u64_to_bits(999, 16), u64_to_bits(1000, 16)}), std::vector<bool>{false});
+  EXPECT_EQ(c.eval({u64_to_bits(5, 16), u64_to_bits(5, 16)}), std::vector<bool>{false});
+}
+
+TEST(PrebuiltCircuits, Concat) {
+  const Circuit c = make_concat_circuit(3, 4);
+  const auto out = c.eval({u64_to_bits(0x1, 4), u64_to_bits(0x2, 4), u64_to_bits(0x3, 4)});
+  EXPECT_EQ(bits_to_u64(out), 0x321u);  // little-endian word order: p1 lowest
+}
+
+TEST(PrebuiltCircuits, MaxOfFour) {
+  const Circuit c = make_max_circuit(4, 8);
+  const auto out =
+      c.eval({u64_to_bits(10, 8), u64_to_bits(200, 8), u64_to_bits(77, 8), u64_to_bits(3, 8)});
+  EXPECT_EQ(bits_to_u64(out), 200u);
+}
+
+TEST(Circuit, EvalRejectsBadArity) {
+  const Circuit c = make_and_circuit();
+  EXPECT_THROW(c.eval({{true}}), std::invalid_argument);
+  EXPECT_THROW(c.eval({{true, false}, {true}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fairsfe::circuit

@@ -1,0 +1,136 @@
+// Known-answer and property tests for SHA-256, HMAC-SHA256, and ChaCha20.
+#include <gtest/gtest.h>
+
+#include "crypto/bytes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace fairsfe {
+namespace {
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(to_hex(sha256(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(to_hex(sha256(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(to_hex(sha256(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(msg).subspan(0, split));
+    h.update(ByteView(msg).subspan(split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, LengthBoundaryPadding) {
+  // Exercise message lengths around the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x41);
+    Sha256 a;
+    for (std::size_t i = 0; i < len; ++i) a.update(ByteView(&msg[i], 1));
+    EXPECT_EQ(a.finish(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, LabeledHashDomainSeparation) {
+  const Bytes d = bytes_of("data");
+  EXPECT_NE(sha256_labeled("a", d), sha256_labeled("b", d));
+  EXPECT_NE(sha256_labeled("a", d), sha256(d));
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(bytes_of("Jefe"),
+                               bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  const Bytes key = bytes_of("k");
+  const Bytes msg = bytes_of("m");
+  Bytes tag = hmac_sha256(key, msg);
+  EXPECT_TRUE(hmac_verify(key, msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, msg, tag));
+  EXPECT_FALSE(hmac_verify(key, bytes_of("m2"), hmac_sha256(key, msg)));
+}
+
+TEST(ChaCha20, Rfc8439KeystreamVector) {
+  // RFC 8439 §2.4.2 test vector: key = 00..1f, nonce = 000000000000004a00000000,
+  // counter = 1.
+  Bytes key(32);
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  Bytes nonce = *from_hex("000000000000004a00000000");
+  ChaCha20 c(key, nonce, 1);
+  const Bytes ks = c.keystream(64);
+  EXPECT_EQ(to_hex(ByteView(ks).subspan(0, 16)), "224f51f3401bd9e12fde276fb8631ded");
+}
+
+TEST(ChaCha20, ProcessIsInvolution) {
+  const Bytes key(32, 7);
+  const Bytes nonce(12, 9);
+  const Bytes msg = bytes_of("attack at dawn");
+  ChaCha20 enc(key, nonce);
+  ChaCha20 dec(key, nonce);
+  EXPECT_EQ(dec.process(enc.process(msg)), msg);
+}
+
+TEST(ChaCha20, DifferentKeysDiffer) {
+  const Bytes k1(32, 1), k2(32, 2), nonce(12, 0);
+  EXPECT_NE(ChaCha20(k1, nonce).keystream(32), ChaCha20(k2, nonce).keystream(32));
+}
+
+TEST(ChaCha20, ChunkedKeystreamMatches) {
+  const Bytes key(32, 5), nonce(12, 6);
+  ChaCha20 a(key, nonce);
+  ChaCha20 b(key, nonce);
+  Bytes chunked;
+  for (std::size_t n : {1u, 7u, 64u, 13u, 128u, 3u}) {
+    const Bytes part = a.keystream(n);
+    chunked.insert(chunked.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(chunked, b.keystream(chunked.size()));
+}
+
+}  // namespace
+}  // namespace fairsfe

@@ -1,0 +1,178 @@
+// Robustness property tests: every wire-format decoder must reject random
+// garbage and truncations gracefully (return nullopt/false, never crash or
+// mis-parse), and protocol parties must survive adversarial junk messages.
+#include <gtest/gtest.h>
+
+#include "crypto/auth_share.h"
+#include "crypto/shamir.h"
+#include "fair/gk.h"
+#include "fair/gmw_half.h"
+#include "fair/leaky_and.h"
+#include "fair/lemma18.h"
+#include "fair/opt2sfe.h"
+#include "fair/optnsfe.h"
+#include "mpc/ot.h"
+#include "rpd/estimator.h"
+#include "experiments/setups.h"
+
+namespace fairsfe {
+namespace {
+
+// Feed `fuzz_rounds` random byte strings into every decoder.
+class DecoderFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzzTest, AllDecodersRejectGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Bytes junk = rng.bytes(rng.below(64));
+    // None of these may crash; most must reject. (A random payload can start
+    // with a valid tag byte by chance, so we only require no-crash plus
+    // self-consistency checks below.)
+    (void)sim::decode_func_input(junk);
+    (void)sim::decode_func_output(junk);
+    (void)sim::is_func_abort(junk);
+    (void)mpc::decode_ot_result(junk);
+    (void)mpc::decode_ot_result_str(junk);
+    (void)AuthShare2::from_bytes(junk);
+    (void)ShamirShare::from_bytes(junk);
+    (void)MacKey::from_bytes(junk);
+    (void)fp_from_bytes(junk);
+    (void)fair::decode_announcement(junk);
+    (void)fair::decode_priv_output(junk);
+    (void)fair::decode_share_broadcast(junk);
+    (void)fair::decode_flag(junk);
+    (void)fair::decode_gk_opening(junk);
+    (void)fair::decode_preamble(junk);
+    (void)fair::decode_leak(junk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(DecoderRobustness, TruncationsOfValidMessagesRejected) {
+  Rng rng(9);
+  // Build one valid instance of each frame and check every strict prefix is
+  // rejected by its decoder (the formats are self-delimiting and all
+  // decoders demand exact framing).
+  struct Frame {
+    Bytes data;
+    std::function<bool(ByteView)> decodes;
+  };
+  const AuthSharing2 sh = auth_share2(bytes_of("secret"), rng);
+  const std::vector<Frame> frames = {
+      {sim::encode_func_input(bytes_of("payload")),
+       [](ByteView b) { return sim::decode_func_input(b).has_value(); }},
+      {sim::encode_func_output(bytes_of("payload")),
+       [](ByteView b) { return sim::decode_func_output(b).has_value(); }},
+      {mpc::encode_ot_result_str(7, bytes_of("cccc")),
+       [](ByteView b) { return mpc::decode_ot_result_str(b).has_value(); }},
+      {sh.share1.to_bytes(),
+       [](ByteView b) { return AuthShare2::from_bytes(b).has_value(); }},
+      {fair::encode_announcement(std::make_pair(bytes_of("y"), bytes_of("s"))),
+       [](ByteView b) { return fair::decode_announcement(b).has_value(); }},
+      {fair::encode_gk_opening(3, bytes_of("opening")),
+       [](ByteView b) { return fair::decode_gk_opening(b).has_value(); }},
+  };
+  for (const Frame& f : frames) {
+    ASSERT_TRUE(f.decodes(f.data));  // the full frame parses
+    for (std::size_t cut = 0; cut < f.data.size(); ++cut) {
+      EXPECT_FALSE(f.decodes(ByteView(f.data).subspan(0, cut)))
+          << "prefix of length " << cut << " parsed";
+    }
+  }
+}
+
+// Adversary that sprays random junk point-to-point and to the functionality
+// every round while the honest parties run a protocol: honest outcome must
+// be a *sound* one (correct output, default-eval output, or ⊥) — never a
+// wrong value, never a crash, never a stall past the round cap.
+class JunkSprayer final : public sim::IAdversary {
+ public:
+  explicit JunkSprayer(std::uint64_t seed) : rng_(seed) {}
+
+  void setup(sim::AdvContext& ctx) override { ctx.corrupt(0); }
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override {
+    std::vector<sim::Message> out = ctx.honest_step(0, addressed_to(view.delivered, 0));
+    for (int i = 0; i < 3; ++i) {
+      const sim::PartyId to =
+          (i == 0) ? sim::kFunc : static_cast<sim::PartyId>(1 + rng_.below(
+                                      static_cast<std::uint64_t>(ctx.n() - 1)));
+      out.push_back(sim::Message{0, to, rng_.bytes(rng_.below(48))});
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool learned_output() const override { return false; }
+
+ private:
+  Rng rng_;
+};
+
+TEST(JunkResilience, Opt2SfeSurvivesSprayedGarbage) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    const mpc::SfeSpec spec = experiments::two_party_spec();
+    const auto xs = experiments::random_inputs(2, rng);
+    auto parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 20;
+    sim::Engine e(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec),
+                  std::make_unique<JunkSprayer>(seed), rng.fork("engine"), cfg);
+    auto r = e.run();
+    EXPECT_FALSE(r.hit_round_cap) << "seed " << seed;
+    // Honest p1 ends with the real output, the default evaluation, or ⊥.
+    if (r.outputs[1].has_value()) {
+      const Bytes actual = xs[0] + xs[1];
+      const Bytes with_default = spec.eval({spec.default_inputs[0], xs[1]});
+      EXPECT_TRUE(*r.outputs[1] == actual || *r.outputs[1] == with_default)
+          << "seed " << seed << ": wrong value accepted";
+    }
+  }
+}
+
+TEST(JunkResilience, OptNSfeSurvivesSprayedGarbage) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed + 50);
+    const std::size_t n = 4;
+    const mpc::SfeSpec spec = experiments::nparty_spec(n);
+    const auto xs = experiments::random_inputs(n, rng);
+    Bytes actual;
+    for (const auto& x : xs) actual = actual + x;
+    auto inst = fair::make_optn_instance(spec, xs, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 20;
+    sim::Engine e(std::move(inst.parties), std::move(inst.functionality),
+                  std::make_unique<JunkSprayer>(seed), rng.fork("engine"), cfg);
+    auto r = e.run();
+    EXPECT_FALSE(r.hit_round_cap);
+    for (std::size_t p = 1; p < n; ++p) {
+      if (r.outputs[p].has_value()) {
+        EXPECT_EQ(*r.outputs[p], actual) << "forged value accepted by p" << p;
+      }
+    }
+  }
+}
+
+TEST(JunkResilience, GkSurvivesSprayedGarbage) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 90);
+    const fair::GkParams params = fair::make_gk_and_params(2);
+    auto notes = std::make_shared<mpc::Notes>();
+    auto parties = fair::make_gk_parties(params, Bytes{1}, Bytes{1}, rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = static_cast<int>(2 * params.cap() + 10);
+    sim::Engine e(std::move(parties), std::make_unique<fair::ShareGenFunc>(params, notes),
+                  std::make_unique<JunkSprayer>(seed), rng.fork("engine"), cfg);
+    auto r = e.run();
+    EXPECT_FALSE(r.hit_round_cap);
+    // Honest p2 ends with SOME byte value (the randomized-abort guarantee
+    // permits a fake, but never a crash or a malformed output).
+    ASSERT_TRUE(r.outputs[1].has_value());
+    EXPECT_EQ(r.outputs[1]->size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fairsfe
