@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_contract_fairness.dir/exp01_contract_fairness.cpp.o"
+  "CMakeFiles/exp01_contract_fairness.dir/exp01_contract_fairness.cpp.o.d"
+  "exp01_contract_fairness"
+  "exp01_contract_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_contract_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp01_contract_fairness.
+# This may be replaced when dependencies are built.

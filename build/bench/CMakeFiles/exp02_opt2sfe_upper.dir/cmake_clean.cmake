@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_opt2sfe_upper.dir/exp02_opt2sfe_upper.cpp.o"
+  "CMakeFiles/exp02_opt2sfe_upper.dir/exp02_opt2sfe_upper.cpp.o.d"
+  "exp02_opt2sfe_upper"
+  "exp02_opt2sfe_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_opt2sfe_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

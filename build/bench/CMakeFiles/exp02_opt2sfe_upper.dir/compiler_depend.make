@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp02_opt2sfe_upper.
+# This may be replaced when dependencies are built.

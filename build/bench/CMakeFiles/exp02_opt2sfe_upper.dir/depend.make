@@ -1,0 +1,2 @@
+# Empty dependencies file for exp02_opt2sfe_upper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_swap_lower.dir/exp03_swap_lower.cpp.o"
+  "CMakeFiles/exp03_swap_lower.dir/exp03_swap_lower.cpp.o.d"
+  "exp03_swap_lower"
+  "exp03_swap_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_swap_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

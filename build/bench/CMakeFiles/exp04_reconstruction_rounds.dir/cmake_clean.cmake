@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_reconstruction_rounds.dir/exp04_reconstruction_rounds.cpp.o"
+  "CMakeFiles/exp04_reconstruction_rounds.dir/exp04_reconstruction_rounds.cpp.o.d"
+  "exp04_reconstruction_rounds"
+  "exp04_reconstruction_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_reconstruction_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_nparty_bounds.dir/exp05_nparty_bounds.cpp.o"
+  "CMakeFiles/exp05_nparty_bounds.dir/exp05_nparty_bounds.cpp.o.d"
+  "exp05_nparty_bounds"
+  "exp05_nparty_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_nparty_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

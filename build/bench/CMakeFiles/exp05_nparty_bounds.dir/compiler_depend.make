@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp05_nparty_bounds.
+# This may be replaced when dependencies are built.

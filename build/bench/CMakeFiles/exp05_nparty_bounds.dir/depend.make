@@ -1,0 +1,2 @@
+# Empty dependencies file for exp05_nparty_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_utility_balance.dir/exp06_utility_balance.cpp.o"
+  "CMakeFiles/exp06_utility_balance.dir/exp06_utility_balance.cpp.o.d"
+  "exp06_utility_balance"
+  "exp06_utility_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_utility_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_gmw_half_unbalanced.dir/exp07_gmw_half_unbalanced.cpp.o"
+  "CMakeFiles/exp07_gmw_half_unbalanced.dir/exp07_gmw_half_unbalanced.cpp.o.d"
+  "exp07_gmw_half_unbalanced"
+  "exp07_gmw_half_unbalanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_gmw_half_unbalanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp07_gmw_half_unbalanced.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp07_gmw_half_unbalanced.
+# This may be replaced when dependencies are built.

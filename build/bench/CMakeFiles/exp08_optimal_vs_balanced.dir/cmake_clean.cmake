@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_optimal_vs_balanced.dir/exp08_optimal_vs_balanced.cpp.o"
+  "CMakeFiles/exp08_optimal_vs_balanced.dir/exp08_optimal_vs_balanced.cpp.o.d"
+  "exp08_optimal_vs_balanced"
+  "exp08_optimal_vs_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_optimal_vs_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

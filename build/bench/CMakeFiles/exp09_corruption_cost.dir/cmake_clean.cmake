@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_corruption_cost.dir/exp09_corruption_cost.cpp.o"
+  "CMakeFiles/exp09_corruption_cost.dir/exp09_corruption_cost.cpp.o.d"
+  "exp09_corruption_cost"
+  "exp09_corruption_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_corruption_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

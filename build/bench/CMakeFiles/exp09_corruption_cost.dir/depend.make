@@ -1,0 +1,2 @@
+# Empty dependencies file for exp09_corruption_cost.
+# This may be replaced when dependencies are built.

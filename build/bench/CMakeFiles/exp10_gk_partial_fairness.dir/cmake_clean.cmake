@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_gk_partial_fairness.dir/exp10_gk_partial_fairness.cpp.o"
+  "CMakeFiles/exp10_gk_partial_fairness.dir/exp10_gk_partial_fairness.cpp.o.d"
+  "exp10_gk_partial_fairness"
+  "exp10_gk_partial_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_gk_partial_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

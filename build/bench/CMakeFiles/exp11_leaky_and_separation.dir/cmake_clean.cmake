@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_leaky_and_separation.dir/exp11_leaky_and_separation.cpp.o"
+  "CMakeFiles/exp11_leaky_and_separation.dir/exp11_leaky_and_separation.cpp.o.d"
+  "exp11_leaky_and_separation"
+  "exp11_leaky_and_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_leaky_and_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

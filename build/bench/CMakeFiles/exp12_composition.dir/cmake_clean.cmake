@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_composition.dir/exp12_composition.cpp.o"
+  "CMakeFiles/exp12_composition.dir/exp12_composition.cpp.o.d"
+  "exp12_composition"
+  "exp12_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_gradual_release.dir/exp13_gradual_release.cpp.o"
+  "CMakeFiles/exp13_gradual_release.dir/exp13_gradual_release.cpp.o.d"
+  "exp13_gradual_release"
+  "exp13_gradual_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_gradual_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

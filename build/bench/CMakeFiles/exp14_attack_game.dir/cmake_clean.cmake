@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_attack_game.dir/exp14_attack_game.cpp.o"
+  "CMakeFiles/exp14_attack_game.dir/exp14_attack_game.cpp.o.d"
+  "exp14_attack_game"
+  "exp14_attack_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_attack_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

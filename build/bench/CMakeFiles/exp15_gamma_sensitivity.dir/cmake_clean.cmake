@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_gamma_sensitivity.dir/exp15_gamma_sensitivity.cpp.o"
+  "CMakeFiles/exp15_gamma_sensitivity.dir/exp15_gamma_sensitivity.cpp.o.d"
+  "exp15_gamma_sensitivity"
+  "exp15_gamma_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_gamma_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

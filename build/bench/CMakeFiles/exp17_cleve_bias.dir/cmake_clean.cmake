@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp17_cleve_bias.dir/exp17_cleve_bias.cpp.o"
+  "CMakeFiles/exp17_cleve_bias.dir/exp17_cleve_bias.cpp.o.d"
+  "exp17_cleve_bias"
+  "exp17_cleve_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp17_cleve_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

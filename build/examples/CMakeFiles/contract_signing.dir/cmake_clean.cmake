@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_signing.dir/contract_signing.cpp.o"
+  "CMakeFiles/contract_signing.dir/contract_signing.cpp.o.d"
+  "contract_signing"
+  "contract_signing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_signing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_auction.dir/fair_auction.cpp.o"
+  "CMakeFiles/fair_auction.dir/fair_auction.cpp.o.d"
+  "fair_auction"
+  "fair_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

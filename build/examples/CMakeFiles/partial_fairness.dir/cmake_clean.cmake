@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_fairness.dir/partial_fairness.cpp.o"
+  "CMakeFiles/partial_fairness.dir/partial_fairness.cpp.o.d"
+  "partial_fairness"
+  "partial_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/base.cpp" "src/CMakeFiles/fairsfe.dir/adversary/base.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/adversary/base.cpp.o.d"
+  "/root/repo/src/adversary/gk_adversary.cpp" "src/CMakeFiles/fairsfe.dir/adversary/gk_adversary.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/adversary/gk_adversary.cpp.o.d"
+  "/root/repo/src/adversary/lock_abort.cpp" "src/CMakeFiles/fairsfe.dir/adversary/lock_abort.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/adversary/lock_abort.cpp.o.d"
+  "/root/repo/src/adversary/mixed.cpp" "src/CMakeFiles/fairsfe.dir/adversary/mixed.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/adversary/mixed.cpp.o.d"
+  "/root/repo/src/adversary/strategies.cpp" "src/CMakeFiles/fairsfe.dir/adversary/strategies.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/adversary/strategies.cpp.o.d"
+  "/root/repo/src/circuit/builder.cpp" "src/CMakeFiles/fairsfe.dir/circuit/builder.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/circuit/builder.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/fairsfe.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/crypto/auth_share.cpp" "src/CMakeFiles/fairsfe.dir/crypto/auth_share.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/auth_share.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/CMakeFiles/fairsfe.dir/crypto/bytes.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/bytes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/CMakeFiles/fairsfe.dir/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/commitment.cpp" "src/CMakeFiles/fairsfe.dir/crypto/commitment.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/commitment.cpp.o.d"
+  "/root/repo/src/crypto/field.cpp" "src/CMakeFiles/fairsfe.dir/crypto/field.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/field.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/fairsfe.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/lamport.cpp" "src/CMakeFiles/fairsfe.dir/crypto/lamport.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/lamport.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/CMakeFiles/fairsfe.dir/crypto/mac.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/mac.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/CMakeFiles/fairsfe.dir/crypto/rng.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/rng.cpp.o.d"
+  "/root/repo/src/crypto/secret_sharing.cpp" "src/CMakeFiles/fairsfe.dir/crypto/secret_sharing.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/secret_sharing.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/fairsfe.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/CMakeFiles/fairsfe.dir/crypto/shamir.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/crypto/shamir.cpp.o.d"
+  "/root/repo/src/experiments/setups.cpp" "src/CMakeFiles/fairsfe.dir/experiments/setups.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/experiments/setups.cpp.o.d"
+  "/root/repo/src/fair/coinflip.cpp" "src/CMakeFiles/fairsfe.dir/fair/coinflip.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/coinflip.cpp.o.d"
+  "/root/repo/src/fair/contract.cpp" "src/CMakeFiles/fairsfe.dir/fair/contract.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/contract.cpp.o.d"
+  "/root/repo/src/fair/dummy_ideal.cpp" "src/CMakeFiles/fairsfe.dir/fair/dummy_ideal.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/dummy_ideal.cpp.o.d"
+  "/root/repo/src/fair/gk.cpp" "src/CMakeFiles/fairsfe.dir/fair/gk.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/gk.cpp.o.d"
+  "/root/repo/src/fair/gk_multi.cpp" "src/CMakeFiles/fairsfe.dir/fair/gk_multi.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/gk_multi.cpp.o.d"
+  "/root/repo/src/fair/gmw_half.cpp" "src/CMakeFiles/fairsfe.dir/fair/gmw_half.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/gmw_half.cpp.o.d"
+  "/root/repo/src/fair/gradual.cpp" "src/CMakeFiles/fairsfe.dir/fair/gradual.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/gradual.cpp.o.d"
+  "/root/repo/src/fair/leaky_and.cpp" "src/CMakeFiles/fairsfe.dir/fair/leaky_and.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/leaky_and.cpp.o.d"
+  "/root/repo/src/fair/lemma18.cpp" "src/CMakeFiles/fairsfe.dir/fair/lemma18.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/lemma18.cpp.o.d"
+  "/root/repo/src/fair/mixed.cpp" "src/CMakeFiles/fairsfe.dir/fair/mixed.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/mixed.cpp.o.d"
+  "/root/repo/src/fair/opt2_compiled.cpp" "src/CMakeFiles/fairsfe.dir/fair/opt2_compiled.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/opt2_compiled.cpp.o.d"
+  "/root/repo/src/fair/opt2sfe.cpp" "src/CMakeFiles/fairsfe.dir/fair/opt2sfe.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/opt2sfe.cpp.o.d"
+  "/root/repo/src/fair/optnsfe.cpp" "src/CMakeFiles/fairsfe.dir/fair/optnsfe.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/fair/optnsfe.cpp.o.d"
+  "/root/repo/src/mpc/gmw.cpp" "src/CMakeFiles/fairsfe.dir/mpc/gmw.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/mpc/gmw.cpp.o.d"
+  "/root/repo/src/mpc/ot.cpp" "src/CMakeFiles/fairsfe.dir/mpc/ot.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/mpc/ot.cpp.o.d"
+  "/root/repo/src/mpc/sfe_functionalities.cpp" "src/CMakeFiles/fairsfe.dir/mpc/sfe_functionalities.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/mpc/sfe_functionalities.cpp.o.d"
+  "/root/repo/src/mpc/yao.cpp" "src/CMakeFiles/fairsfe.dir/mpc/yao.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/mpc/yao.cpp.o.d"
+  "/root/repo/src/rpd/balance.cpp" "src/CMakeFiles/fairsfe.dir/rpd/balance.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/balance.cpp.o.d"
+  "/root/repo/src/rpd/cost.cpp" "src/CMakeFiles/fairsfe.dir/rpd/cost.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/cost.cpp.o.d"
+  "/root/repo/src/rpd/estimator.cpp" "src/CMakeFiles/fairsfe.dir/rpd/estimator.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/estimator.cpp.o.d"
+  "/root/repo/src/rpd/events.cpp" "src/CMakeFiles/fairsfe.dir/rpd/events.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/events.cpp.o.d"
+  "/root/repo/src/rpd/fairness_relation.cpp" "src/CMakeFiles/fairsfe.dir/rpd/fairness_relation.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/fairness_relation.cpp.o.d"
+  "/root/repo/src/rpd/payoff.cpp" "src/CMakeFiles/fairsfe.dir/rpd/payoff.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/rpd/payoff.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/fairsfe.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/functionality.cpp" "src/CMakeFiles/fairsfe.dir/sim/functionality.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/sim/functionality.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/fairsfe.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/fairsfe.dir/sim/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

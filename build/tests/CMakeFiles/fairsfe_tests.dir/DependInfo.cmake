@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abort_sweep.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_abort_sweep.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_abort_sweep.cpp.o.d"
+  "/root/repo/tests/test_adversary.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_adversary.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_adversary.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_coinflip.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_coinflip.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_coinflip.cpp.o.d"
+  "/root/repo/tests/test_crypto_field.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_field.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_field.cpp.o.d"
+  "/root/repo/tests/test_crypto_hash.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_hash.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_hash.cpp.o.d"
+  "/root/repo/tests/test_crypto_sharing.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_sharing.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_crypto_sharing.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_fair_protocols.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_fair_protocols.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_fair_protocols.cpp.o.d"
+  "/root/repo/tests/test_functionalities.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_functionalities.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_functionalities.cpp.o.d"
+  "/root/repo/tests/test_gk_multi.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_gk_multi.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_gk_multi.cpp.o.d"
+  "/root/repo/tests/test_gmw.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_gmw.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_gmw.cpp.o.d"
+  "/root/repo/tests/test_gradual.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_gradual.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_gradual.cpp.o.d"
+  "/root/repo/tests/test_opt2_compiled.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_opt2_compiled.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_opt2_compiled.cpp.o.d"
+  "/root/repo/tests/test_partial_fairness.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_partial_fairness.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_partial_fairness.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_rpd.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_rpd.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_rpd.cpp.o.d"
+  "/root/repo/tests/test_utility_bounds.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_utility_bounds.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_utility_bounds.cpp.o.d"
+  "/root/repo/tests/test_yao.cpp" "tests/CMakeFiles/fairsfe_tests.dir/test_yao.cpp.o" "gcc" "tests/CMakeFiles/fairsfe_tests.dir/test_yao.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairsfe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
