@@ -11,46 +11,45 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 4000);
+  bench::Reporter rep(argc, argv, 4000);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E01: contract signing, Pi1 vs Pi2 (paper Section 1)",
-                     "Claim: sup_A u(Pi1, A) = g10; sup_A u(Pi2, A) = (g10+g11)/2 — "
-                     "Pi2 is strictly fairer.");
-  bench::print_gamma(gamma, runs);
-  bench::print_row_header();
+  rep.title("E01: contract signing, Pi1 vs Pi2 (paper Section 1)",
+            "Claim: sup_A u(Pi1, A) = g10; sup_A u(Pi2, A) = (g10+g11)/2 — "
+            "Pi2 is strictly fairer.");
+  rep.gamma(gamma);
+  rep.row_header();
 
-  bench::Verdict verdict;
 
   const auto pi1 = rpd::assess_protocol(
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi1, c);
       }),
-      gamma, runs, 1);
+      gamma, rep.opts(1));
   for (const auto& a : pi1.attacks) {
-    bench::print_row("Pi1 / " + a.name, a.estimate, "sup = 1.000 (g10)");
+    rep.row("Pi1 / " + a.name, a.estimate, "sup = 1.000 (g10)");
   }
 
   const auto pi2 = rpd::assess_protocol(
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi2, c);
       }),
-      gamma, runs, 10);
+      gamma, rep.opts(10));
   for (const auto& a : pi2.attacks) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "sup = %.3f ((g10+g11)/2)", gamma.two_party_opt_bound());
-    bench::print_row("Pi2 / " + a.name, a.estimate, buf);
+    rep.row("Pi2 / " + a.name, a.estimate, buf);
   }
 
   std::printf("\nsup_A u(Pi1, A) = %.4f   sup_A u(Pi2, A) = %.4f\n\n", pi1.best_utility(),
               pi2.best_utility());
 
-  verdict.check(std::abs(pi1.best_utility() - gamma.g10) < 0.02,
-                "Pi1 best attack reaches g10 (full unfairness)");
-  verdict.check(std::abs(pi2.best_utility() - gamma.two_party_opt_bound()) <
-                    pi2.best_margin() + 0.02,
-                "Pi2 best attack is (g10+g11)/2 (half the window)");
-  verdict.check(rpd::at_least_as_fair(pi2, pi1) && !rpd::at_least_as_fair(pi1, pi2),
-                "Pi2 strictly precedes Pi1 in the fairness partial order");
-  return verdict.finish();
+  rep.check(std::abs(pi1.best_utility() - gamma.g10) < 0.02,
+            "Pi1 best attack reaches g10 (full unfairness)");
+  rep.check(std::abs(pi2.best_utility() - gamma.two_party_opt_bound()) <
+            pi2.best_margin() + 0.02,
+            "Pi2 best attack is (g10+g11)/2 (half the window)");
+  rep.check(rpd::at_least_as_fair(pi2, pi1) && !rpd::at_least_as_fair(pi1, pi2),
+            "Pi2 strictly precedes Pi1 in the fairness partial order");
+  return rep.finish();
 }

@@ -8,12 +8,11 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 3000);
+  bench::Reporter rep(argc, argv, 3000);
 
-  bench::print_title("E02: Theorem 3 — Opt2SFE utility upper bound",
-                     "Claim: u_A(Opt2SFE, A) <= (g10 + g11)/2 for all A, gamma in "
-                     "Gamma_fair.");
-  bench::Verdict verdict;
+  rep.title("E02: Theorem 3 — Opt2SFE utility upper bound",
+            "Claim: u_A(Opt2SFE, A) <= (g10 + g11)/2 for all A, gamma in "
+            "Gamma_fair.");
 
   const std::vector<std::pair<std::string, rpd::PayoffVector>> gammas = {
       {"standard (0.25,0,1,0.5)", rpd::PayoffVector::standard()},
@@ -36,19 +35,19 @@ int main(int argc, char** argv) {
   for (const auto& [gname, gamma] : gammas) {
     std::printf("--- gamma class: %s, bound (g10+g11)/2 = %.3f ---\n", gname.c_str(),
                 gamma.two_party_opt_bound());
-    bench::print_gamma(gamma, runs);
-    bench::print_row_header();
+    rep.gamma(gamma);
+    rep.row_header();
     double best = -1e9;
     for (const auto& a : attacks) {
-      const auto est = rpd::estimate_utility(a.factory, gamma, runs, seed++);
+      const auto est = rpd::estimate_utility(a.factory, gamma, rep.opts(seed++));
       char buf[48];
       std::snprintf(buf, sizeof(buf), "<= %.3f", gamma.two_party_opt_bound());
-      bench::print_row(a.name, est, buf);
+      rep.row(a.name, est, buf);
       best = std::max(best, est.utility - est.margin());
-      verdict.check(est.utility <= gamma.two_party_opt_bound() + est.margin() + 0.02,
-                    a.name + " respects the Theorem 3 bound");
+      rep.check(est.utility <= gamma.two_party_opt_bound() + est.margin() + 0.02,
+                a.name + " respects the Theorem 3 bound");
     }
     std::printf("\n");
   }
-  return verdict.finish();
+  return rep.finish();
 }

@@ -11,16 +11,15 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 3000);
+  bench::Reporter rep(argc, argv, 3000);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title(
-      "E03: Theorem 4 / Lemma 7 — universal lower bound for the swap function",
-      "Claim: u(A1) + u(A2) >= g10 + g11 for every protocol; the mixed Agen earns\n"
-      ">= (g10+g11)/2. Opt2SFE meets the bound with equality (it is optimal).");
-  bench::print_gamma(gamma, runs);
+  rep.title(
+            "E03: Theorem 4 / Lemma 7 — universal lower bound for the swap function",
+            "Claim: u(A1) + u(A2) >= g10 + g11 for every protocol; the mixed Agen earns\n"
+            ">= (g10+g11)/2. Opt2SFE meets the bound with equality (it is optimal).");
+  rep.gamma(gamma);
 
-  bench::Verdict verdict;
 
   struct ProtocolRow {
     std::string name;
@@ -40,28 +39,28 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 300;
   for (const auto& proto : protocols) {
     std::printf("--- protocol: %s ---\n", proto.name.c_str());
-    bench::print_row_header();
-    const auto a1 = rpd::estimate_utility(proto.lock_abort(0), gamma, runs, seed++);
-    const auto a2 = rpd::estimate_utility(proto.lock_abort(1), gamma, runs, seed++);
-    bench::print_row("A1 (corrupt p1)", a1, "");
-    bench::print_row("A2 (corrupt p2)", a2, "");
+    rep.row_header();
+    const auto a1 = rpd::estimate_utility(proto.lock_abort(0), gamma, rep.opts(seed++));
+    const auto a2 = rpd::estimate_utility(proto.lock_abort(1), gamma, rep.opts(seed++));
+    rep.row("A1 (corrupt p1)", a1, "");
+    rep.row("A2 (corrupt p2)", a2, "");
     const double pair_sum = a1.utility + a2.utility;
     char buf[96];
     std::snprintf(buf, sizeof(buf), "u(A1)+u(A2) = %.4f  (Lemma 7 floor %.3f)", pair_sum,
                   gamma.g10 + gamma.g11);
     std::printf("%s\n", buf);
-    verdict.check(pair_sum >= gamma.g10 + gamma.g11 - a1.margin() - a2.margin() - 0.03,
-                  proto.name + ": Lemma 7 pair bound holds");
+    rep.check(pair_sum >= gamma.g10 + gamma.g11 - a1.margin() - a2.margin() - 0.03,
+              proto.name + ": Lemma 7 pair bound holds");
     if (proto.agen) {
-      const auto agen = rpd::estimate_utility(proto.agen, gamma, runs, seed++);
-      bench::print_row("Agen (mix of A1, A2)", agen, "");
-      verdict.check(agen.utility >= gamma.two_party_opt_bound() - agen.margin() - 0.03,
-                    proto.name + ": Theorem 4 mixed bound holds");
+      const auto agen = rpd::estimate_utility(proto.agen, gamma, rep.opts(seed++));
+      rep.row("Agen (mix of A1, A2)", agen, "");
+      rep.check(agen.utility >= gamma.two_party_opt_bound() - agen.margin() - 0.03,
+                proto.name + ": Theorem 4 mixed bound holds");
     }
     std::printf("\n");
   }
 
   std::printf("Interpretation: no two-party protocol evades (g10+g11)/2; the optimal\n"
               "protocol achieves it exactly, the naive Pi1 does strictly worse.\n");
-  return verdict.finish();
+  return rep.finish();
 }

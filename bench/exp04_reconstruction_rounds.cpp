@@ -110,39 +110,39 @@ rpd::SetupFactory one_round_lock_abort(sim::PartyId corrupt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 3000);
+  bench::Reporter rep(argc, argv, 3000);
+  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E04: Lemma 9/10 — reconstruction-round optimality",
-                     "Claim: Opt2SFE needs exactly 2 reconstruction rounds; any 1-round\n"
-                     "variant hands the rushing adversary g10 with probability 1.");
-  bench::print_gamma(gamma, runs);
-  bench::print_row_header();
+  rep.title("E04: Lemma 9/10 — reconstruction-round optimality",
+            "Claim: Opt2SFE needs exactly 2 reconstruction rounds; any 1-round\n"
+            "variant hands the rushing adversary g10 with probability 1.");
+  rep.gamma(gamma);
+  rep.row_header();
 
-  bench::Verdict verdict;
 
   // Phase-1 abort against Opt2SFE is fair (Lemma 9's first claim).
-  const auto phase1 = rpd::estimate_utility(opt2_abort_phase1(), gamma, runs, 1);
-  bench::print_row("Opt2SFE / abort-phase1", phase1, "E01 (fair, simulatable)");
-  verdict.check(phase1.freq(rpd::FairnessEvent::kE01) > 0.99,
-                "phase-1 abort against Opt2SFE stays fair (Lemma 9)");
+  const auto phase1 = rpd::estimate_utility(opt2_abort_phase1(), gamma, rep.opts(1));
+  rep.row("Opt2SFE / abort-phase1", phase1, "E01 (fair, simulatable)");
+  rep.check(phase1.freq(rpd::FairnessEvent::kE01) > 0.99,
+            "phase-1 abort against Opt2SFE stays fair (Lemma 9)");
 
   // Reconstruction-phase attack: the (g10+g11)/2 optimum.
-  const auto two_round = rpd::estimate_utility(opt2_lock_abort(0), gamma, runs, 2);
-  bench::print_row("Opt2SFE / lock-abort", two_round, "(g10+g11)/2 = 0.750");
-  verdict.check(std::abs(two_round.utility - gamma.two_party_opt_bound()) <
-                    two_round.margin() + 0.02,
-                "2-reconstruction-round protocol achieves the optimum");
+  const auto two_round = rpd::estimate_utility(opt2_lock_abort(0), gamma, rep.opts(2));
+  rep.row("Opt2SFE / lock-abort", two_round, "(g10+g11)/2 = 0.750");
+  rep.check(std::abs(two_round.utility - gamma.two_party_opt_bound()) <
+            two_round.margin() + 0.02,
+            "2-reconstruction-round protocol achieves the optimum");
 
   // The 1-round strawman: rushing steals the opening every time.
   for (sim::PartyId c : {0, 1}) {
     const auto one_round = rpd::estimate_utility(one_round_lock_abort(c), gamma, runs,
                                                  3 + static_cast<std::uint64_t>(c));
-    bench::print_row("1-round variant / corrupt p" + std::to_string(c + 1), one_round,
-                     "g10 = 1.000 (Lemma 10)");
-    verdict.check(one_round.utility > gamma.g10 - 0.02,
-                  "1-round variant loses everything to rushing (corrupt p" +
-                      std::to_string(c + 1) + ")");
+    rep.row("1-round variant / corrupt p" + std::to_string(c + 1), one_round,
+            "g10 = 1.000 (Lemma 10)");
+    rep.check(one_round.utility > gamma.g10 - 0.02,
+              "1-round variant loses everything to rushing (corrupt p" +
+              std::to_string(c + 1) + ")");
   }
 
   std::printf("\nHonest-run round counts (engine rounds, incl. 2 hybrid rounds):\n");
@@ -156,5 +156,5 @@ int main(int argc, char** argv) {
     const auto r = e.run();
     std::printf("  Opt2SFE honest execution: %d rounds (phase 2 = 2 rounds)\n\n", r.rounds);
   }
-  return verdict.finish();
+  return rep.finish();
 }

@@ -11,41 +11,40 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 2500);
+  bench::Reporter rep(argc, argv, 2500);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E05: Lemma 11/13 — OptNSFE multi-party bounds",
-                     "Claim: u(t-adversary) = (t*g10 + (n-t)*g11)/n; optimum at t = n-1.");
-  bench::print_gamma(gamma, runs);
+  rep.title("E05: Lemma 11/13 — OptNSFE multi-party bounds",
+            "Claim: u(t-adversary) = (t*g10 + (n-t)*g11)/n; optimum at t = n-1.");
+  rep.gamma(gamma);
 
-  bench::Verdict verdict;
   std::uint64_t seed = 500;
 
   for (const std::size_t n : {3u, 4u, 5u, 6u, 8u}) {
     std::printf("--- n = %zu ---\n", n);
-    bench::print_row_header();
+    rep.row_header();
     for (std::size_t t = 1; t < n; ++t) {
-      const auto est = rpd::estimate_utility(optn_lock_abort(n, t), gamma, runs, seed++);
+      const auto est = rpd::estimate_utility(optn_lock_abort(n, t), gamma, rep.opts(seed++));
       const double bound = gamma.nparty_bound(t, n);
       char buf[64];
       std::snprintf(buf, sizeof(buf), "(t*g10+(n-t)*g11)/n = %.3f", bound);
-      bench::print_row("lock-abort t=" + std::to_string(t), est, buf);
-      verdict.check(std::abs(est.utility - bound) < est.margin() + 0.03,
-                    "n=" + std::to_string(n) + " t=" + std::to_string(t) +
-                        " matches the Lemma 11 value");
+      rep.row("lock-abort t=" + std::to_string(t), est, buf);
+      rep.check(std::abs(est.utility - bound) < est.margin() + 0.03,
+                "n=" + std::to_string(n) + " t=" + std::to_string(t) +
+                " matches the Lemma 11 value");
     }
     // Lemma 13: the mixed adversary achieves the optimum.
-    const auto mixed = rpd::estimate_utility(optn_a_ibar_mixed(n), gamma, runs, seed++);
+    const auto mixed = rpd::estimate_utility(optn_a_ibar_mixed(n), gamma, rep.opts(seed++));
     char buf[64];
     std::snprintf(buf, sizeof(buf), "optimum ((n-1)g10+g11)/n = %.3f",
                   gamma.nparty_opt_bound(n));
-    bench::print_row("mixed A_ibar (Lemma 13)", mixed, buf);
-    verdict.check(mixed.utility >= gamma.nparty_opt_bound(n) - mixed.margin() - 0.03,
-                  "n=" + std::to_string(n) + " mixed A_ibar achieves the optimum");
+    rep.row("mixed A_ibar (Lemma 13)", mixed, buf);
+    rep.check(mixed.utility >= gamma.nparty_opt_bound(n) - mixed.margin() - 0.03,
+              "n=" + std::to_string(n) + " mixed A_ibar achieves the optimum");
     std::printf("\n");
   }
 
   std::printf("Shape: utility grows linearly in t with slope (g10-g11)/n and the\n"
               "optimum approaches g10 as n grows — exactly the paper's series.\n");
-  return verdict.finish();
+  return rep.finish();
 }

@@ -11,21 +11,20 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  bench::Reporter rep(argc, argv, 1500);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E06: Lemma 14/16 — utility-balanced fairness of OptNSFE",
-                     "Claim: sum_t phi(t) = (n-1)(g10+g11)/2, the minimal possible sum.");
-  bench::print_gamma(gamma, runs);
+  rep.title("E06: Lemma 14/16 — utility-balanced fairness of OptNSFE",
+            "Claim: sum_t phi(t) = (n-1)(g10+g11)/2, the minimal possible sum.");
+  rep.gamma(gamma);
 
-  bench::Verdict verdict;
   std::uint64_t seed = 600;
 
   for (const std::size_t n : {3u, 4u, 5u, 6u}) {
     const auto profile = rpd::balance_profile(
         n,
         [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kOptN, n, t); },
-        gamma, runs, seed);
+        gamma, rep.opts(seed));
     seed += 100;
 
     std::printf("--- n = %zu ---\n", n);
@@ -37,10 +36,10 @@ int main(int argc, char** argv) {
     }
     std::printf("sum = %.4f   bound (n-1)(g10+g11)/2 = %.4f   margin = %.4f\n\n",
                 profile.sum(), gamma.balance_bound(n), profile.sum_margin());
-    verdict.check(rpd::is_utility_balanced(profile, gamma),
-                  "n=" + std::to_string(n) + ": OptNSFE is utility-balanced");
-    verdict.check(profile.sum() >= gamma.balance_bound(n) - profile.sum_margin() - 0.1,
-                  "n=" + std::to_string(n) + ": the balance bound is tight (Lemma 16)");
+    rep.check(rpd::is_utility_balanced(profile, gamma),
+              "n=" + std::to_string(n) + ": OptNSFE is utility-balanced");
+    rep.check(profile.sum() >= gamma.balance_bound(n) - profile.sum_margin() - 0.1,
+              "n=" + std::to_string(n) + ": the balance bound is tight (Lemma 16)");
   }
-  return verdict.finish();
+  return rep.finish();
 }

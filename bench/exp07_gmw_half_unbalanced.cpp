@@ -11,34 +11,33 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1200);
+  bench::Reporter rep(argc, argv, 1200);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E07: Lemma 17 — the Pi-1/2-GMW utility staircase",
-                     "Claim: u = g11 below n/2 corruptions, g10 at or above; not\n"
-                     "utility-balanced for even n, exactly balanced for odd n.");
-  bench::print_gamma(gamma, runs);
+  rep.title("E07: Lemma 17 — the Pi-1/2-GMW utility staircase",
+            "Claim: u = g11 below n/2 corruptions, g10 at or above; not\n"
+            "utility-balanced for even n, exactly balanced for odd n.");
+  rep.gamma(gamma);
 
-  bench::Verdict verdict;
   std::uint64_t seed = 700;
 
   for (const std::size_t n : {4u, 5u, 6u, 7u, 8u}) {
     std::printf("--- n = %zu (threshold %zu) ---\n", n, fair::half_gmw_threshold(n));
-    bench::print_row_header();
+    rep.row_header();
     double sum = 0.0;
     double sum_margin = 0.0;
     for (std::size_t t = 1; t < n; ++t) {
-      const auto est = rpd::estimate_utility(half_gmw_coalition(n, t), gamma, runs, seed++);
+      const auto est = rpd::estimate_utility(half_gmw_coalition(n, t), gamma, rep.opts(seed++));
       const double paper = (t >= (n + 1) / 2) ? gamma.g10
                            : (2 * t >= n)     ? gamma.g10
                                               : gamma.g11;
       char buf[48];
       std::snprintf(buf, sizeof(buf), "%s = %.3f", (paper == gamma.g10 ? "g10" : "g11"),
                     paper);
-      bench::print_row("coalition t=" + std::to_string(t), est, buf);
-      verdict.check(std::abs(est.utility - paper) < est.margin() + 0.02,
-                    "n=" + std::to_string(n) + " t=" + std::to_string(t) +
-                        " sits on the staircase");
+      rep.row("coalition t=" + std::to_string(t), est, buf);
+      rep.check(std::abs(est.utility - paper) < est.margin() + 0.02,
+                "n=" + std::to_string(n) + " t=" + std::to_string(t) +
+                " sits on the staircase");
       sum += est.utility;
       sum_margin += est.margin();
     }
@@ -46,12 +45,12 @@ int main(int argc, char** argv) {
     std::printf("sum = %.4f   balanced bound = %.4f   -> %s\n\n", sum, bound,
                 sum <= bound + sum_margin ? "balanced" : "NOT balanced");
     if (n % 2 == 0) {
-      verdict.check(sum > bound + 0.1,
-                    "n=" + std::to_string(n) + " (even): sum exceeds the balanced bound");
+      rep.check(sum > bound + 0.1,
+                "n=" + std::to_string(n) + " (even): sum exceeds the balanced bound");
     } else {
-      verdict.check(std::abs(sum - bound) < sum_margin + 0.1,
-                    "n=" + std::to_string(n) + " (odd): sum meets the balanced bound");
+      rep.check(std::abs(sum - bound) < sum_margin + 0.1,
+                "n=" + std::to_string(n) + " (odd): sum meets the balanced bound");
     }
   }
-  return verdict.finish();
+  return rep.finish();
 }

@@ -16,68 +16,68 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 2000);
+  bench::Reporter rep(argc, argv, 2000);
+  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E08: Appendix B.1 — optimal vs utility-balanced separation",
-                     "Claim: Pi' is balanced but not optimal; the Lemma 18 protocol is\n"
-                     "optimal but not balanced.");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E08: Appendix B.1 — optimal vs utility-balanced separation",
+            "Claim: Pi' is balanced but not optimal; the Lemma 18 protocol is\n"
+            "optimal but not balanced.");
+  rep.gamma(gamma);
 
   // ---------------- Π′ with odd n: balanced but not optimal ----------------
   {
     const std::size_t n = 5;
     std::printf("--- Pi' (mixed protocol), n = %zu (odd => Pi-1/2-GMW branch) ---\n", n);
-    bench::print_row_header();
+    rep.row_header();
     const auto coalition = rpd::estimate_utility(mixed_best_attack(n, (n + 1) / 2), gamma,
                                                  runs, 801);
     char buf[80];
     std::snprintf(buf, sizeof(buf), "g10 = %.3f > optimum %.3f", gamma.g10,
                   gamma.nparty_opt_bound(n));
-    bench::print_row("ceil(n/2)-coalition", coalition, buf);
-    verdict.check(coalition.utility > gamma.nparty_opt_bound(n) + 0.05,
-                  "Pi' (odd n) is beaten past the optimal-fairness bound");
+    rep.row("ceil(n/2)-coalition", coalition, buf);
+    rep.check(coalition.utility > gamma.nparty_opt_bound(n) + 0.05,
+              "Pi' (odd n) is beaten past the optimal-fairness bound");
 
     const auto profile = rpd::balance_profile(
         n,
         [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kMixed, n, t); },
-        gamma, runs, 810);
+        gamma, rep.opts(810));
     std::printf("per-t sum = %.4f, balanced bound = %.4f\n\n", profile.sum(),
                 gamma.balance_bound(n));
-    verdict.check(rpd::is_utility_balanced(profile, gamma),
-                  "Pi' (odd n) remains utility-balanced");
+    rep.check(rpd::is_utility_balanced(profile, gamma),
+              "Pi' (odd n) remains utility-balanced");
   }
 
   // ------------- Lemma 18 protocol: optimal but not balanced -------------
   {
     const std::size_t n = 4;
     std::printf("--- Lemma 18 protocol, n = %zu ---\n", n);
-    bench::print_row_header();
-    const auto big = rpd::estimate_utility(lemma18_lock_abort(n, n - 1), gamma, runs, 820);
+    rep.row_header();
+    const auto big = rpd::estimate_utility(lemma18_lock_abort(n, n - 1), gamma, rep.opts(820));
     char buf[80];
     std::snprintf(buf, sizeof(buf), "optimum ((n-1)g10+g11)/n = %.3f",
                   gamma.nparty_opt_bound(n));
-    bench::print_row("(n-1)-coalition", big, buf);
-    verdict.check(std::abs(big.utility - gamma.nparty_opt_bound(n)) < big.margin() + 0.03,
-                  "Lemma 18 protocol stays at the optimal-fairness bound");
+    rep.row("(n-1)-coalition", big, buf);
+    rep.check(std::abs(big.utility - gamma.nparty_opt_bound(n)) < big.margin() + 0.03,
+              "Lemma 18 protocol stays at the optimal-fairness bound");
 
-    const auto dev = rpd::estimate_utility(lemma18_deviator(n), gamma, runs, 830);
+    const auto dev = rpd::estimate_utility(lemma18_deviator(n), gamma, rep.opts(830));
     const double expect =
         gamma.g10 / n + (static_cast<double>(n - 1) / n) * (gamma.g10 + gamma.g11) / 2;
     std::snprintf(buf, sizeof(buf), "g10/n + (n-1)/n*(g10+g11)/2 = %.3f", expect);
-    bench::print_row("1-party deviator", dev, buf);
-    verdict.check(std::abs(dev.utility - expect) < dev.margin() + 0.03,
-                  "deviator utility matches the Lemma 18 formula");
+    rep.row("1-party deviator", dev, buf);
+    rep.check(std::abs(dev.utility - expect) < dev.margin() + 0.03,
+              "deviator utility matches the Lemma 18 formula");
 
     const auto profile = rpd::balance_profile(
         n,
         [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kLemma18, n, t); },
-        gamma, runs, 840);
+        gamma, rep.opts(840));
     std::printf("per-t sum = %.4f, balanced bound = %.4f\n\n", profile.sum(),
                 gamma.balance_bound(n));
-    verdict.check(!rpd::is_utility_balanced(profile, gamma),
-                  "Lemma 18 protocol is NOT utility-balanced");
+    rep.check(!rpd::is_utility_balanced(profile, gamma),
+              "Lemma 18 protocol is NOT utility-balanced");
   }
-  return verdict.finish();
+  return rep.finish();
 }

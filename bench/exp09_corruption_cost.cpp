@@ -14,30 +14,29 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  bench::Reporter rep(argc, argv, 1500);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
   const std::size_t n = 4;
 
-  bench::print_title("E09: Theorem 6 — corruption costs and ideal gamma^C-fairness",
-                     "Claim: with c(t) = phi(t) - s(t), the balanced protocol is ideally\n"
-                     "gamma^C-fair, and its cost function is undominated.");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E09: Theorem 6 — corruption costs and ideal gamma^C-fairness",
+            "Claim: with c(t) = phi(t) - s(t), the balanced protocol is ideally\n"
+            "gamma^C-fair, and its cost function is undominated.");
+  rep.gamma(gamma);
 
   // Measure s(t): the dummy protocol's best per-t utility.
   const auto dummy_profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kDummy, n, t); },
-      gamma, runs, 900);
+      gamma, rep.opts(900));
   // Measure φ(t) for the balanced protocol and for Π½GMW.
   const auto opt_profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kOptN, n, t); },
-      gamma, runs, 910);
+      gamma, rep.opts(910));
   const auto gmw_profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kHalfGmw, n, t); },
-      gamma, runs, 920);
+      gamma, rep.opts(920));
 
   const auto c_opt = rpd::cost_from_profile(opt_profile, gamma);
   const auto c_gmw = rpd::cost_from_profile(gmw_profile, gamma);
@@ -48,12 +47,12 @@ int main(int argc, char** argv) {
     std::printf("%-4zu %12.4f %12.4f %12.4f %12.4f %12.4f\n", t, dummy_profile.phi(t),
                 opt_profile.phi(t), c_opt.of(t), gmw_profile.phi(t), c_gmw.of(t));
     // Measured s(t) should equal the analytic ideal benchmark.
-    verdict.check(std::abs(dummy_profile.phi(t) - rpd::ideal_payoff(gamma, t, n)) < 0.03,
-                  "s(" + std::to_string(t) + ") matches max(g00, g11)");
+    rep.check(std::abs(dummy_profile.phi(t) - rpd::ideal_payoff(gamma, t, n)) < 0.03,
+              "s(" + std::to_string(t) + ") matches max(g00, g11)");
     // Ideal γ^C-fairness: net utility = φ(t) − c(t) = s(t).
-    verdict.check(std::abs(rpd::net_utility(opt_profile.phi(t), c_opt, t) -
-                           dummy_profile.phi(t)) < 0.05,
-                  "net utility at t=" + std::to_string(t) + " meets the ideal benchmark");
+    rep.check(std::abs(rpd::net_utility(opt_profile.phi(t), c_opt, t) -
+              dummy_profile.phi(t)) < 0.05,
+              "net utility at t=" + std::to_string(t) + " meets the ideal benchmark");
   }
 
   std::printf("\ncost sums: opt = %.4f, gmw-half = %.4f (balanced sum is minimal)\n",
@@ -62,14 +61,14 @@ int main(int argc, char** argv) {
 
   // Theorem 6(2): neither cost function strictly dominates the other, and the
   // balanced protocol's cost sum is no larger.
-  verdict.check(!rpd::strictly_dominates(c_gmw, c_opt, 0.05),
-                "Pi-1/2-GMW's cost does not strictly dominate the balanced cost");
+  rep.check(!rpd::strictly_dominates(c_gmw, c_opt, 0.05),
+            "Pi-1/2-GMW's cost does not strictly dominate the balanced cost");
   double sum_opt = 0, sum_gmw = 0;
   for (std::size_t t = 1; t < n; ++t) {
     sum_opt += c_opt.of(t);
     sum_gmw += c_gmw.of(t);
   }
-  verdict.check(sum_opt <= sum_gmw + 0.15,
-                "the balanced protocol minimizes the total corruption cost");
-  return verdict.finish();
+  rep.check(sum_opt <= sum_gmw + 0.15,
+            "the balanced protocol minimizes the total corruption cost");
+  return rep.finish();
 }

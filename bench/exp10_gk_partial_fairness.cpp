@@ -11,14 +11,14 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 2500);
+  bench::Reporter rep(argc, argv, 2500);
+  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = rpd::PayoffVector::partial_fairness();
 
-  bench::print_title("E10: Theorems 23/24 — Gordon-Katz 1/p-security",
-                     "Claim: u_A <= 1/p for every attack; rounds grow as O(p*|Y|) /\n"
-                     "O(p^2*|Z|).");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E10: Theorems 23/24 — Gordon-Katz 1/p-security",
+            "Claim: u_A <= 1/p for every attack; rounds grow as O(p*|Y|) /\n"
+            "O(p^2*|Z|).");
+  rep.gamma(gamma);
 
   std::uint64_t seed = 1000;
   std::printf("--- poly-size DOMAIN protocol (AND, |Y| = 2), Theorem 23 ---\n");
@@ -26,16 +26,16 @@ int main(int argc, char** argv) {
     const fair::GkParams params = fair::make_gk_and_params(p);
     std::printf("p = %zu  (round cap %zu, alpha = %.4f)\n", p, params.cap(),
                 params.alpha());
-    bench::print_row_header();
+    rep.row_header();
     double best = 0.0;
     for (const auto& attack : gk_attack_family(params)) {
-      const auto est = rpd::estimate_utility(attack.factory, gamma, runs, seed++);
+      const auto est = rpd::estimate_utility(attack.factory, gamma, rep.opts(seed++));
       char buf[32];
       std::snprintf(buf, sizeof(buf), "<= 1/p = %.4f", 1.0 / static_cast<double>(p));
-      bench::print_row(attack.name, est, buf);
+      rep.row(attack.name, est, buf);
       best = std::max(best, est.utility);
-      verdict.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
-                    "p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
+      rep.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
+                "p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
     }
     std::printf("best attack: %.4f vs bound %.4f\n\n", best, 1.0 / static_cast<double>(p));
   }
@@ -47,14 +47,14 @@ int main(int argc, char** argv) {
     params.sample_range = [](Rng& r) { return Bytes{static_cast<std::uint8_t>(r.bit())}; };
     std::printf("p = %zu  (round cap %zu, alpha = %.5f)\n", p, params.cap(),
                 params.alpha());
-    bench::print_row_header();
+    rep.row_header();
     for (const auto& attack : gk_attack_family(params)) {
-      const auto est = rpd::estimate_utility(attack.factory, gamma, runs / 2, seed++);
+      const auto est = rpd::estimate_utility(attack.factory, gamma, rep.opts(seed++).with_runs(runs / 2));
       char buf[32];
       std::snprintf(buf, sizeof(buf), "<= 1/p = %.4f", 1.0 / static_cast<double>(p));
-      bench::print_row(attack.name, est, buf);
-      verdict.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
-                    "range p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
+      rep.row(attack.name, est, buf);
+      rep.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
+                "range p=" + std::to_string(p) + " " + attack.name + " <= 1/p");
     }
     std::printf("\n");
   }
@@ -62,5 +62,5 @@ int main(int argc, char** argv) {
   std::printf("Contrast: Theorem 3's general-function optimum is (g10+g11)/2 = 0.5\n"
               "under this gamma — the GK protocols beat it for p > 2 precisely\n"
               "because their functions have polynomial-size domains/ranges.\n");
-  return verdict.finish();
+  return rep.finish();
 }

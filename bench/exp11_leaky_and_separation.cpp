@@ -22,12 +22,12 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 4000);
+  bench::Reporter rep(argc, argv, 4000);
+  const std::size_t runs = rep.runs();
 
-  bench::print_title("E11: Lemmas 26/27 — the leaky-AND separation",
-                     "Claim: Pi-tilde is 1/2-secure and 'private' per [GK10], yet leaks\n"
-                     "x1 w.p. 1/4 and cannot realize F^{f,$}_sfe.");
-  bench::Verdict verdict;
+  rep.title("E11: Lemmas 26/27 — the leaky-AND separation",
+            "Claim: Pi-tilde is 1/2-secure and 'private' per [GK10], yet leaks\n"
+            "x1 w.p. 1/4 and cannot realize F^{f,$}_sfe.");
 
   // 1. The privacy break.
   std::size_t leaks = 0;
@@ -61,21 +61,21 @@ int main(int argc, char** argv) {
               correct_rate);
   std::printf("  honest p1 still computes x1 AND x2 correctly: %.4f\n\n",
               static_cast<double>(output_ok) / static_cast<double>(runs));
-  verdict.check(std::abs(leak_rate - 0.25) < 0.03, "leak probability is 1/4 (Lemma 26)");
-  verdict.check(correct_rate == 1.0, "every leak is the true honest input");
+  rep.check(std::abs(leak_rate - 0.25) < 0.03, "leak probability is 1/4 (Lemma 26)");
+  rep.check(correct_rate == 1.0, "every leak is the true honest input");
 
   // 2. The GK accounting that still certifies Π̃ (Lemma 27): the embedded
   //    p = 4 stage keeps the unfair-abort payoff under 1/2 for all attacks.
   const rpd::PayoffVector pf = rpd::PayoffVector::partial_fairness();
   const fair::GkParams params = fair::make_gk_and_params(4);
   std::printf("embedded 1/4-secure stage under gamma = (0,0,1,0):\n");
-  bench::print_row_header();
+  rep.row_header();
   std::uint64_t seed = 43000;
   for (const auto& attack : gk_attack_family(params)) {
-    const auto est = rpd::estimate_utility(attack.factory, pf, runs / 2, seed++);
-    bench::print_row(attack.name, est, "<= 1/2 (Lemma 27)");
-    verdict.check(est.utility <= 0.5 + est.margin() + 0.02,
-                  "1/2-security accounting: " + attack.name);
+    const auto est = rpd::estimate_utility(attack.factory, pf, rep.opts(seed++).with_runs(runs / 2));
+    rep.row(attack.name, est, "<= 1/2 (Lemma 27)");
+    rep.check(est.utility <= 0.5 + est.margin() + 0.02,
+              "1/2-security accounting: " + attack.name);
   }
 
   // 3. The distinguishing gap of Lemma 26: real leak is x1 with prob 1; an
@@ -88,11 +88,11 @@ int main(int argc, char** argv) {
               ideal_match_best);
   std::printf("  distinguishing advantage:  %.4f  (constant >= 1/8)\n\n",
               real_match - ideal_match_best);
-  verdict.check(real_match - ideal_match_best > 0.09,
-                "constant distinguishing gap vs any F^{f,$} simulator");
+  rep.check(real_match - ideal_match_best > 0.09,
+            "constant distinguishing gap vs any F^{f,$} simulator");
 
   std::printf("Conclusion: Pi-tilde passes 1/p-security + privacy as defined in\n"
               "[GK10] but fails the paper's utility-based notion — the notions are\n"
               "separated, and the utility-based one is strictly stronger (Lemma 25).\n");
-  return verdict.finish();
+  return rep.finish();
 }

@@ -131,14 +131,13 @@ rpd::SetupFactory yao_attack(std::shared_ptr<const circuit::Circuit> circuit) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  bench::Reporter rep(argc, argv, 1500);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E12: RPD composition — ideal hybrid vs GMW compilation",
-                     "Claim: the attacker's utility against unfair SFE is the same whether\n"
-                     "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E12: RPD composition — ideal hybrid vs GMW compilation",
+            "Claim: the attacker's utility against unfair SFE is the same whether\n"
+            "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.");
+  rep.gamma(gamma);
 
   struct Case {
     std::string name;
@@ -155,28 +154,28 @@ int main(int argc, char** argv) {
   };
 
   std::uint64_t seed = 1200;
-  bench::print_row_header();
+  rep.row_header();
   for (const auto& c : cases) {
-    const auto hybrid = rpd::estimate_utility(hybrid_attack(c.spec), gamma, runs, seed++);
+    const auto hybrid = rpd::estimate_utility(hybrid_attack(c.spec), gamma, rep.opts(seed++));
     auto cfg = std::make_shared<const mpc::GmwConfig>(mpc::GmwConfig::public_output(c.circuit));
-    const auto compiled = rpd::estimate_utility(compiled_attack(cfg), gamma, runs, seed++);
+    const auto compiled = rpd::estimate_utility(compiled_attack(cfg), gamma, rep.opts(seed++));
     auto circ = std::make_shared<const circuit::Circuit>(c.circuit);
-    const auto yao = rpd::estimate_utility(yao_attack(circ), gamma, runs, seed++);
-    bench::print_row(c.name + " [hybrid]", hybrid, "g10 (grab & abort)");
-    bench::print_row(c.name + " [GMW]", compiled, "g10 (rushing lock-abort)");
-    bench::print_row(c.name + " [Yao]", yao, "g10 (evaluator lock-abort)");
-    verdict.check(std::abs(hybrid.utility - compiled.utility) <
-                      hybrid.margin() + compiled.margin() + 0.02,
-                  c.name + ": hybrid and GMW utilities coincide");
-    verdict.check(std::abs(hybrid.utility - yao.utility) <
-                      hybrid.margin() + yao.margin() + 0.02,
-                  c.name + ": hybrid and Yao utilities coincide");
+    const auto yao = rpd::estimate_utility(yao_attack(circ), gamma, rep.opts(seed++));
+    rep.row(c.name + " [hybrid]", hybrid, "g10 (grab & abort)");
+    rep.row(c.name + " [GMW]", compiled, "g10 (rushing lock-abort)");
+    rep.row(c.name + " [Yao]", yao, "g10 (evaluator lock-abort)");
+    rep.check(std::abs(hybrid.utility - compiled.utility) <
+              hybrid.margin() + compiled.margin() + 0.02,
+              c.name + ": hybrid and GMW utilities coincide");
+    rep.check(std::abs(hybrid.utility - yao.utility) <
+              hybrid.margin() + yao.margin() + 0.02,
+              c.name + ": hybrid and Yao utilities coincide");
   }
 
   // The capstone: the *fair* protocol itself, hybrid vs fully compiled
   // (phase 1 = Yao garbled circuit on the f' extension, phase 2 unchanged).
   std::printf("\n--- full stack: Opt2SFE hybrid vs Opt2SFE-over-Yao ---\n\n");
-  bench::print_row_header();
+  rep.row_header();
   auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
   auto compiled_opt2 = [base](sim::PartyId corrupt) {
     return [base, corrupt](Rng& rng) {
@@ -193,19 +192,19 @@ int main(int argc, char** argv) {
     };
   };
   for (sim::PartyId c : {0, 1}) {
-    const auto hybrid = rpd::estimate_utility(opt2_lock_abort(c), gamma, runs, seed++);
-    const auto comp = rpd::estimate_utility(compiled_opt2(c), gamma, runs, seed++);
+    const auto hybrid = rpd::estimate_utility(opt2_lock_abort(c), gamma, rep.opts(seed++));
+    const auto comp = rpd::estimate_utility(compiled_opt2(c), gamma, rep.opts(seed++));
     const std::string who = "corrupt p" + std::to_string(c + 1);
-    bench::print_row("Opt2SFE [hybrid] " + who, hybrid, "(g10+g11)/2");
-    bench::print_row("Opt2SFE [Yao-compiled] " + who, comp, "(g10+g11)/2");
-    verdict.check(std::abs(hybrid.utility - comp.utility) <
-                      hybrid.margin() + comp.margin() + 0.03,
-                  "Opt2SFE fairness survives compilation (" + who + ")");
+    rep.row("Opt2SFE [hybrid] " + who, hybrid, "(g10+g11)/2");
+    rep.row("Opt2SFE [Yao-compiled] " + who, comp, "(g10+g11)/2");
+    rep.check(std::abs(hybrid.utility - comp.utility) <
+              hybrid.margin() + comp.margin() + 0.03,
+              "Opt2SFE fairness survives compilation (" + who + ")");
   }
 
   std::printf("\nNote: the fair protocols in src/fair are stated in these hybrid\n"
               "models; by this composition property their measured fairness carries\n"
               "over verbatim when the hybrid is instantiated with the GMW or Yao\n"
               "substrate — demonstrated above for the complete Opt2SFE stack.\n");
-  return verdict.finish();
+  return rep.finish();
 }

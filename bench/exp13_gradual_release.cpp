@@ -36,18 +36,18 @@ rpd::SetupFactory gradual_attack(std::size_t bits, std::size_t honest_budget,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  bench::Reporter rep(argc, argv, 1500);
+  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
   const std::size_t bits = 16;
 
-  bench::print_title("E13 (extension): gradual release vs the utility-based lens",
-                     "Claim (paper Section 1): gradual-release fairness depends on the\n"
-                     "computational budget gap; the optimal protocol's does not.");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E13 (extension): gradual release vs the utility-based lens",
+            "Claim (paper Section 1): gradual-release fairness depends on the\n"
+            "computational budget gap; the optimal protocol's does not.");
+  rep.gamma(gamma);
 
   std::printf("secret = %zu bits per party; lock-abort adversary corrupts p2.\n\n", bits);
-  bench::print_row_header();
+  rep.row_header();
   std::uint64_t seed = 1300;
 
   struct Row {
@@ -73,19 +73,19 @@ int main(int argc, char** argv) {
     std::snprintf(name, sizeof(name), "budgets honest=%zu adv=%zu", row.honest, row.adv);
     char paper[64];
     std::snprintf(paper, sizeof(paper), "%.3f (%s)", row.paper, row.note);
-    bench::print_row(name, est, paper);
-    verdict.check(std::abs(est.utility - row.paper) < est.margin() + 0.02, name);
+    rep.row(name, est, paper);
+    rep.check(std::abs(est.utility - row.paper) < est.margin() + 0.02, name);
   }
 
-  const auto opt2 = rpd::estimate_utility(opt2_lock_abort(1), gamma, runs, seed++);
-  bench::print_row("Opt2SFE (any budgets)", opt2, "(g10+g11)/2 = 0.750");
-  verdict.check(std::abs(opt2.utility - gamma.two_party_opt_bound()) < opt2.margin() + 0.02,
-                "Opt2SFE is budget-independent at the optimum");
+  const auto opt2 = rpd::estimate_utility(opt2_lock_abort(1), gamma, rep.opts(seed++));
+  rep.row("Opt2SFE (any budgets)", opt2, "(g10+g11)/2 = 0.750");
+  rep.check(std::abs(opt2.utility - gamma.two_party_opt_bound()) < opt2.margin() + 0.02,
+            "Opt2SFE is budget-independent at the optimum");
 
   std::printf("\nReading: by the utility metric, gradual release is either fully unfair\n"
               "(g10) or fully fair (g11) depending on assumptions *outside* the\n"
               "protocol; the optimally fair protocol gives a guarantee that holds\n"
               "unconditionally — the paper's motivation for a protocol-intrinsic,\n"
               "comparative measure.\n");
-  return verdict.finish();
+  return rep.finish();
 }

@@ -44,14 +44,13 @@ rpd::SetupFactory gradual_attack(sim::PartyId corrupt) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 2000);
+  bench::Reporter rep(argc, argv, 2000);
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
 
-  bench::print_title("E14 (extension): the RPD attack game, minimax check",
-                     "Claim: Opt2SFE = argmin_Pi max_A u_A(Pi, A) over the two-party\n"
-                     "designs in this library (the optimal protocol is the game value).");
-  bench::print_gamma(gamma, runs);
-  bench::Verdict verdict;
+  rep.title("E14 (extension): the RPD attack game, minimax check",
+            "Claim: Opt2SFE = argmin_Pi max_A u_A(Pi, A) over the two-party\n"
+            "designs in this library (the optimal protocol is the game value).");
+  rep.gamma(gamma);
 
   const std::vector<ProtocolRow> designs = {
       {"Pi1 (ordered opening)",
@@ -70,8 +69,8 @@ int main(int argc, char** argv) {
   std::string best_name;
   double opt2_value = 0;
   for (const auto& d : designs) {
-    const auto a1 = rpd::estimate_utility(d.attack_for(0), gamma, runs, seed++);
-    const auto a2 = rpd::estimate_utility(d.attack_for(1), gamma, runs, seed++);
+    const auto a1 = rpd::estimate_utility(d.attack_for(0), gamma, rep.opts(seed++));
+    const auto a2 = rpd::estimate_utility(d.attack_for(1), gamma, rep.opts(seed++));
     const double sup = std::max(a1.utility, a2.utility);
     std::printf("%-28s %14.4f %14.4f %12.4f\n", d.name.c_str(), a1.utility, a2.utility,
                 sup);
@@ -88,12 +87,12 @@ int main(int argc, char** argv) {
   // coin-tossed contract exchange is itself optimally fair for swaps, so the
   // minimax row is attained by both; any nominal argmin winner among the
   // tied rows is Monte-Carlo noise.)
-  verdict.check(opt2_value <= best_value + 0.03,
-                "Opt2SFE attains the minimax value of the attack game");
-  verdict.check(std::abs(opt2_value - gamma.two_party_opt_bound()) < 0.03,
-                "the game value equals (g10+g11)/2 — Theorems 3+4 as a saddle point");
+  rep.check(opt2_value <= best_value + 0.03,
+            "Opt2SFE attains the minimax value of the attack game");
+  rep.check(std::abs(opt2_value - gamma.two_party_opt_bound()) < 0.03,
+            "the game value equals (g10+g11)/2 — Theorems 3+4 as a saddle point");
   std::printf("Interpretation: the designer cannot push the best attacker below\n"
               "(g10+g11)/2 (Theorem 4), and Opt2SFE attains it (Theorem 3): the pair\n"
               "(Opt2SFE, Agen) is an equilibrium of the RPD meta-game.\n");
-  return verdict.finish();
+  return rep.finish();
 }

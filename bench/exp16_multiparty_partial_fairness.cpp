@@ -13,14 +13,13 @@ using namespace fairsfe;
 using namespace fairsfe::experiments;
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 1500);
+  bench::Reporter rep(argc, argv, 1500);
   const rpd::PayoffVector pf = rpd::PayoffVector::partial_fairness();
 
-  bench::print_title("E16 (extension): multi-party 1/p-security [Beimel et al.]",
-                     "Claim: every t-coalition's payoff stays <= 1/p under (0,0,1,0),\n"
-                     "for all 1 <= t <= n-1, at O(p*|Y|) broadcast rounds.");
-  bench::print_gamma(pf, runs);
-  bench::Verdict verdict;
+  rep.title("E16 (extension): multi-party 1/p-security [Beimel et al.]",
+            "Claim: every t-coalition's payoff stays <= 1/p under (0,0,1,0),\n"
+            "for all 1 <= t <= n-1, at O(p*|Y|) broadcast rounds.");
+  rep.gamma(pf);
 
   std::uint64_t seed = 1600;
   for (const std::size_t n : {3u, 4u, 5u}) {
@@ -28,25 +27,25 @@ int main(int argc, char** argv) {
       const fair::GkMultiParams params = fair::make_gk_multi_and_params(n, p);
       std::printf("--- n = %zu, p = %zu (cap %zu rounds, alpha %.4f) ---\n", n, p,
                   params.cap(), params.alpha());
-      bench::print_row_header();
+      rep.row_header();
       for (std::size_t t = 1; t < n; ++t) {
         double best = 0.0;
         std::string best_name;
         rpd::UtilityEstimate best_est;
         for (const auto& attack : gk_multi_attack_family(n, t, p)) {
-          const auto est = rpd::estimate_utility(attack.factory, pf, runs, seed++);
+          const auto est = rpd::estimate_utility(attack.factory, pf, rep.opts(seed++));
           if (est.utility >= best) {
             best = est.utility;
             best_name = attack.name;
             best_est = est;
           }
-          verdict.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
-                        "n=" + std::to_string(n) + " t=" + std::to_string(t) + " p=" +
-                            std::to_string(p) + " " + attack.name + " <= 1/p");
+          rep.check(est.utility <= 1.0 / static_cast<double>(p) + est.margin() + 0.02,
+                    "n=" + std::to_string(n) + " t=" + std::to_string(t) + " p=" +
+                    std::to_string(p) + " " + attack.name + " <= 1/p");
         }
         char buf[48];
         std::snprintf(buf, sizeof(buf), "<= 1/p = %.4f", 1.0 / static_cast<double>(p));
-        bench::print_row("t=" + std::to_string(t) + " best: " + best_name, best_est, buf);
+        rep.row("t=" + std::to_string(t) + " best: " + best_name, best_est, buf);
       }
       std::printf("\n");
     }
@@ -55,5 +54,5 @@ int main(int argc, char** argv) {
   std::printf("Shape: unlike the all-or-nothing Pi-1/2-GMW staircase (E07), partial\n"
               "fairness degrades with p, not with t — the multi-party extension\n"
               "keeps the 1/p guarantee even against n-1 colluding parties.\n");
-  return verdict.finish();
+  return rep.finish();
 }

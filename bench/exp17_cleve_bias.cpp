@@ -35,12 +35,12 @@ double target_rate(std::size_t rounds, bool eager, std::size_t runs, std::uint64
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t runs = bench::runs_from_argv(argc, argv, 4000);
+  bench::Reporter rep(argc, argv, 4000);
+  const std::size_t runs = rep.runs();
 
-  bench::print_title("E17 (extension): Cleve's coin-flipping bias [10]",
-                     "Claim: an aborting rushing party biases the r-flip majority\n"
-                     "protocol by 1/4 at r = 1, with decay ~1/sqrt(r) and no vanishing.");
-  bench::Verdict verdict;
+  rep.title("E17 (extension): Cleve's coin-flipping bias [10]",
+            "Claim: an aborting rushing party biases the r-flip majority\n"
+            "protocol by 1/4 at r = 1, with decay ~1/sqrt(r) and no vanishing.");
 
   std::printf("runs/point = %zu, adversary corrupts p1, target = 1\n\n", runs);
   std::printf("%-8s %14s %14s %18s\n", "flips r", "eager bias", "tally bias",
@@ -58,19 +58,19 @@ int main(int argc, char** argv) {
                 0.25 / std::sqrt(static_cast<double>(r)));
     if (r == 1) bias1 = tally;
     bias_last = tally;
-    verdict.check(tally <= prev_tally + 0.02,
-                  "bias non-increasing at r = " + std::to_string(r));
+    rep.check(tally <= prev_tally + 0.02,
+              "bias non-increasing at r = " + std::to_string(r));
     prev_tally = tally;
   }
 
   std::printf("\n");
-  verdict.check(std::abs(bias1 - 0.25) < 0.03, "single-flip bias is the classic 1/4");
-  verdict.check(bias_last > 0.01,
-                "bias never vanishes (Cleve's impossibility, Omega(1/r))");
+  rep.check(std::abs(bias1 - 0.25) < 0.03, "single-flip bias is the classic 1/4");
+  rep.check(bias_last > 0.01,
+            "bias never vanishes (Cleve's impossibility, Omega(1/r))");
 
   std::printf("\nContext: this is the impossibility that motivates the whole paper —\n"
               "since no protocol can eliminate the attacker's advantage, the right\n"
               "question is the comparative one: WHICH protocol minimizes it. The\n"
               "utility-based answer for general SFE is (g10+g11)/2 (E02/E03).\n");
-  return verdict.finish();
+  return rep.finish();
 }

@@ -1,7 +1,16 @@
 // P02 — end-to-end protocol execution throughput: full engine runs of the
 // fair protocols and the GMW substrate (gates/second).
+//
+// Two modes:
+//   perf_protocols [google-benchmark flags]   — the microbenchmarks below
+//   perf_protocols --scaling [--json <path>] [runs] [--threads N]
+//     — Monte-Carlo estimator thread-scaling: runs/sec at 1/2/4/8 worker
+//       threads (same seed; the estimates are bit-identical by construction)
+//       rendered through bench::Reporter, so --json records the throughput
+//       trajectory machine-readably.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "circuit/builder.h"
 #include "experiments/setups.h"
 #include "fair/mixed.h"
@@ -169,7 +178,76 @@ void BM_UtilityEstimation(benchmark::State& state) {
 }
 BENCHMARK(BM_UtilityEstimation)->Unit(benchmark::kMillisecond);
 
+void BM_UtilityEstimationThreads(benchmark::State& state) {
+  // The same 512-run utility point sharded over N worker threads.
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  rpd::EstimatorOptions opts;
+  opts.runs = 512;
+  opts.seed = 42;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rpd::estimate_utility(opt2_lock_abort(0), gamma, opts));
+  }
+  state.counters["runs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * opts.runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UtilityEstimationThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// --scaling mode: estimator throughput (runs/sec) vs worker threads, with the
+// bit-identical determinism guarantee checked along the way.
+int run_scaling(int argc, char** argv) {
+  bench::Reporter rep(argc, argv, 2000);
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  rep.title("P02-scaling: parallel Monte-Carlo estimator throughput",
+            "estimate_utility(Opt2SFE/lock-abort) at 1/2/4/8 worker threads; same seed "
+            "=> bit-identical estimates, runs/sec should scale with the hardware.");
+  rep.gamma(gamma);
+  rep.row_header();
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<rpd::UtilityEstimate> ests;
+  for (std::size_t t : thread_counts) {
+    auto opts = rep.opts(42);
+    opts.threads = t;
+    auto est = rpd::estimate_utility(opt2_lock_abort(0), gamma, opts);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.0f runs/sec", est.runs_per_sec());
+    rep.row("threads=" + std::to_string(t), est, buf);
+    ests.push_back(std::move(est));
+  }
+
+  bool identical = true;
+  for (const auto& est : ests) {
+    identical = identical && est.utility == ests[0].utility &&
+                est.std_error == ests[0].std_error &&
+                est.event_freq == ests[0].event_freq &&
+                est.run_events == ests[0].run_events;
+  }
+  rep.check(identical, "estimates bit-identical across all thread counts");
+  const double speedup = ests.back().runs_per_sec() / ests.front().runs_per_sec();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "8-thread throughput >= 3x single-thread (measured %.2fx; needs >= 4 "
+                "hardware threads)",
+                speedup);
+  rep.check(speedup >= 3.0, buf);
+  return rep.finish();
+}
+
 }  // namespace
 }  // namespace fairsfe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) {
+      return fairsfe::run_scaling(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI gate for the parallel Monte-Carlo estimation engine: build the tsan
+# preset and run the scheduling-independence tests (test_estimator_parallel)
+# under ThreadSanitizer, so data races in the estimator/thread-pool layer
+# fail the build rather than silently perturbing estimates.
+#
+# Usage: scripts/ci.sh [extra ctest -R regex]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt}"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target fairsfe_tests
+ctest --test-dir build-tsan -R "${FILTER}" --output-on-failure -j "$(nproc)"
+
+echo "tsan gate passed (${FILTER})"

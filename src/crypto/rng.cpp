@@ -22,8 +22,12 @@ Rng::Rng(std::uint64_t seed) : Rng(expand_seed(seed)) {}
 Rng::Rng(const Bytes& key) : key_(key), stream_(key, zero_nonce()) {}
 
 Rng Rng::fork(std::string_view label) {
+  return fork_at(label, fork_counter_++);
+}
+
+Rng Rng::fork_at(std::string_view label, std::uint64_t index) const {
   Writer w;
-  w.str(label).u64(fork_counter_++);
+  w.str(label).u64(index);
   return Rng(hmac_sha256(key_, w.bytes()));
 }
 

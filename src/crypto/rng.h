@@ -28,6 +28,13 @@ class Rng {
   /// internal fork counter is mixed in).
   Rng fork(std::string_view label);
 
+  /// Counter-based stream derivation: HMAC(key, label ‖ index). Unlike
+  /// fork(), this is a pure function of (key, label, index) — it neither
+  /// reads nor advances the internal fork counter, so the derived stream is
+  /// independent of call order and thread interleaving. For an Rng that has
+  /// never forked, fork_at(label, i) equals the i-th sequential fork(label).
+  [[nodiscard]] Rng fork_at(std::string_view label, std::uint64_t index) const;
+
   std::uint64_t u64();
   /// Uniform in [0, n). Precondition: n > 0. Rejection sampling (no bias).
   std::uint64_t below(std::uint64_t n);

@@ -17,12 +17,12 @@ double BalanceProfile::sum_margin() const {
 BalanceProfile balance_profile(
     std::size_t n,
     const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
-    const PayoffVector& payoff, std::size_t runs, std::uint64_t seed) {
+    const PayoffVector& payoff, const EstimatorOptions& opts) {
   BalanceProfile profile;
   profile.n = n;
-  std::uint64_t s = seed;
+  std::uint64_t s = opts.seed;
   for (std::size_t t = 1; t <= n - 1; ++t) {
-    const ProtocolAssessment a = assess_protocol(attacks_for_t(t), payoff, runs, s);
+    const ProtocolAssessment a = assess_protocol(attacks_for_t(t), payoff, opts.with_seed(s));
     s += a.attacks.size();
     profile.best_per_t.push_back(a.attacks[a.best_index]);
   }

@@ -27,11 +27,24 @@ struct BalanceProfile {
 };
 
 /// For each t in 1..n-1 run every strategy in `attacks_for_t(t)` and keep the
-/// best; `attacks_for_t` lets the caller tailor the family per budget.
+/// best; `attacks_for_t` lets the caller tailor the family per budget. Budget
+/// t's family is assessed with seed opts.seed advanced by the number of
+/// attacks already consumed, matching the historical sequential seeding.
 BalanceProfile balance_profile(
     std::size_t n,
     const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
-    const PayoffVector& payoff, std::size_t runs, std::uint64_t seed);
+    const PayoffVector& payoff, const EstimatorOptions& opts);
+
+/// Compatibility shim for the pre-EstimatorOptions positional signature.
+inline BalanceProfile balance_profile(
+    std::size_t n,
+    const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
+    const PayoffVector& payoff, std::size_t runs, std::uint64_t seed) {
+  EstimatorOptions opts;
+  opts.runs = runs;
+  opts.seed = seed;
+  return balance_profile(n, attacks_for_t, payoff, opts);
+}
 
 /// Definition 5 check, one-sided: does the profile sum stay within the
 /// Lemma 14 optimum (n-1)(γ10+γ11)/2 up to its statistical margin?

@@ -1,44 +1,91 @@
 #include "rpd/estimator.h"
 
+#include <chrono>
 #include <cmath>
+#include <mutex>
+
+#include "util/thread_pool.h"
 
 namespace fairsfe::rpd {
 
-sim::ExecutionResult execute(RunSetup setup, Rng rng) {
-  const std::size_t n = setup.parties.size();
+sim::ExecutionResult execute(RunSetup&& setup, Rng rng) {
   sim::Engine engine(std::move(setup.parties), std::move(setup.functionality),
                      std::move(setup.adversary), std::move(rng), setup.engine);
-  sim::ExecutionResult result = engine.run();
-  (void)n;
-  return result;
+  return engine.run();
 }
 
-UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
-                                 std::size_t runs, std::uint64_t seed) {
-  UtilityEstimate est;
-  est.runs = runs;
-  Rng master(seed);
+namespace {
+
+// Fixed shard width, independent of the thread count: shard s always covers
+// runs [s*kShardRuns, (s+1)*kShardRuns). Accumulators are produced per shard
+// and merged in shard order, so the floating-point summation tree — and hence
+// the returned estimate — does not depend on how shards map to threads.
+constexpr std::size_t kShardRuns = 64;
+
+struct ShardAccumulator {
   double sum = 0.0;
   double sum_sq = 0.0;
   std::array<std::size_t, 4> counts{};
+};
 
-  for (std::size_t i = 0; i < runs; ++i) {
-    Rng run_rng = master.fork("run");
-    Rng setup_rng = run_rng.fork("setup");
-    RunSetup setup = factory(setup_rng);
-    const std::size_t n = setup.parties.size();
-    auto j_predicate = setup.honest_got_output;
-    auto i_predicate = setup.adversary_learned;
-    sim::ExecutionResult result = execute(std::move(setup), run_rng.fork("engine"));
+}  // namespace
 
-    const bool j_bit = j_predicate ? j_predicate(result) : all_honest_nonbot(result, n);
-    Outcome o = outcome_of(result, n, j_bit);
-    if (i_predicate) o.adversary_learned = i_predicate(result);
-    const FairnessEvent e = classify(o);
-    counts[static_cast<std::size_t>(e)]++;
-    const double pay = payoff.of(e);
-    sum += pay;
-    sum_sq += pay * pay;
+UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
+                                 const EstimatorOptions& opts) {
+  const std::size_t runs = opts.runs;
+  UtilityEstimate est;
+  est.runs = runs;
+  if (runs == 0) return est;
+  est.run_events.resize(runs);
+
+  const std::size_t n_shards = (runs + kShardRuns - 1) / kShardRuns;
+  std::vector<ShardAccumulator> shards(n_shards);
+
+  std::mutex progress_mu;
+  std::size_t progress_done = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  util::parallel_for(n_shards, opts.threads, [&](std::size_t s) {
+    const std::size_t lo = s * kShardRuns;
+    const std::size_t hi = std::min(runs, lo + kShardRuns);
+    // Cheap per-shard master: run i's stream is a pure function of (seed, i).
+    const Rng master(opts.seed);
+    ShardAccumulator& acc = shards[s];
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng run_rng = master.fork_at("run", i);
+      Rng setup_rng = run_rng.fork("setup");
+      RunSetup setup = factory(setup_rng);
+      const std::size_t n = setup.parties.size();
+      auto j_predicate = setup.honest_got_output;
+      auto i_predicate = setup.adversary_learned;
+      sim::ExecutionResult result = execute(std::move(setup), run_rng.fork("engine"));
+
+      const bool j_bit = j_predicate ? j_predicate(result) : all_honest_nonbot(result, n);
+      Outcome o = outcome_of(result, n, j_bit);
+      if (i_predicate) o.adversary_learned = i_predicate(result);
+      const FairnessEvent e = classify(o);
+      est.run_events[i] = e;
+      acc.counts[static_cast<std::size_t>(e)]++;
+      const double pay = payoff.of(e);
+      acc.sum += pay;
+      acc.sum_sq += pay * pay;
+    }
+    if (opts.progress) {
+      std::unique_lock<std::mutex> lock(progress_mu);
+      progress_done += hi - lo;
+      opts.progress(progress_done, runs);
+    }
+  });
+  est.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::array<std::size_t, 4> counts{};
+  for (const ShardAccumulator& acc : shards) {  // merge in index order
+    sum += acc.sum;
+    sum_sq += acc.sum_sq;
+    for (std::size_t k = 0; k < 4; ++k) counts[k] += acc.counts[k];
   }
 
   const double mean = sum / static_cast<double>(runs);

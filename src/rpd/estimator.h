@@ -7,6 +7,12 @@
 // predicates of the real execution (see DESIGN.md §4); the estimator repeats
 // the execution with fresh randomness, classifies each run into E_ij, and
 // returns the empirical payoff with its standard error.
+//
+// Estimation is parallel and scheduling-independent: run i's randomness is
+// derived as Rng(seed).fork_at("run", i), a pure function of (seed, i), and
+// runs are accumulated in fixed-size index shards merged in index order, so
+// the returned estimate is bit-identical for every `threads` setting
+// (including the per-run event classifications in `run_events`).
 #pragma once
 
 #include <functional>
@@ -37,27 +43,79 @@ struct RunSetup {
   std::function<bool(const sim::ExecutionResult&)> adversary_learned;
 };
 
-/// A factory producing a fresh RunSetup from per-run randomness.
+/// A factory producing a fresh RunSetup from per-run randomness. Factories
+/// are invoked concurrently from estimator worker threads and must be
+/// re-entrant: build fresh objects per call and do not mutate captured state.
+/// (Every factory in src/experiments satisfies this by construction.)
 using SetupFactory = std::function<RunSetup(Rng&)>;
+
+/// How to run an estimation. Replaces the old positional
+/// (factory, payoff, runs, seed) signatures across the library.
+struct EstimatorOptions {
+  std::size_t runs = 1000;  ///< Monte-Carlo executions
+  std::uint64_t seed = 0;   ///< master seed; run i is a pure function of (seed, i)
+  /// Worker threads: 1 = run inline on the caller's thread, 0 = one per
+  /// hardware thread, N = exactly N. Results are bit-identical for every
+  /// setting.
+  std::size_t threads = 1;
+  /// Optional progress sink, invoked as progress(done_runs, total_runs) after
+  /// each completed shard. Calls are serialized (an internal mutex) but may
+  /// come from worker threads; `done_runs` is monotone and ends at total.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+
+  [[nodiscard]] EstimatorOptions with_seed(std::uint64_t s) const {
+    EstimatorOptions o = *this;
+    o.seed = s;
+    return o;
+  }
+  [[nodiscard]] EstimatorOptions with_runs(std::size_t r) const {
+    EstimatorOptions o = *this;
+    o.runs = r;
+    return o;
+  }
+};
 
 struct UtilityEstimate {
   double utility = 0.0;       ///< empirical mean payoff
   double std_error = 0.0;     ///< standard error of the mean
   std::array<double, 4> event_freq{};  ///< empirical Pr[E_ij], indexed by event
   std::size_t runs = 0;
+  /// Per-run event classification, index = run index (deterministic in the
+  /// seed, independent of `threads`).
+  std::vector<FairnessEvent> run_events;
+  /// Wall-clock duration of the estimation (metadata; not deterministic).
+  double wall_seconds = 0.0;
 
   [[nodiscard]] double freq(FairnessEvent e) const {
     return event_freq[static_cast<std::size_t>(e)];
   }
   /// Conservative high-probability half-width (3 standard errors).
   [[nodiscard]] double margin() const { return 3.0 * std_error; }
+  /// Monte-Carlo throughput of this estimation.
+  [[nodiscard]] double runs_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
+  }
 };
 
-/// Estimate u_A(Π, A) over `runs` independent executions seeded from `seed`.
+/// Estimate u_A(Π, A) over opts.runs independent executions seeded from
+/// opts.seed, sharded across opts.threads workers.
 UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
-                                 std::size_t runs, std::uint64_t seed);
+                                 const EstimatorOptions& opts);
+
+/// Compatibility shim for the pre-EstimatorOptions positional signature.
+inline UtilityEstimate estimate_utility(const SetupFactory& factory,
+                                        const PayoffVector& payoff, std::size_t runs,
+                                        std::uint64_t seed) {
+  EstimatorOptions opts;
+  opts.runs = runs;
+  opts.seed = seed;
+  return estimate_utility(factory, payoff, opts);
+}
 
 /// Run a single execution from a setup (used by tests needing transcripts).
-sim::ExecutionResult execute(RunSetup setup, Rng rng);
+/// Takes the setup by rvalue reference: execution consumes the parties,
+/// functionality, and adversary, so the caller must std::move its setup in
+/// and must not reuse it afterwards.
+sim::ExecutionResult execute(RunSetup&& setup, Rng rng);
 
 }  // namespace fairsfe::rpd

@@ -1,19 +1,48 @@
 #include "rpd/fairness_relation.h"
 
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
 namespace fairsfe::rpd {
 
 ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
-                                   const PayoffVector& payoff, std::size_t runs,
-                                   std::uint64_t seed) {
+                                   const PayoffVector& payoff,
+                                   const EstimatorOptions& opts) {
   ProtocolAssessment out;
-  out.attacks.reserve(attacks.size());
-  std::uint64_t s = seed;
-  for (const NamedAttack& a : attacks) {
-    AttackResult r;
-    r.name = a.name;
-    r.estimate = estimate_utility(a.factory, payoff, runs, s++);
-    out.attacks.push_back(std::move(r));
-  }
+  out.attacks.resize(attacks.size());
+
+  // Split the thread budget: sweep up to `threads` attacks concurrently, and
+  // give each estimation the leftover parallelism. Determinism does not
+  // depend on the split (estimates are bit-identical for any thread count).
+  const std::size_t threads = util::ThreadPool::resolve(opts.threads);
+  const std::size_t outer = std::min<std::size_t>(std::max<std::size_t>(1, threads),
+                                                  std::max<std::size_t>(1, attacks.size()));
+  const std::size_t inner = std::max<std::size_t>(1, threads / outer);
+
+  // Aggregate per-attack progress into one (done, total) stream over the
+  // whole family.
+  std::mutex progress_mu;
+  std::size_t family_done = 0;
+  std::vector<std::size_t> per_attack_done(attacks.size(), 0);
+  const std::size_t family_total = opts.runs * attacks.size();
+
+  util::parallel_for(attacks.size(), outer, [&](std::size_t k) {
+    EstimatorOptions attack_opts = opts.with_seed(opts.seed + k);
+    attack_opts.threads = inner;
+    if (opts.progress) {
+      attack_opts.progress = [&, k](std::size_t done, std::size_t) {
+        std::unique_lock<std::mutex> lock(progress_mu);
+        family_done += done - per_attack_done[k];
+        per_attack_done[k] = done;
+        opts.progress(family_done, family_total);
+      };
+    }
+    out.attacks[k] = {attacks[k].name,
+                      estimate_utility(attacks[k].factory, payoff, attack_opts)};
+  });
+
   for (std::size_t i = 1; i < out.attacks.size(); ++i) {
     if (out.attacks[i].estimate.utility > out.attacks[out.best_index].estimate.utility) {
       out.best_index = i;

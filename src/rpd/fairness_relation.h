@@ -4,7 +4,9 @@
 //     sup_A u_A(Π, A)  ≤negl  sup_A u_A(Π′, A).
 // Operationally the supremum is taken over a finite family of named attack
 // strategies (which for the protocols studied here includes the provably
-// optimal attacker), estimated by Monte Carlo.
+// optimal attacker), estimated by Monte Carlo. Attacks in the family are
+// estimated in parallel (attack k reseeded as opts.seed + k), so the
+// assessment is deterministic in opts.seed for every thread count.
 #pragma once
 
 #include <string>
@@ -36,9 +38,22 @@ struct ProtocolAssessment {
   [[nodiscard]] double best_margin() const { return attacks[best_index].estimate.margin(); }
 };
 
+/// Assess every attack in the family (attack k with seed opts.seed + k) and
+/// pick the best. With opts.threads > 1 the family is swept concurrently and
+/// the thread budget is split between attacks and runs within each attack.
 ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
-                                   const PayoffVector& payoff, std::size_t runs,
-                                   std::uint64_t seed);
+                                   const PayoffVector& payoff,
+                                   const EstimatorOptions& opts);
+
+/// Compatibility shim for the pre-EstimatorOptions positional signature.
+inline ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
+                                          const PayoffVector& payoff, std::size_t runs,
+                                          std::uint64_t seed) {
+  EstimatorOptions opts;
+  opts.runs = runs;
+  opts.seed = seed;
+  return assess_protocol(attacks, payoff, opts);
+}
 
 /// Definition 1, empirically: is `a` at least as fair as `b`? Statistical
 /// noise is absorbed by both margins (the analogue of the negligible slack).

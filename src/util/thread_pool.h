@@ -1,0 +1,60 @@
+// Minimal in-tree thread pool for the Monte-Carlo estimation engine.
+//
+// The pool is deliberately small: a fixed set of workers draining a FIFO of
+// type-erased jobs. Determinism of estimation results is *not* the pool's
+// job — callers achieve it by making every task a pure function of its index
+// (see rpd/estimator.cpp) and merging task outputs in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fairsfe::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Joins all workers; pending jobs are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Safe from any thread, including workers.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Resolve a thread-count request: 0 means "use the hardware".
+  static std::size_t resolve(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job available / stop
+  std::condition_variable idle_cv_;   // signals wait_idle: all work finished
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // jobs popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, count). With threads <= 1 the calls happen
+/// inline on the caller's thread in index order; otherwise they are
+/// distributed over a transient pool in arbitrary order. The first exception
+/// thrown by any fn (if any) is rethrown on the caller's thread after all
+/// indices complete. Blocks until done.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace fairsfe::util

@@ -1,9 +1,11 @@
-// Known-answer and property tests for SHA-256, HMAC-SHA256, and ChaCha20.
+// Known-answer and property tests for SHA-256, HMAC-SHA256, ChaCha20, and
+// the Rng's counter-based stream derivation.
 #include <gtest/gtest.h>
 
 #include "crypto/bytes.h"
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
+#include "crypto/rng.h"
 #include "crypto/sha256.h"
 
 namespace fairsfe {
@@ -118,6 +120,51 @@ TEST(ChaCha20, ProcessIsInvolution) {
 TEST(ChaCha20, DifferentKeysDiffer) {
   const Bytes k1(32, 1), k2(32, 2), nonce(12, 0);
   EXPECT_NE(ChaCha20(k1, nonce).keystream(32), ChaCha20(k2, nonce).keystream(32));
+}
+
+TEST(RngForkAt, StableAndIndependentOfCallOrder) {
+  // fork_at is a pure function of (seed, label, index): re-derivation gives
+  // the same stream, and deriving in any order gives the same streams.
+  Rng a(7), b(7);
+  EXPECT_EQ(a.fork_at("run", 3).bytes(16), b.fork_at("run", 3).bytes(16));
+  Rng c(7);
+  const Bytes second = c.fork_at("run", 1).bytes(16);
+  const Bytes first = c.fork_at("run", 0).bytes(16);
+  Rng d(7);
+  EXPECT_EQ(d.fork_at("run", 0).bytes(16), first);
+  EXPECT_EQ(d.fork_at("run", 1).bytes(16), second);
+}
+
+TEST(RngForkAt, DistinctIndicesAndLabelsAreIndependent) {
+  const Rng r(99);
+  EXPECT_NE(r.fork_at("run", 0).bytes(32), r.fork_at("run", 1).bytes(32));
+  EXPECT_NE(r.fork_at("run", 0).bytes(32), r.fork_at("setup", 0).bytes(32));
+  // Different seeds diverge too.
+  EXPECT_NE(Rng(1).fork_at("run", 0).bytes(32), Rng(2).fork_at("run", 0).bytes(32));
+}
+
+TEST(RngForkAt, MatchesSequentialForkSequence) {
+  // On a fresh Rng, the i-th sequential fork(label) and fork_at(label, i)
+  // derive the same key — the property the parallel estimator relies on to
+  // reproduce the historical sequential run streams.
+  Rng sequential(42);
+  std::vector<Bytes> forked;
+  for (int i = 0; i < 5; ++i) forked.push_back(sequential.fork("run").bytes(16));
+  const Rng counter_based(42);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(counter_based.fork_at("run", static_cast<std::uint64_t>(i)).bytes(16),
+              forked[static_cast<std::size_t>(i)])
+        << "index " << i;
+  }
+}
+
+TEST(RngForkAt, DoesNotPerturbTheParent) {
+  // fork_at neither consumes keystream nor advances the fork counter.
+  Rng a(5), b(5);
+  (void)a.fork_at("probe", 0);
+  (void)a.fork_at("probe", 1);
+  EXPECT_EQ(a.bytes(16), b.bytes(16));
+  EXPECT_EQ(a.fork("next").bytes(16), b.fork("next").bytes(16));
 }
 
 TEST(ChaCha20, ChunkedKeystreamMatches) {

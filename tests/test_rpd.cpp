@@ -114,10 +114,18 @@ SetupFactory echo_factory(bool learned) {
 
 TEST(Estimator, DeterministicGivenSeed) {
   const PayoffVector g = PayoffVector::standard();
-  const auto a = estimate_utility(echo_factory(false), g, 50, 7);
-  const auto b = estimate_utility(echo_factory(false), g, 50, 7);
+  EstimatorOptions opts;
+  opts.runs = 50;
+  opts.seed = 7;
+  const auto a = estimate_utility(echo_factory(false), g, opts);
+  const auto b = estimate_utility(echo_factory(false), g, opts);
   EXPECT_EQ(a.utility, b.utility);
   EXPECT_EQ(a.event_freq, b.event_freq);
+  EXPECT_EQ(a.run_events, b.run_events);
+  // The legacy positional signature is a shim over the same options.
+  const auto c = estimate_utility(echo_factory(false), g, 50, 7);
+  EXPECT_EQ(a.utility, c.utility);
+  EXPECT_EQ(a.event_freq, c.event_freq);
 }
 
 TEST(Estimator, PredicateOverridesControlEvents) {
