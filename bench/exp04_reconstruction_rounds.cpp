@@ -24,7 +24,7 @@ class OneRoundParty final : public sim::PartyBase<OneRoundParty> {
   OneRoundParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input)
       : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)) {}
 
-  std::vector<sim::Message> on_round(int, const std::vector<sim::Message>& in) override {
+  std::vector<sim::Message> on_round(int, sim::MsgView in) override {
     switch (step_) {
       case 0:
         step_ = 1;

@@ -49,7 +49,7 @@ class PlainSfeParty final : public sim::PartyBase<PlainSfeParty> {
  public:
   PlainSfeParty(sim::PartyId id, Bytes input) : PartyBase(id), input_(std::move(input)) {}
 
-  std::vector<sim::Message> on_round(int, const std::vector<sim::Message>& in) override {
+  std::vector<sim::Message> on_round(int, sim::MsgView in) override {
     if (!sent_) {
       sent_ = true;
       return {{id_, sim::kFunc, sim::encode_func_input(input_)}};
@@ -177,13 +177,14 @@ int main(int argc, char** argv) {
   std::printf("\n--- full stack: Opt2SFE hybrid vs Opt2SFE-over-Yao ---\n\n");
   rep.row_header();
   auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
-  auto compiled_opt2 = [base](sim::PartyId corrupt) {
-    return [base, corrupt](Rng& rng) {
+  auto plan = fair::Opt2CompiledPlan::build(base);
+  auto compiled_opt2 = [base, plan](sim::PartyId corrupt) {
+    return [base, plan, corrupt](Rng& rng) {
       rpd::RunSetup s;
       const auto a = circuit::u64_to_bits(rng.below(256), 8);
       const auto b = circuit::u64_to_bits(rng.below(256), 8);
       const Bytes y = circuit::bits_to_bytes(base->eval({a, b}));
-      s.parties = fair::make_opt2_compiled_parties(base, {a, b}, rng);
+      s.parties = fair::make_opt2_compiled_parties(plan, {a, b}, rng);
       s.functionality = std::make_unique<mpc::OtHub>();
       s.adversary = std::make_unique<adversary::LockAbortAdversary>(
           std::set<sim::PartyId>{corrupt}, y);

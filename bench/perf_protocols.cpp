@@ -1,14 +1,22 @@
 // P02 — end-to-end protocol execution throughput: full engine runs of the
 // fair protocols and the GMW substrate (gates/second).
 //
-// Two modes:
+// Three modes:
 //   perf_protocols [google-benchmark flags]   — the microbenchmarks below
 //   perf_protocols --scaling [--json <path>] [runs] [--threads N]
 //     — Monte-Carlo estimator thread-scaling: runs/sec at 1/2/4/8 worker
 //       threads (same seed; the estimates are bit-identical by construction)
 //       rendered through bench::Reporter, so --json records the throughput
 //       trajectory machine-readably.
+//   perf_protocols --profile [--json <path>] [iters]
+//     — hot-path profile of representative full-engine runs: runs/sec plus
+//       the engine's RoutingStats counters (messages/round, payload bytes and
+//       copy-avoided bytes per run). --json writes BENCH_hotpath.json so the
+//       trajectory of the zero-copy delivery path is recorded in-repo.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
 
 #include "bench_util.h"
 #include "circuit/builder.h"
@@ -135,12 +143,13 @@ BENCHMARK(BM_YaoMillionaires)->Arg(8)->Arg(16)->Arg(24);
 
 void BM_Opt2CompiledRun(benchmark::State& state) {
   auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
+  const auto plan = fair::Opt2CompiledPlan::build(base);
   std::uint64_t seed = 0;
   for (auto _ : state) {
     Rng rng(seed++);
     std::vector<std::vector<bool>> inputs = {circuit::u64_to_bits(rng.below(256), 8),
                                              circuit::u64_to_bits(rng.below(256), 8)};
-    auto parties = fair::make_opt2_compiled_parties(base, inputs, rng);
+    auto parties = fair::make_opt2_compiled_parties(plan, inputs, rng);
     sim::EngineConfig cfg;
     cfg.max_rounds = 24;
     sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
@@ -236,6 +245,169 @@ int run_scaling(int argc, char** argv) {
   return rep.finish();
 }
 
+// --profile mode: per-protocol hot-path profile. Each configuration is run
+// `iters` times with deterministic seeds; we report wall-clock throughput and
+// the engine's exact RoutingStats so regressions in the zero-copy delivery
+// path show up as bytes, not just microseconds.
+struct ProfileCase {
+  std::string name;
+  // Returns a ready-to-run engine for iteration `seed`.
+  std::function<sim::Engine(std::uint64_t seed)> make;
+};
+
+struct ProfileRow {
+  std::string name;
+  std::size_t runs = 0;
+  double wall_seconds = 0;
+  double rounds = 0;            // mean rounds per run
+  double messages = 0;          // mean messages per run
+  double broadcasts = 0;        // mean broadcast messages per run
+  double payload_bytes = 0;     // mean payload bytes per run (stored once)
+  double bytes_copied = 0;      // mean bytes duplicated per run (0: no transcript)
+  double bytes_copy_avoided = 0;  // mean bytes a copy-per-recipient engine pays
+
+  [[nodiscard]] double runs_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;
+  }
+  [[nodiscard]] double messages_per_round() const {
+    return rounds > 0 ? messages / rounds : 0;
+  }
+};
+
+std::vector<ProfileCase> profile_cases() {
+  std::vector<ProfileCase> cases;
+
+  auto mill = std::make_shared<const mpc::GmwConfig>(
+      mpc::GmwConfig::public_output(circuit::make_millionaires_circuit(16)));
+  cases.push_back({"gmw_millionaires_16", [mill](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<bool>> inputs = {
+        circuit::u64_to_bits(rng.below(1u << 16), 16),
+        circuit::u64_to_bits(rng.below(1u << 16), 16)};
+    auto parties = mpc::make_gmw_parties(mill, inputs, rng);
+    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                       rng.fork("engine"));
+  }});
+
+  auto max4 = std::make_shared<const mpc::GmwConfig>(
+      mpc::GmwConfig::public_output(circuit::make_max_circuit(4, 8)));
+  cases.push_back({"gmw_max_4party_8bit", [max4](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<bool>> inputs;
+    for (std::size_t p = 0; p < 4; ++p) {
+      inputs.push_back(circuit::u64_to_bits(rng.below(256), 8));
+    }
+    auto parties = mpc::make_gmw_parties(max4, inputs, rng);
+    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                       rng.fork("engine"));
+  }});
+
+  auto base = std::make_shared<const circuit::Circuit>(circuit::make_concat_circuit(2, 8));
+  auto plan = fair::Opt2CompiledPlan::build(base);
+  cases.push_back({"opt2_compiled_concat16", [plan](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<bool>> inputs = {circuit::u64_to_bits(rng.below(256), 8),
+                                             circuit::u64_to_bits(rng.below(256), 8)};
+    auto parties = fair::make_opt2_compiled_parties(plan, inputs, rng);
+    sim::ExecutionOptions opts;
+    opts.max_rounds = 24;
+    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+                       rng.fork("engine"), opts);
+  }});
+
+  return cases;
+}
+
+int run_profile(int argc, char** argv) {
+  std::size_t iters = 2000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v > 0) iters = static_cast<std::size_t>(v);
+    }
+  }
+
+  std::printf("\n=== P02-profile: zero-copy hot path ===\n");
+  std::printf("%zu deterministic engine runs per configuration; RoutingStats are exact\n"
+              "per-delivery counters, not samples. bytes_copied must stay 0 (transcripts\n"
+              "off); copy_avoided is what a copy-per-recipient engine would duplicate.\n\n",
+              iters);
+  std::printf("%-24s %10s %7s %9s %11s %9s %12s\n", "configuration", "runs/sec",
+              "rounds", "msgs/rnd", "payload/run", "copied", "avoided/run");
+  std::printf("%-24s %10s %7s %9s %11s %9s %12s\n", "-------------", "--------",
+              "------", "--------", "-----------", "------", "-----------");
+
+  std::vector<ProfileRow> rows;
+  for (const ProfileCase& c : profile_cases()) {
+    ProfileRow row;
+    row.name = c.name;
+    row.runs = iters;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      sim::Engine e = c.make(i);
+      const sim::ExecutionResult r = e.run();
+      row.rounds += r.rounds;
+      row.messages += static_cast<double>(r.stats.messages);
+      row.broadcasts += static_cast<double>(r.stats.broadcast_messages);
+      row.payload_bytes += static_cast<double>(r.stats.payload_bytes);
+      row.bytes_copied += static_cast<double>(r.stats.bytes_copied);
+      row.bytes_copy_avoided += static_cast<double>(r.stats.bytes_copy_avoided);
+    }
+    row.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double n = static_cast<double>(iters);
+    row.rounds /= n;
+    row.messages /= n;
+    row.broadcasts /= n;
+    row.payload_bytes /= n;
+    row.bytes_copied /= n;
+    row.bytes_copy_avoided /= n;
+    std::printf("%-24s %10.0f %7.1f %9.1f %11.0f %9.0f %12.0f\n", row.name.c_str(),
+                row.runs_per_sec(), row.rounds, row.messages_per_round(),
+                row.payload_bytes, row.bytes_copied, row.bytes_copy_avoided);
+    rows.push_back(std::move(row));
+  }
+
+  bool zero_copies = true;
+  for (const ProfileRow& r : rows) zero_copies = zero_copies && r.bytes_copied == 0;
+  std::printf("\n  [%s] bytes_copied == 0 for every configuration (transcripts off)\n",
+              zero_copies ? "PASS" : "DEVIATION");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"P02-profile\",\n"
+                    "  \"claim\": \"zero-copy hot path: mailbox routing, lazy transcripts, "
+                    "cached circuit plans\",\n  \"iters\": %zu,\n  \"rows\": [",
+                 iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ProfileRow& r = rows[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"runs\": %zu, \"wall_seconds\": %.6g, "
+                   "\"runs_per_sec\": %.6g, \"rounds\": %.6g, \"messages\": %.6g, "
+                   "\"broadcast_messages\": %.6g, \"messages_per_round\": %.6g, "
+                   "\"payload_bytes\": %.6g, \"bytes_copied\": %.6g, "
+                   "\"bytes_copy_avoided\": %.6g}",
+                   i == 0 ? "" : ",", r.name.c_str(), r.runs, r.wall_seconds,
+                   r.runs_per_sec(), r.rounds, r.messages, r.broadcasts,
+                   r.messages_per_round(), r.payload_bytes, r.bytes_copied,
+                   r.bytes_copy_avoided);
+    }
+    std::fprintf(f, "\n  ],\n  \"checks\": [\n    {\"ok\": %s, \"what\": \"bytes_copied "
+                    "== 0 with transcripts off\"}\n  ]\n}\n",
+                 zero_copies ? "true" : "false");
+    std::fclose(f);
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+  return zero_copies ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace fairsfe
 
@@ -243,6 +415,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling") == 0) {
       return fairsfe::run_scaling(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      return fairsfe::run_profile(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

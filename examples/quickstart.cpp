@@ -22,12 +22,21 @@ int main() {
   alice.u64(1'000'000);
   bob.u64(750'000);
   auto parties = fair::make_opt2_parties(spec, alice.bytes(), bob.bytes(), rng);
+  sim::ExecutionOptions opts;
+  opts.record_transcript = true;  // narration wants the message log; the
+                                  // Monte-Carlo estimator below leaves it off
   sim::Engine engine(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec),
-                     /*adversary=*/nullptr, rng.fork("engine"));
+                     /*adversary=*/nullptr, rng.fork("engine"), opts);
   const sim::ExecutionResult honest = engine.run();
   std::printf("honest run: alice richer? %s (and bob agrees: %s), %d rounds\n",
               (*honest.outputs[0])[0] ? "yes" : "no",
               (*honest.outputs[1])[0] ? "yes" : "no", honest.rounds);
+  const auto lines = honest.transcript_lines();
+  for (std::size_t r = 0; r < lines.size(); ++r) {
+    std::printf("  round %zu: %zu message(s)%s%s\n", r, lines[r].size(),
+                lines[r].empty() ? "" : ", first: ",
+                lines[r].empty() ? "" : lines[r][0].c_str());
+  }
 
   // 3. How fair is this protocol? Attack it with the paper's strongest
   //    adversary (lock-abort: follow the protocol honestly, abort the moment

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and print per-row deltas.
+
+Works with both report schemas in this repo:
+  - bench::Reporter files (rows keyed by "name" with "utility"/"runs_per_sec")
+  - perf_protocols --profile files (rows keyed by "name" with throughput and
+    RoutingStats counters)
+
+Usage: scripts/bench_diff.py OLD.json NEW.json
+
+Purely informational — exits 0 regardless of direction so it can run as a
+non-gating CI step; eyeball the signs.
+"""
+import json
+import sys
+
+# Higher is better for throughput; lower is better for cost counters.
+HIGHER_IS_BETTER = {"runs_per_sec"}
+# wall_seconds is omitted: it scales with the iteration count, not the work.
+NUMERIC_KEYS = [
+    "runs_per_sec",
+    "rounds",
+    "messages",
+    "messages_per_round",
+    "payload_bytes",
+    "bytes_copied",
+    "bytes_copy_avoided",
+    "utility",
+    "std_error",
+]
+
+
+def load_rows(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {row["name"]: row for row in report.get("rows", [])}, report
+
+
+def fmt(v):
+    return f"{v:,.3f}".rstrip("0").rstrip(".") if isinstance(v, float) else str(v)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    old_rows, old_rep = load_rows(sys.argv[1])
+    new_rows, new_rep = load_rows(sys.argv[2])
+
+    exp = new_rep.get("experiment", "?")
+    print(f"bench diff [{exp}]: {sys.argv[1]} -> {sys.argv[2]}\n")
+
+    for name in new_rows:
+        new = new_rows[name]
+        old = old_rows.get(name)
+        if old is None:
+            print(f"{name}: new row (no baseline)")
+            continue
+        print(f"{name}:")
+        for key in NUMERIC_KEYS:
+            if key not in new or key not in old:
+                continue
+            o, n = old[key], new[key]
+            if o == n:
+                continue
+            ratio = (n / o) if o else float("inf")
+            better = (n > o) == (key in HIGHER_IS_BETTER)
+            arrow = "improved" if better else "regressed"
+            print(f"  {key:>20}: {fmt(o)} -> {fmt(n)}  ({ratio:.2f}x, {arrow})")
+    gone = set(old_rows) - set(new_rows)
+    for name in sorted(gone):
+        print(f"{name}: dropped from report")
+
+
+if __name__ == "__main__":
+    main()

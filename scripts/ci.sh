@@ -1,17 +1,35 @@
 #!/usr/bin/env bash
 # CI gate for the parallel Monte-Carlo estimation engine: build the tsan
-# preset and run the scheduling-independence tests (test_estimator_parallel)
-# under ThreadSanitizer, so data races in the estimator/thread-pool layer
-# fail the build rather than silently perturbing estimates.
+# preset and run the scheduling-independence tests (test_estimator_parallel
+# plus the hot-path golden tests, which exercise the shared CompiledCircuit
+# and mailbox delivery) under ThreadSanitizer, so data races in the
+# estimator/thread-pool/plan-cache layer fail the build rather than silently
+# perturbing estimates.
+#
+# Afterwards, a non-gating perf smoke: a Release build of perf_protocols
+# --profile writes BENCH_hotpath.ci.json and scripts/bench_diff.py prints the
+# delta against the committed BENCH_hotpath.json. Regressions are surfaced,
+# never fatal (CI machines differ too much for a hard throughput gate).
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt}"
+FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt|Hotpath}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target fairsfe_tests
 ctest --test-dir build-tsan -R "${FILTER}" --output-on-failure -j "$(nproc)"
 
 echo "tsan gate passed (${FILTER})"
+
+# --- non-gating hot-path perf smoke -----------------------------------------
+if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
+   cmake --build build-perf -j "$(nproc)" --target perf_protocols >/dev/null 2>&1; then
+  ./build-perf/bench/perf_protocols --profile --json BENCH_hotpath.ci.json 500 || true
+  if [[ -f BENCH_hotpath.json && -f BENCH_hotpath.ci.json ]]; then
+    python3 scripts/bench_diff.py BENCH_hotpath.json BENCH_hotpath.ci.json || true
+  fi
+else
+  echo "perf smoke skipped (Release build unavailable)"
+fi

@@ -9,8 +9,8 @@ void AdversaryBase::setup(sim::AdvContext& ctx) {
   for (const sim::PartyId pid : initial_) ctx.corrupt(pid);
 }
 
-std::vector<sim::Message> AdversaryBase::honest_step_all(
-    sim::AdvContext& ctx, const std::vector<sim::Message>& delivered) {
+std::vector<sim::Message> AdversaryBase::honest_step_all(sim::AdvContext& ctx,
+                                                         sim::MsgView delivered) {
   std::vector<sim::Message> out;
   for (const sim::PartyId pid : ctx.corrupted()) {
     std::vector<sim::Message> part = ctx.honest_step(pid, addressed_to(delivered, pid));

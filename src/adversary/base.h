@@ -24,8 +24,7 @@ class AdversaryBase : public sim::IAdversary {
 
  protected:
   /// Run every corrupted party honestly on its share of `delivered`.
-  std::vector<sim::Message> honest_step_all(sim::AdvContext& ctx,
-                                            const std::vector<sim::Message>& delivered);
+  std::vector<sim::Message> honest_step_all(sim::AdvContext& ctx, sim::MsgView delivered);
 
   /// Record that the strategy extracted the output.
   void mark_learned(Bytes y);

@@ -59,7 +59,7 @@ std::vector<Message> GkMultiAborter::on_round(sim::AdvContext& ctx,
   // Pool this round's summands: the coalition's own (about to go out) plus
   // the honest ones seen early thanks to rushing.
   std::map<std::size_t, std::map<sim::PartyId, Bytes>> by_round;
-  auto absorb = [&](const std::vector<Message>& msgs) {
+  auto absorb = [&](sim::MsgView msgs) {
     for (const Message& m : msgs) {
       const auto sh = fair::decode_gk_multi_share(m.payload);
       if (sh) by_round[sh->j][m.from] = sh->summand;

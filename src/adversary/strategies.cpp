@@ -56,7 +56,7 @@ std::vector<Message> HalfGmwCoalition::on_round(sim::AdvContext& ctx,
   // shares and the honest ones already did (rushed traffic).
   std::vector<ShamirShare> pool;
   bool at_broadcast = false;
-  auto absorb = [&](const std::vector<Message>& msgs) {
+  auto absorb = [&](sim::MsgView msgs) {
     for (const Message& m : msgs) {
       const auto sb = fair::decode_share_broadcast(m.payload);
       if (!sb) continue;
@@ -88,7 +88,7 @@ std::vector<Message> LeakyAndProbe::on_round(sim::AdvContext& ctx,
     }
     return out;
   }
-  for (const std::vector<Message>* batch : {&view.delivered, &view.rushed}) {
+  for (const sim::MsgView* batch : {&view.delivered, &view.rushed}) {
     for (const Message& m : *batch) {
       const auto leak = fair::decode_leak(m.payload);
       if (leak && *leak) leaked_ = **leak;
@@ -127,7 +127,7 @@ std::vector<Message> Lemma18Deviator::on_round(sim::AdvContext& ctx,
   }
   // Watch for the value (broadcast or the tails-branch direct send).
   if (!learned_) {
-    for (const std::vector<Message>* msgs : {&view.delivered, &view.rushed}) {
+    for (const sim::MsgView* msgs : {&view.delivered, &view.rushed}) {
       for (const Message& m : *msgs) {
         const auto ann = fair::decode_announcement(m.payload);
         if (ann) mark_learned(ann->first);

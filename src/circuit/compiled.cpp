@@ -1,0 +1,98 @@
+#include "circuit/compiled.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fairsfe::circuit {
+
+CompiledCircuit CompiledCircuit::build(const Circuit& c) {
+  const auto& gates = c.gates();
+  const std::size_t n = c.num_parties();
+
+  // AND depth per wire; layer d collects AND gates of depth d+1.
+  std::vector<std::uint32_t> depth(gates.size(), 0);
+  std::uint32_t max_depth = 0;
+  std::size_t and_count = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kConst:
+        break;
+      case GateType::kNot:
+        depth[i] = depth[g.a];
+        break;
+      case GateType::kXor:
+        depth[i] = std::max(depth[g.a], depth[g.b]);
+        break;
+      case GateType::kAnd:
+        depth[i] = std::max(depth[g.a], depth[g.b]) + 1;
+        max_depth = std::max(max_depth, depth[i]);
+        ++and_count;
+        break;
+    }
+  }
+
+  CompiledCircuit plan;
+  // Counting sort by layer keeps gates ascending within each layer (stable).
+  std::vector<std::uint32_t> layer_sizes(max_depth, 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].type == GateType::kAnd) ++layer_sizes[depth[i] - 1];
+  }
+  plan.layer_offsets_.resize(max_depth + 1, 0);
+  for (std::uint32_t d = 0; d < max_depth; ++d) {
+    plan.layer_offsets_[d + 1] = plan.layer_offsets_[d] + layer_sizes[d];
+  }
+  plan.and_gates_.resize(and_count);
+  {
+    std::vector<std::uint32_t> cursor(plan.layer_offsets_.begin(),
+                                      plan.layer_offsets_.end() - 1);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (gates[i].type != GateType::kAnd) continue;
+      plan.and_gates_[cursor[depth[i] - 1]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Resolution schedule: a gate of AND depth d is computable after d AND
+  // layers are done (an AND gate of depth d *is* layer d-1's output, ready at
+  // step d). Counting sort again, so each step lists wires ascending.
+  {
+    std::vector<std::uint32_t> step_sizes(max_depth + 1, 0);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (gates[i].type != GateType::kInput) ++step_sizes[depth[i]];
+    }
+    plan.resolve_offsets_.resize(max_depth + 2, 0);
+    for (std::uint32_t d = 0; d <= max_depth; ++d) {
+      plan.resolve_offsets_[d + 1] = plan.resolve_offsets_[d] + step_sizes[d];
+    }
+    plan.resolve_gates_.resize(plan.resolve_offsets_[max_depth + 1]);
+    std::vector<std::uint32_t> cursor(plan.resolve_offsets_.begin(),
+                                      plan.resolve_offsets_.end() - 1);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (gates[i].type == GateType::kInput) continue;
+      plan.resolve_gates_[cursor[depth[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Input wire map: slot k of party p's range is the wire of input bit k.
+  plan.party_offsets_.resize(n + 1, 0);
+  std::size_t total_inputs = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    plan.party_offsets_[p] = static_cast<std::uint32_t>(total_inputs);
+    total_inputs += c.input_width(p);
+  }
+  plan.party_offsets_[n] = static_cast<std::uint32_t>(total_inputs);
+  plan.input_wires_.resize(total_inputs);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.type != GateType::kInput) continue;
+    if (g.party >= n || g.input_index >= c.input_width(g.party)) {
+      throw std::invalid_argument("CompiledCircuit: input gate out of range");
+    }
+    plan.input_wires_[plan.party_offsets_[g.party] + g.input_index] =
+        static_cast<std::uint32_t>(i);
+  }
+  return plan;
+}
+
+}  // namespace fairsfe::circuit

@@ -1,0 +1,69 @@
+// Compiled execution plan for a boolean circuit.
+//
+// GMW-style evaluation repeatedly needs two derived structures: the AND-layer
+// schedule (which gates can be OT-evaluated together) and the per-party input
+// wire map (which wire carries bit k of party p's input). Both are pure
+// functions of the circuit, yet recomputing them per party per execution is
+// O(gates) work multiplied by (parties x Monte-Carlo runs). A CompiledCircuit
+// is built once per circuit family, shared read-only (it is immutable after
+// build) across all runs and parties, and indexed in O(1).
+//
+// Layout: flattened uint32 arrays + offset tables, so a plan is two cache
+// friendly allocations instead of a vector-of-vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace fairsfe::circuit {
+
+class CompiledCircuit {
+ public:
+  /// Analyze `c` (topological layering of AND gates, input wire maps).
+  [[nodiscard]] static CompiledCircuit build(const Circuit& c);
+
+  /// Number of AND layers (= OT round trips a GMW evaluation needs).
+  [[nodiscard]] std::size_t num_and_layers() const { return layer_offsets_.size() - 1; }
+
+  /// Gate indices of AND layer `d` (0-based), in ascending order.
+  [[nodiscard]] std::span<const std::uint32_t> and_layer(std::size_t d) const {
+    return {and_gates_.data() + layer_offsets_[d],
+            layer_offsets_[d + 1] - layer_offsets_[d]};
+  }
+
+  /// Total number of AND gates.
+  [[nodiscard]] std::size_t num_and_gates() const { return and_gates_.size(); }
+
+  /// Wires carrying party `p`'s input: element k is the wire of input bit k.
+  [[nodiscard]] std::span<const std::uint32_t> inputs_of(std::size_t p) const {
+    return {input_wires_.data() + party_offsets_[p],
+            party_offsets_[p + 1] - party_offsets_[p]};
+  }
+
+  /// Resolution schedule: resolve_step(k) lists, in ascending (= topological)
+  /// wire order, exactly the non-input gates that become computable once k
+  /// AND layers have completed — consts and linear gates over inputs at k=0,
+  /// then after each OT layer the ANDs of that layer plus the linear gates
+  /// fed by them. A GMW evaluator walks step k instead of rescanning the
+  /// whole gate list; every gate is visited once per execution in total.
+  [[nodiscard]] std::size_t num_resolve_steps() const {
+    return resolve_offsets_.size() - 1;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> resolve_step(std::size_t k) const {
+    return {resolve_gates_.data() + resolve_offsets_[k],
+            resolve_offsets_[k + 1] - resolve_offsets_[k]};
+  }
+
+ private:
+  std::vector<std::uint32_t> and_gates_;      ///< AND gate indices grouped by layer
+  std::vector<std::uint32_t> layer_offsets_;  ///< size num_and_layers()+1
+  std::vector<std::uint32_t> input_wires_;    ///< input wires grouped by party
+  std::vector<std::uint32_t> party_offsets_;  ///< size num_parties+1
+  std::vector<std::uint32_t> resolve_gates_;    ///< non-input gates by AND depth
+  std::vector<std::uint32_t> resolve_offsets_;  ///< size num_and_layers()+2
+};
+
+}  // namespace fairsfe::circuit

@@ -66,12 +66,16 @@ Writer& Writer::u8(std::uint8_t v) {
 }
 
 Writer& Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), b, b + 4);
   return *this;
 }
 
 Writer& Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  buf_.insert(buf_.end(), b, b + 8);
   return *this;
 }
 

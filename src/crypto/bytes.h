@@ -41,6 +41,10 @@ bool ct_equal(ByteView a, ByteView b);
 /// Append-only encoder for the canonical wire format.
 class Writer {
  public:
+  /// Most control messages are tag + label + a few operands; one up-front
+  /// allocation replaces the doubling crawl from an empty buffer.
+  Writer() { buf_.reserve(24); }
+
   Writer& u8(std::uint8_t v);
   Writer& u32(std::uint32_t v);
   Writer& u64(std::uint64_t v);

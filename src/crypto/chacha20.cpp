@@ -1,6 +1,7 @@
 #include "crypto/chacha20.h"
 
 #include <cassert>
+#include <cstring>
 
 namespace fairsfe {
 
@@ -60,22 +61,39 @@ void ChaCha20::refill() {
   block_pos_ = 0;
 }
 
-Bytes ChaCha20::keystream(std::size_t n) {
-  Bytes out;
-  out.reserve(n);
-  while (out.size() < n) {
+void ChaCha20::fill(std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
     if (block_pos_ == kBlockSize) refill();
-    const std::size_t take = std::min(kBlockSize - block_pos_, n - out.size());
-    out.insert(out.end(), block_.begin() + static_cast<std::ptrdiff_t>(block_pos_),
-               block_.begin() + static_cast<std::ptrdiff_t>(block_pos_ + take));
+    const std::size_t take = std::min(kBlockSize - block_pos_, n - done);
+    std::memcpy(out + done, block_.data() + block_pos_, take);
     block_pos_ += take;
+    done += take;
   }
+}
+
+void ChaCha20::xor_into(std::span<std::uint8_t> data) {
+  std::size_t done = 0;
+  const std::size_t n = data.size();
+  while (done < n) {
+    if (block_pos_ == kBlockSize) refill();
+    const std::size_t take = std::min(kBlockSize - block_pos_, n - done);
+    for (std::size_t i = 0; i < take; ++i) data[done + i] ^= block_[block_pos_ + i];
+    block_pos_ += take;
+    done += take;
+  }
+}
+
+Bytes ChaCha20::keystream(std::size_t n) {
+  Bytes out(n);
+  fill(out.data(), n);
   return out;
 }
 
 Bytes ChaCha20::process(ByteView data) {
-  const Bytes ks = keystream(data.size());
-  return xor_bytes(data, ks);
+  Bytes out(data.begin(), data.end());
+  xor_into(out);
+  return out;
 }
 
 }  // namespace fairsfe

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "crypto/bytes.h"
 
@@ -19,10 +20,19 @@ class ChaCha20 {
   /// key must be 32 bytes; nonce 12 bytes. Counter starts at `counter`.
   ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter = 0);
 
-  /// Produce the next `n` keystream bytes.
+  /// Write the next `n` keystream bytes into `out` (no allocation). Consumes
+  /// exactly the same keystream as keystream(n).
+  void fill(std::uint8_t* out, std::size_t n);
+  void fill(std::span<std::uint8_t> out) { fill(out.data(), out.size()); }
+
+  /// XOR the next data.size() keystream bytes into `data` in place
+  /// (encrypt == decrypt, no allocation).
+  void xor_into(std::span<std::uint8_t> data);
+
+  /// Produce the next `n` keystream bytes (allocating convenience wrapper).
   Bytes keystream(std::size_t n);
 
-  /// XOR `data` with keystream (encrypt == decrypt).
+  /// XOR `data` with keystream (allocating; encrypt == decrypt).
   Bytes process(ByteView data);
 
  private:

@@ -32,9 +32,10 @@ Rng Rng::fork_at(std::string_view label, std::uint64_t index) const {
 }
 
 std::uint64_t Rng::u64() {
-  const Bytes b = stream_.keystream(8);
+  std::uint8_t b[8];
+  stream_.fill(b, 8);
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
   return v;
 }
 
@@ -49,11 +50,17 @@ std::uint64_t Rng::below(std::uint64_t n) {
 }
 
 bool Rng::bit() {
-  return (stream_.keystream(1)[0] & 1) != 0;
+  std::uint8_t b;
+  stream_.fill(&b, 1);
+  return (b & 1) != 0;
 }
 
 Bytes Rng::bytes(std::size_t n) {
   return stream_.keystream(n);
+}
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  stream_.fill(out);
 }
 
 double Rng::uniform() {

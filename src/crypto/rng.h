@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "crypto/bytes.h"
@@ -42,6 +43,9 @@ class Rng {
   bool bit();
   /// Uniform byte string of length n.
   Bytes bytes(std::size_t n);
+  /// Fill `out` with uniform bytes in place (no allocation). Consumes the
+  /// same keystream as bytes(out.size()).
+  void fill(std::span<std::uint8_t> out);
   /// Uniform double in [0, 1).
   double uniform();
 

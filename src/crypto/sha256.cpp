@@ -100,10 +100,12 @@ Sha256& Sha256::update(ByteView data) {
 
 Bytes Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad_one = 0x80;
-  update(ByteView(&pad_one, 1));
-  const std::uint8_t zero = 0x00;
-  while (buf_len_ != 56) update(ByteView(&zero, 1));
+  // One 0x80 byte, then zeros up to offset 56 of the final block (one extra
+  // block when fewer than 8 bytes remain for the length field).
+  static constexpr std::uint8_t kPad[kBlockSize + 1] = {0x80};
+  const std::size_t pad_len =
+      1 + ((kBlockSize + 56 - (buf_len_ + 1) % kBlockSize) % kBlockSize);
+  update(ByteView(kPad, pad_len));
   std::uint8_t len_be[8];
   for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
   std::memcpy(buf_.data() + 56, len_be, 8);

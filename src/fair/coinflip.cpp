@@ -5,6 +5,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagCoinCommit = 90;
@@ -55,7 +56,7 @@ void CoinFlipParty::finish_majority() {
   finish(Bytes{static_cast<std::uint8_t>(2 * ones > rounds_ ? 1 : 0)});
 }
 
-std::vector<Message> CoinFlipParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> CoinFlipParty::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kCommit: {
       if (k_ > flips_.size()) {

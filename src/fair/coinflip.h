@@ -30,7 +30,7 @@ class CoinFlipParty final : public sim::PartyBase<CoinFlipParty> {
   /// `rounds` must be odd (majority of r flips).
   CoinFlipParty(sim::PartyId id, std::size_t rounds, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
   // Adversary-visible state (the adversary owns corrupted parties).

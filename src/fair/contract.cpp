@@ -7,6 +7,7 @@ namespace fairsfe::fair {
 namespace {
 
 using sim::Message;
+using sim::MsgView;
 
 constexpr std::uint8_t kTagCommit = 1;
 constexpr std::uint8_t kTagCoinCommit = 2;
@@ -30,7 +31,7 @@ struct Opened {
   Bytes opening;
 };
 
-std::optional<Bytes> find_tagged(const std::vector<Message>& in, sim::PartyId from,
+std::optional<Bytes> find_tagged(MsgView in, sim::PartyId from,
                                  std::uint8_t tag) {
   for (const Message& m : in) {
     if (m.from != from) continue;
@@ -68,7 +69,7 @@ class ContractParty final : public sim::PartyBase<ContractParty> {
         contract_(std::move(contract)),
         rng_(std::move(rng)) {}
 
-  std::vector<Message> on_round(int /*round*/, const std::vector<Message>& in) override {
+  std::vector<Message> on_round(int /*round*/, MsgView in) override {
     switch (step_) {
       case Step::kSendCommit: {
         my_commit_ = commit(contract_, rng_);

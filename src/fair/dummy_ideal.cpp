@@ -3,12 +3,13 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 DummyIdealParty::DummyIdealParty(sim::PartyId id, Bytes input)
     : PartyBase(id), input_(std::move(input)) {}
 
 std::vector<Message> DummyIdealParty::on_round(int /*round*/,
-                                               const std::vector<Message>& in) {
+                                               MsgView in) {
   if (!sent_) {
     sent_ = true;
     return {Message{id_, sim::kFunc, sim::encode_func_input(input_)}};

@@ -20,7 +20,7 @@ class DummyIdealParty final : public sim::PartyBase<DummyIdealParty> {
  public:
   DummyIdealParty(sim::PartyId id, Bytes input);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

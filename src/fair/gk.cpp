@@ -5,6 +5,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagGkOpening = 60;
@@ -55,7 +56,7 @@ ShareGenFunc::ShareGenFunc(GkParams params, mpc::NotesPtr notes)
     : params_(std::move(params)), notes_(std::move(notes)) {}
 
 std::vector<Message> ShareGenFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                            const std::vector<Message>& in) {
+                                            MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 
@@ -146,7 +147,7 @@ std::vector<Message> GkParty::make_opening(std::size_t j) const {
                   encode_gk_opening(j, share.opening_to_bytes())}};
 }
 
-std::vector<Message> GkParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> GkParty::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendInput: {
       step_ = Step::kAwaitShares;

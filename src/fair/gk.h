@@ -57,7 +57,7 @@ class ShareGenFunc final : public sim::IFunctionality {
   explicit ShareGenFunc(GkParams params, mpc::NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   GkParams params_;
@@ -69,7 +69,7 @@ class GkParty final : public sim::PartyBase<GkParty> {
  public:
   GkParty(sim::PartyId id, GkParams params, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
   /// Adversary-visible state (the adversary owns corrupted parties): the last

@@ -6,6 +6,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagMultiShare = 65;
@@ -58,7 +59,7 @@ MultiShareGenFunc::MultiShareGenFunc(GkMultiParams params, mpc::NotesPtr notes)
     : params_(std::move(params)), notes_(std::move(notes)) {}
 
 std::vector<Message> MultiShareGenFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                                 const std::vector<Message>& in) {
+                                                 MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 
@@ -151,7 +152,7 @@ void GkMultiParty::finish_with_default() {
   finish(params_.spec.eval(xs));
 }
 
-std::vector<Message> GkMultiParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> GkMultiParty::on_round(int /*round*/, MsgView in) {
   const std::size_t n = params_.spec.n;
   switch (step_) {
     case Step::kSendInput: {

@@ -49,7 +49,7 @@ class MultiShareGenFunc final : public sim::IFunctionality {
   explicit MultiShareGenFunc(GkMultiParams params, mpc::NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   GkMultiParams params_;
@@ -61,7 +61,7 @@ class GkMultiParty final : public sim::PartyBase<GkMultiParty> {
  public:
   GkMultiParty(sim::PartyId id, GkMultiParams params, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

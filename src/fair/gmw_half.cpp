@@ -5,6 +5,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagShare = 40;
@@ -38,7 +39,7 @@ ShamirDealFunc::ShamirDealFunc(mpc::SfeSpec spec, mpc::NotesPtr notes)
     : spec_(std::move(spec)), notes_(std::move(notes)) {}
 
 std::vector<Message> ShamirDealFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                              const std::vector<Message>& in) {
+                                              MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 
@@ -105,7 +106,7 @@ std::vector<Message> ShamirDealFunc::on_round(sim::FuncContext& ctx, int /*round
 HalfGmwParty::HalfGmwParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng)
     : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)), rng_(std::move(rng)) {}
 
-std::vector<Message> HalfGmwParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> HalfGmwParty::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendInput: {
       step_ = Step::kAwaitShare;

@@ -33,7 +33,7 @@ class ShamirDealFunc final : public sim::IFunctionality {
   explicit ShamirDealFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   mpc::SfeSpec spec_;
@@ -45,7 +45,7 @@ class HalfGmwParty final : public sim::PartyBase<HalfGmwParty> {
  public:
   HalfGmwParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

@@ -3,6 +3,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagCommitVec = 80;
@@ -88,7 +89,7 @@ void GradualParty::finalize() {
   }
 }
 
-std::vector<Message> GradualParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> GradualParty::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendCommitments: {
       my_commitments_.reserve(cfg_.secret_bits);

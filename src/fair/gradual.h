@@ -44,7 +44,7 @@ class GradualParty final : public sim::PartyBase<GradualParty> {
   GradualParty(sim::PartyId id, GradualConfig cfg, Bytes secret, Bytes peer_secret,
                Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
   [[nodiscard]] std::size_t revealed_peer_bits() const { return peer_bits_; }

@@ -3,6 +3,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagPreamble = 61;
@@ -61,7 +62,7 @@ LeakyAndParty::LeakyAndParty(sim::PartyId id, Bytes input, Rng rng)
       rng_(std::move(rng)),
       inner_(id, make_gk_and_params(4), input, rng_.fork("inner-gk")) {}
 
-std::vector<Message> LeakyAndParty::on_round(int round, const std::vector<Message>& in) {
+std::vector<Message> LeakyAndParty::on_round(int round, MsgView in) {
   std::vector<Message> inner_in;
   std::vector<Message> wrapper_in;
   for (const Message& m : in) {

@@ -22,7 +22,7 @@ class LeakyAndParty final : public sim::PartyBase<LeakyAndParty> {
  public:
   LeakyAndParty(sim::PartyId id, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

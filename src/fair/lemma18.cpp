@@ -3,6 +3,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagFlag = 50;
@@ -26,7 +27,7 @@ std::optional<std::uint8_t> decode_flag(ByteView payload) {
 Lemma18Party::Lemma18Party(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng)
     : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)), rng_(std::move(rng)) {}
 
-std::vector<Message> Lemma18Party::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> Lemma18Party::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendInput: {
       step_ = Step::kAwaitFuncOutput;

@@ -28,7 +28,7 @@ class Lemma18Party final : public sim::PartyBase<Lemma18Party> {
  public:
   Lemma18Party(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

@@ -7,6 +7,7 @@ namespace fairsfe::fair {
 using circuit::Gate;
 using circuit::GateType;
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagSummand = 21;
@@ -88,14 +89,22 @@ mpc::YaoConfig make_opt2_fprime(const circuit::Circuit& base) {
   return cfg;
 }
 
+std::shared_ptr<const Opt2CompiledPlan> Opt2CompiledPlan::build(
+    std::shared_ptr<const circuit::Circuit> base) {
+  auto plan = std::make_shared<Opt2CompiledPlan>();
+  plan->fprime = make_opt2_fprime(*base);
+  plan->base = std::move(base);
+  return plan;
+}
+
 Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
-                                     std::shared_ptr<const circuit::Circuit> base,
+                                     std::shared_ptr<const Opt2CompiledPlan> plan,
                                      std::vector<bool> input, Rng rng)
-    : PartyBase(id), base_(std::move(base)), input_(std::move(input)),
+    : PartyBase(id), plan_(std::move(plan)), input_(std::move(input)),
       rng_(std::move(rng)) {
   assert(id == 0 || id == 1);
-  const mpc::YaoConfig cfg = make_opt2_fprime(*base_);
-  const std::size_t m = base_->outputs().size();
+  const mpc::YaoConfig& cfg = plan_->fprime;
+  const std::size_t m = plan_->base->outputs().size();
   std::vector<bool> padded = input_;
   if (id == 0) {
     mask_.reserve(m);
@@ -109,9 +118,15 @@ Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
   }
 }
 
+Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
+                                     std::shared_ptr<const circuit::Circuit> base,
+                                     std::vector<bool> input, Rng rng)
+    : Opt2CompiledParty(id, Opt2CompiledPlan::build(std::move(base)), std::move(input),
+                        std::move(rng)) {}
+
 Opt2CompiledParty::Opt2CompiledParty(const Opt2CompiledParty& other)
     : PartyBase(other),
-      base_(other.base_),
+      plan_(other.plan_),
       input_(other.input_),
       rng_(other.rng_),
       inner_(other.inner_->clone()),
@@ -125,16 +140,16 @@ void Opt2CompiledParty::finish_with_default() {
   // Evaluate the base circuit on my input and the peer's default (all-zero)
   // input.
   std::vector<std::vector<bool>> xs = {
-      std::vector<bool>(base_->input_width(0), false),
-      std::vector<bool>(base_->input_width(1), false)};
+      std::vector<bool>(plan_->base->input_width(0), false),
+      std::vector<bool>(plan_->base->input_width(1), false)};
   xs[static_cast<std::size_t>(id_)] = input_;
-  finish(circuit::bits_to_bytes(base_->eval(xs)));
+  finish(circuit::bits_to_bytes(plan_->base->eval(xs)));
 }
 
 bool Opt2CompiledParty::absorb_inner_output() {
   const auto out = inner_->output();
   if (!out) return false;
-  const std::size_t m = base_->outputs().size();
+  const std::size_t m = plan_->base->outputs().size();
   if (id_ == 0) {
     // Output = [î] (1 bit); my summand is the mask I chose.
     const auto bits = circuit::bytes_to_bits(*out, 1);
@@ -149,7 +164,7 @@ bool Opt2CompiledParty::absorb_inner_output() {
   return true;
 }
 
-std::vector<Message> Opt2CompiledParty::on_round(int round, const std::vector<Message>& in) {
+std::vector<Message> Opt2CompiledParty::on_round(int round, MsgView in) {
   std::vector<Message> inner_in;
   std::vector<Message> wrapper_in;
   for (const Message& m : in) {
@@ -190,7 +205,7 @@ std::vector<Message> Opt2CompiledParty::on_round(int round, const std::vector<Me
       return out;
     }
     case Phase::kAwaitOpening: {
-      const std::size_t m = base_->outputs().size();
+      const std::size_t m = plan_->base->outputs().size();
       for (const Message& msg : wrapper_in) {
         if (msg.from != 1 - id_) continue;
         const auto peer = dec_summand(msg.payload, m);
@@ -205,7 +220,7 @@ std::vector<Message> Opt2CompiledParty::on_round(int round, const std::vector<Me
       return out;
     }
     case Phase::kAwaitFinal: {
-      const std::size_t m = base_->outputs().size();
+      const std::size_t m = plan_->base->outputs().size();
       for (const Message& msg : wrapper_in) {
         if (msg.from != 1 - id_) continue;
         const auto peer = dec_summand(msg.payload, m);
@@ -237,15 +252,23 @@ void Opt2CompiledParty::on_abort() {
 }
 
 std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
-    std::shared_ptr<const circuit::Circuit> base,
+    std::shared_ptr<const Opt2CompiledPlan> plan,
     const std::vector<std::vector<bool>>& inputs, Rng& rng) {
   assert(inputs.size() == 2);
   std::vector<std::unique_ptr<sim::IParty>> parties;
   parties.push_back(
-      std::make_unique<Opt2CompiledParty>(0, base, inputs[0], rng.fork("opt2c-p0")));
+      std::make_unique<Opt2CompiledParty>(0, plan, inputs[0], rng.fork("opt2c-p0")));
   parties.push_back(
-      std::make_unique<Opt2CompiledParty>(1, base, inputs[1], rng.fork("opt2c-p1")));
+      std::make_unique<Opt2CompiledParty>(1, std::move(plan), inputs[1],
+                                          rng.fork("opt2c-p1")));
   return parties;
+}
+
+std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
+    std::shared_ptr<const circuit::Circuit> base,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng) {
+  return make_opt2_compiled_parties(Opt2CompiledPlan::build(std::move(base)), inputs,
+                                    rng);
 }
 
 }  // namespace fairsfe::fair

@@ -26,16 +26,31 @@ namespace fairsfe::fair {
 /// Build the f′ circuit and Yao output visibility for a base 2-party circuit.
 mpc::YaoConfig make_opt2_fprime(const circuit::Circuit& base);
 
+/// Precompiled protocol plan: the f′ YaoConfig is a pure function of the base
+/// circuit, so it is built once per circuit family and shared read-only
+/// across all Monte-Carlo runs and both parties (a party's setup is then a
+/// pointer grab instead of an O(gates) circuit rebuild).
+struct Opt2CompiledPlan {
+  std::shared_ptr<const circuit::Circuit> base;
+  mpc::YaoConfig fprime;
+
+  [[nodiscard]] static std::shared_ptr<const Opt2CompiledPlan> build(
+      std::shared_ptr<const circuit::Circuit> base);
+};
+
 class Opt2CompiledParty final : public sim::PartyBase<Opt2CompiledParty> {
  public:
-  /// `base` is the circuit for f; `input` this party's packed input bits.
+  /// Shared-plan constructor: the hot path for repeated runs.
+  Opt2CompiledParty(sim::PartyId id, std::shared_ptr<const Opt2CompiledPlan> plan,
+                    std::vector<bool> input, Rng rng);
+  /// Compatibility: builds a private plan from `base` (one-off runs).
   Opt2CompiledParty(sim::PartyId id, std::shared_ptr<const circuit::Circuit> base,
                     std::vector<bool> input, Rng rng);
 
   Opt2CompiledParty(const Opt2CompiledParty& other);
   Opt2CompiledParty& operator=(const Opt2CompiledParty&) = delete;
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:
@@ -45,7 +60,7 @@ class Opt2CompiledParty final : public sim::PartyBase<Opt2CompiledParty> {
   /// Parse the inner Yao output into (my summand, î).
   bool absorb_inner_output();
 
-  std::shared_ptr<const circuit::Circuit> base_;
+  std::shared_ptr<const Opt2CompiledPlan> plan_;
   std::vector<bool> input_;
   Rng rng_;
 
@@ -58,6 +73,10 @@ class Opt2CompiledParty final : public sim::PartyBase<Opt2CompiledParty> {
 };
 
 /// Build both parties (p0 garbles). Run with an OtHub functionality.
+std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
+    std::shared_ptr<const Opt2CompiledPlan> plan,
+    const std::vector<std::vector<bool>>& inputs, Rng& rng);
+/// Compatibility overload: compiles the plan, then builds both parties.
 std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
     std::shared_ptr<const circuit::Circuit> base,
     const std::vector<std::vector<bool>>& inputs, Rng& rng);

@@ -3,6 +3,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagOpening = 20;
@@ -13,7 +14,7 @@ Bytes enc_opening(const AuthShare2& share) {
   return w.take();
 }
 
-std::optional<Bytes> find_opening(const std::vector<Message>& in, sim::PartyId from) {
+std::optional<Bytes> find_opening(MsgView in, sim::PartyId from) {
   for (const Message& m : in) {
     if (m.from != from) continue;
     Reader r(m.payload);
@@ -30,7 +31,7 @@ Opt2ShareFunc::Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes)
     : spec_(std::move(spec)), notes_(std::move(notes)) {}
 
 std::vector<Message> Opt2ShareFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                             const std::vector<Message>& in) {
+                                             MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 
@@ -91,7 +92,7 @@ void Opt2Party::finish_with_default() {
   finish(spec_.eval(xs));
 }
 
-std::vector<Message> Opt2Party::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> Opt2Party::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendInput: {
       step_ = Step::kAwaitShare;

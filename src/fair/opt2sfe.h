@@ -34,7 +34,7 @@ class Opt2ShareFunc final : public sim::IFunctionality {
   explicit Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   mpc::SfeSpec spec_;
@@ -46,7 +46,7 @@ class Opt2Party final : public sim::PartyBase<Opt2Party> {
  public:
   Opt2Party(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

@@ -3,6 +3,7 @@
 namespace fairsfe::fair {
 
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 constexpr std::uint8_t kTagAnnounce = 30;
@@ -54,7 +55,7 @@ PrivOutputFunc::PrivOutputFunc(mpc::SfeSpec spec, mpc::NotesPtr notes)
     : spec_(std::move(spec)), notes_(std::move(notes)) {}
 
 std::vector<Message> PrivOutputFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                              const std::vector<Message>& in) {
+                                              MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 
@@ -121,7 +122,7 @@ std::vector<Message> PrivOutputFunc::on_round(sim::FuncContext& ctx, int /*round
 OptNParty::OptNParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng)
     : PartyBase(id), spec_(std::move(spec)), input_(std::move(input)), rng_(std::move(rng)) {}
 
-std::vector<Message> OptNParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> OptNParty::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendInput: {
       step_ = Step::kAwaitFuncOutput;

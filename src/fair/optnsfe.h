@@ -32,7 +32,7 @@ class PrivOutputFunc final : public sim::IFunctionality {
   explicit PrivOutputFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   mpc::SfeSpec spec_;
@@ -44,7 +44,7 @@ class OptNParty final : public sim::PartyBase<OptNParty> {
  public:
   OptNParty(sim::PartyId id, mpc::SfeSpec spec, Bytes input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

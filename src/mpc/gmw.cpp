@@ -10,43 +10,16 @@ namespace fairsfe::mpc {
 using circuit::Gate;
 using circuit::GateType;
 using sim::Message;
+using sim::MsgView;
 
 GmwConfig GmwConfig::public_output(circuit::Circuit c) {
-  GmwConfig cfg{std::move(c), {}};
+  GmwConfig cfg{std::move(c), {}, nullptr};
   std::vector<std::size_t> all(cfg.circuit.outputs().size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   cfg.output_map.assign(cfg.circuit.num_parties(), all);
+  cfg.plan = std::make_shared<const circuit::CompiledCircuit>(
+      circuit::CompiledCircuit::build(cfg.circuit));
   return cfg;
-}
-
-std::vector<std::vector<std::size_t>> GmwConfig::and_layers() const {
-  const auto& gates = circuit.gates();
-  std::vector<std::size_t> depth(gates.size(), 0);
-  std::size_t max_depth = 0;
-  for (std::size_t i = 0; i < gates.size(); ++i) {
-    const Gate& g = gates[i];
-    switch (g.type) {
-      case GateType::kInput:
-      case GateType::kConst:
-        depth[i] = 0;
-        break;
-      case GateType::kNot:
-        depth[i] = depth[g.a];
-        break;
-      case GateType::kXor:
-        depth[i] = std::max(depth[g.a], depth[g.b]);
-        break;
-      case GateType::kAnd:
-        depth[i] = std::max(depth[g.a], depth[g.b]) + 1;
-        max_depth = std::max(max_depth, depth[i]);
-        break;
-    }
-  }
-  std::vector<std::vector<std::size_t>> layers(max_depth);
-  for (std::size_t i = 0; i < gates.size(); ++i) {
-    if (gates[i].type == GateType::kAnd) layers[depth[i] - 1].push_back(i);
-  }
-  return layers;
 }
 
 GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
@@ -57,9 +30,13 @@ GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
   if (input_.size() != c.input_width(static_cast<std::size_t>(id))) {
     throw std::invalid_argument("GmwParty: wrong input width");
   }
-  layers_ = cfg_->and_layers();
-  known_.assign(c.num_wires(), 0);
+  plan_ = cfg_->plan;
+  if (!plan_) {
+    plan_ = std::make_shared<const circuit::CompiledCircuit>(
+        circuit::CompiledCircuit::build(c));
+  }
   share_.assign(c.num_wires(), 0);
+  and_state_.assign(c.num_wires(), -1);
 }
 
 namespace {
@@ -70,7 +47,7 @@ std::uint64_t ot_label(std::size_t gate, std::size_t sender, std::size_t receive
 }
 }  // namespace
 
-std::vector<Message> GmwParty::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> GmwParty::on_round(int /*round*/, MsgView in) {
   switch (phase_) {
     case Phase::kSendInputShares: {
       phase_ = Phase::kAwaitInputShares;
@@ -82,7 +59,7 @@ std::vector<Message> GmwParty::on_round(int /*round*/, const std::vector<Message
         return {};
       }
       propagate();
-      if (layer_ < layers_.size()) {
+      if (layer_ < plan_->num_and_layers()) {
         phase_ = Phase::kOtRoundTrip;
         ot_wait_ = 2;
         return send_layer_ots();
@@ -98,7 +75,7 @@ std::vector<Message> GmwParty::on_round(int /*round*/, const std::vector<Message
       }
       propagate();
       ++layer_;
-      if (layer_ < layers_.size()) {
+      if (layer_ < plan_->num_and_layers()) {
         ot_wait_ = 2;
         return send_layer_ots();
       }
@@ -132,18 +109,13 @@ std::vector<Message> GmwParty::send_input_shares() {
     }
     shares[static_cast<std::size_t>(id_)][k] = acc;
   }
-  // Record my own shares on my input wires.
+  // Record my own shares on my input wires (precomputed wire map).
   {
-    std::size_t k = 0;
-    for (std::size_t w = 0; w < c.gates().size(); ++w) {
-      const Gate& g = c.gates()[w];
-      if (g.type == GateType::kInput && g.party == static_cast<std::uint32_t>(id_)) {
-        known_[w] = 1;
-        share_[w] = shares[static_cast<std::size_t>(id_)][g.input_index] ? 1 : 0;
-        ++k;
-      }
+    const auto my_wires = plan_->inputs_of(static_cast<std::size_t>(id_));
+    for (std::size_t k = 0; k < my_wires.size(); ++k) {
+      const std::uint32_t w = my_wires[k];
+      share_[w] = shares[static_cast<std::size_t>(id_)][k] ? 1 : 0;
     }
-    (void)k;
   }
   std::vector<Message> out;
   for (std::size_t j = 0; j < n; ++j) {
@@ -156,7 +128,7 @@ std::vector<Message> GmwParty::send_input_shares() {
   return out;
 }
 
-bool GmwParty::absorb_input_shares(const std::vector<Message>& in) {
+bool GmwParty::absorb_input_shares(MsgView in) {
   const auto& c = cfg_->circuit;
   const std::size_t n = c.num_parties();
   std::vector<std::vector<bool>> from(n);
@@ -173,53 +145,46 @@ bool GmwParty::absorb_input_shares(const std::vector<Message>& in) {
     if (j == static_cast<std::size_t>(id_)) continue;
     if (from[j].size() != c.input_width(j)) return false;  // missing/invalid
   }
-  for (std::size_t w = 0; w < c.gates().size(); ++w) {
-    const Gate& g = c.gates()[w];
-    if (g.type != GateType::kInput) continue;
-    if (g.party == static_cast<std::uint32_t>(id_)) continue;  // already set
-    known_[w] = 1;
-    share_[w] = from[g.party][g.input_index] ? 1 : 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == static_cast<std::size_t>(id_)) continue;  // already set
+    const auto wires = plan_->inputs_of(j);
+    for (std::size_t k = 0; k < wires.size(); ++k) {
+      const std::uint32_t w = wires[k];
+      share_[w] = from[j][k] ? 1 : 0;
+    }
   }
   return true;
 }
 
 void GmwParty::propagate() {
+  // Called exactly once after the input exchange and once after each
+  // completed AND layer, so step k's gates always have known operands —
+  // no known_ scan over the whole circuit.
+  if (step_ >= plan_->num_resolve_steps()) return;
   const auto& gates = cfg_->circuit.gates();
-  for (std::size_t w = 0; w < gates.size(); ++w) {
-    if (known_[w]) continue;
+  for (const std::uint32_t w : plan_->resolve_step(step_)) {
     const Gate& g = gates[w];
     switch (g.type) {
       case GateType::kConst:
         // Only party 0 contributes the constant so the XOR over parties is it.
-        known_[w] = 1;
         share_[w] = (id_ == 0 && g.const_value) ? 1 : 0;
         break;
       case GateType::kXor:
-        if (known_[g.a] && known_[g.b]) {
-          known_[w] = 1;
-          share_[w] = share_[g.a] ^ share_[g.b];
-        }
+        share_[w] = share_[g.a] ^ share_[g.b];
         break;
       case GateType::kNot:
-        if (known_[g.a]) {
-          known_[w] = 1;
-          // Negation flips exactly one party's share.
-          share_[w] = (id_ == 0) ? (share_[g.a] ^ 1) : share_[g.a];
-        }
+        // Negation flips exactly one party's share.
+        share_[w] = (id_ == 0) ? (share_[g.a] ^ 1) : share_[g.a];
         break;
-      case GateType::kAnd: {
-        auto it = and_acc_.find(w);
-        if (it != and_acc_.end() && expected_ot_results_ == 0) {
-          known_[w] = 1;
-          share_[w] = it->second ? 1 : 0;
-          and_acc_.erase(it);
-        }
+      case GateType::kAnd:
+        share_[w] = and_state_[w] > 0 ? 1 : 0;
+        and_state_[w] = -1;
         break;
-      }
       case GateType::kInput:
-        break;
+        break;  // excluded from the schedule
     }
   }
+  ++step_;
 }
 
 std::vector<Message> GmwParty::send_layer_ots() {
@@ -227,8 +192,9 @@ std::vector<Message> GmwParty::send_layer_ots() {
   const std::size_t me = static_cast<std::size_t>(id_);
   const auto& gates = cfg_->circuit.gates();
   std::vector<Message> out;
+  out.reserve(plan_->and_layer(layer_).size() * 2 * (n - 1));
   expected_ot_results_ = 0;
-  for (const std::size_t g : layers_[layer_]) {
+  for (const std::uint32_t g : plan_->and_layer(layer_)) {
     const bool x = share_[gates[g].a] != 0;
     const bool y = share_[gates[g].b] != 0;
     bool acc = x && y;
@@ -244,12 +210,12 @@ std::vector<Message> GmwParty::send_layer_ots() {
                             encode_ot_choose(ot_label(g, j, me, n), y)});
       ++expected_ot_results_;
     }
-    and_acc_[g] = acc;
+    and_state_[g] = acc ? 1 : 0;
   }
   return out;
 }
 
-bool GmwParty::absorb_ot_results(const std::vector<Message>& in) {
+bool GmwParty::absorb_ot_results(MsgView in) {
   const std::size_t n = cfg_->circuit.num_parties();
   const std::size_t me = static_cast<std::size_t>(id_);
   std::size_t got = 0;
@@ -260,9 +226,8 @@ bool GmwParty::absorb_ot_results(const std::vector<Message>& in) {
     const std::size_t gate = static_cast<std::size_t>(res->label / (n * n));
     const std::size_t recv = static_cast<std::size_t>(res->label % n);
     if (recv != me) continue;
-    auto it = and_acc_.find(gate);
-    if (it == and_acc_.end()) continue;
-    it->second = it->second != res->value;
+    if (gate >= and_state_.size() || and_state_[gate] < 0) continue;
+    and_state_[gate] = (and_state_[gate] != 0) != res->value ? 1 : 0;
     ++got;
   }
   if (got != expected_ot_results_) return false;
@@ -289,7 +254,7 @@ std::vector<Message> GmwParty::send_output_shares() {
   return out;
 }
 
-bool GmwParty::absorb_output_shares(const std::vector<Message>& in) {
+bool GmwParty::absorb_output_shares(MsgView in) {
   const auto& c = cfg_->circuit;
   const std::size_t n = c.num_parties();
   const std::size_t me = static_cast<std::size_t>(id_);

@@ -15,10 +15,10 @@
 // adaptively secure in this setting because channels are ideally private.
 #pragma once
 
-#include <map>
 #include <memory>
 
 #include "circuit/circuit.h"
+#include "circuit/compiled.h"
 #include "crypto/rng.h"
 #include "sim/party.h"
 
@@ -29,11 +29,12 @@ struct GmwConfig {
   /// output_map[p] lists the indices (into circuit.outputs()) that party p
   /// learns. Use public_output() for the everyone-learns-everything case.
   std::vector<std::vector<std::size_t>> output_map;
+  /// Shared execution plan (AND-layer schedule + input wire maps), built once
+  /// per circuit family and reused read-only by every party in every run.
+  /// public_output() fills it; a null plan makes each GmwParty build its own.
+  std::shared_ptr<const circuit::CompiledCircuit> plan;
 
   static GmwConfig public_output(circuit::Circuit c);
-
-  /// AND-layer schedule: layers[d] = gate indices with AND-depth d+1.
-  [[nodiscard]] std::vector<std::vector<std::size_t>> and_layers() const;
 };
 
 class GmwParty final : public sim::PartyBase<GmwParty> {
@@ -42,7 +43,7 @@ class GmwParty final : public sim::PartyBase<GmwParty> {
   GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
            std::vector<bool> input, Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:
@@ -54,30 +55,33 @@ class GmwParty final : public sim::PartyBase<GmwParty> {
   };
 
   std::vector<sim::Message> send_input_shares();
-  bool absorb_input_shares(const std::vector<sim::Message>& in);
-  /// Evaluate every gate whose operands are known (local gates + completed ANDs).
+  bool absorb_input_shares(sim::MsgView in);
+  /// Evaluate the gates of the next resolution step (local gates + the ANDs
+  /// whose OT layer just completed); consumes plan_->resolve_step(step_).
   void propagate();
   /// Emit OT traffic for AND layer `layer_`; empty if no layers remain.
   std::vector<sim::Message> send_layer_ots();
-  bool absorb_ot_results(const std::vector<sim::Message>& in);
+  bool absorb_ot_results(sim::MsgView in);
   std::vector<sim::Message> send_output_shares();
-  bool absorb_output_shares(const std::vector<sim::Message>& in);
+  bool absorb_output_shares(sim::MsgView in);
 
   std::shared_ptr<const GmwConfig> cfg_;
+  /// The shared plan (cfg_->plan, or a privately built fallback).
+  std::shared_ptr<const circuit::CompiledCircuit> plan_;
   std::vector<bool> input_;
   Rng rng_;
 
   Phase phase_ = Phase::kSendInputShares;
   int ot_wait_ = 0;
 
-  std::vector<std::vector<std::size_t>> layers_;
   std::size_t layer_ = 0;
+  std::size_t step_ = 0;  ///< next resolution step for propagate()
 
   // Per-wire share state.
-  std::vector<char> known_;
   std::vector<char> share_;
-  // Partial AND accumulators (gate -> current XOR of local term + r_ij + o_ji).
-  std::map<std::size_t, bool> and_acc_;
+  // Partial AND accumulators, indexed by gate: -1 = no OT batch pending,
+  // else the current XOR of local term + r_ij + o_ji (0/1).
+  std::vector<signed char> and_state_;
   std::size_t expected_ot_results_ = 0;
 };
 

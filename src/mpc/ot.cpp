@@ -68,7 +68,11 @@ std::optional<OtStrResult> decode_ot_result_str(ByteView payload) {
 }
 
 std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round*/,
-                                          const std::vector<sim::Message>& in) {
+                                          sim::MsgView in) {
+  // Completion is detected as submissions land: the message that supplies the
+  // second half of a pair pushes its label onto ready_. Guards keep
+  // first-submission-wins semantics (a duplicate half never sets the field,
+  // so it never enqueues).
   for (const sim::Message& m : in) {
     Reader r(m.payload);
     const auto tag = r.u8();
@@ -79,7 +83,10 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
       const auto m1 = r.u8();
       if (!label || !m0 || !m1 || !r.at_end()) continue;
       Pending& p = pending_[*label];
-      if (!p.messages) p.messages = std::make_pair(Bytes{*m0}, Bytes{*m1});
+      if (!p.messages) {
+        p.messages = std::make_pair(Bytes{*m0}, Bytes{*m1});
+        if (p.choice && !p.delivered) ready_.push_back(*label);
+      }
     } else if (*tag == kTagSendStr) {
       const auto label = r.u64();
       const auto m0 = r.blob();
@@ -89,6 +96,7 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
       if (!p.messages) {
         p.messages = std::make_pair(*m0, *m1);
         p.is_string = true;
+        if (p.choice && !p.delivered) ready_.push_back(*label);
       }
     } else if (*tag == kTagChoose || *tag == kTagChooseStr) {
       const auto label = r.u64();
@@ -98,13 +106,15 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
       if (!p.choice) {
         p.choice = (*c != 0);
         p.receiver = m.from;
+        if (p.messages && !p.delivered) ready_.push_back(*label);
       }
     }
   }
 
   std::vector<sim::Message> out;
-  for (auto& [label, p] : pending_) {
-    if (p.delivered || !p.messages || !p.choice) continue;
+  out.reserve(ready_.size());
+  for (const std::uint64_t label : ready_) {
+    Pending& p = pending_[label];
     const Bytes& mc = *p.choice ? p.messages->second : p.messages->first;
     if (p.is_string) {
       out.push_back(sim::Message{sim::kFunc, p.receiver, encode_ot_result_str(label, mc)});
@@ -114,6 +124,7 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
     }
     p.delivered = true;
   }
+  ready_.clear();
   return out;
 }
 

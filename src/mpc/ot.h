@@ -9,8 +9,9 @@
 // because the hub simply never emits them.
 #pragma once
 
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "sim/functionality.h"
 
@@ -46,7 +47,7 @@ std::optional<OtStrResult> decode_ot_result_str(ByteView payload);
 class OtHub final : public sim::IFunctionality {
  public:
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   struct Pending {
@@ -56,7 +57,11 @@ class OtHub final : public sim::IFunctionality {
     bool is_string = false;
     bool delivered = false;
   };
-  std::map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Labels whose pair completed this round, in completion order. Delivery
+  /// drains this list instead of rescanning every instance the hub has ever
+  /// seen; delivered entries stay in pending_ as replay tombstones.
+  std::vector<std::uint64_t> ready_;
 };
 
 }  // namespace fairsfe::mpc

@@ -100,7 +100,7 @@ SfeFunc::SfeFunc(SfeSpec spec, SfeMode mode, NotesPtr notes)
     : spec_(std::move(spec)), mode_(mode), notes_(std::move(notes)) {}
 
 std::vector<sim::Message> SfeFunc::on_round(sim::FuncContext& ctx, int /*round*/,
-                                            const std::vector<sim::Message>& in) {
+                                            sim::MsgView in) {
   if (fired_ || in.empty()) return {};
   fired_ = true;
 

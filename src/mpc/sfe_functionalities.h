@@ -70,7 +70,7 @@ class SfeFunc final : public sim::IFunctionality {
   SfeFunc(SfeSpec spec, SfeMode mode, NotesPtr notes = nullptr);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
-                                     const std::vector<sim::Message>& in) override;
+                                     sim::MsgView in) override;
 
  private:
   SfeSpec spec_;

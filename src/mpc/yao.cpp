@@ -1,6 +1,7 @@
 #include "mpc/yao.h"
 
 #include <cassert>
+#include <map>
 
 #include "crypto/sha256.h"
 #include "mpc/ot.h"
@@ -10,6 +11,7 @@ namespace fairsfe::mpc {
 using circuit::Gate;
 using circuit::GateType;
 using sim::Message;
+using sim::MsgView;
 
 namespace {
 
@@ -139,7 +141,7 @@ std::vector<Message> YaoGarbler::garble() {
   return out;
 }
 
-std::vector<Message> YaoGarbler::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> YaoGarbler::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kGarble:
       step_ = Step::kAwaitOutputLabels;
@@ -198,7 +200,7 @@ YaoEvaluator::YaoEvaluator(std::shared_ptr<const circuit::Circuit> circuit,
                            std::vector<bool> input)
     : YaoEvaluator(YaoConfig::public_output(std::move(circuit)), std::move(input)) {}
 
-std::vector<Message> YaoEvaluator::on_round(int /*round*/, const std::vector<Message>& in) {
+std::vector<Message> YaoEvaluator::on_round(int /*round*/, MsgView in) {
   switch (step_) {
     case Step::kSendChoices: {
       step_ = Step::kAwaitTables;

@@ -46,7 +46,7 @@ class YaoGarbler final : public sim::PartyBase<YaoGarbler> {
   YaoGarbler(std::shared_ptr<const circuit::Circuit> circuit, std::vector<bool> input,
              Rng rng);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:
@@ -68,7 +68,7 @@ class YaoEvaluator final : public sim::PartyBase<YaoEvaluator> {
   YaoEvaluator(YaoConfig cfg, std::vector<bool> input);
   YaoEvaluator(std::shared_ptr<const circuit::Circuit> circuit, std::vector<bool> input);
 
-  std::vector<sim::Message> on_round(int round, const std::vector<sim::Message>& in) override;
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
   void on_abort() override;
 
  private:

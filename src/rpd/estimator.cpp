@@ -8,7 +8,7 @@
 
 namespace fairsfe::rpd {
 
-sim::ExecutionResult execute(RunSetup&& setup, Rng rng) {
+sim::ExecutionResult execute(RunSetup&& setup, Rng&& rng) {
   sim::Engine engine(std::move(setup.parties), std::move(setup.functionality),
                      std::move(setup.adversary), std::move(rng), setup.engine);
   return engine.run();

@@ -113,9 +113,9 @@ inline UtilityEstimate estimate_utility(const SetupFactory& factory,
 }
 
 /// Run a single execution from a setup (used by tests needing transcripts).
-/// Takes the setup by rvalue reference: execution consumes the parties,
-/// functionality, and adversary, so the caller must std::move its setup in
-/// and must not reuse it afterwards.
-sim::ExecutionResult execute(RunSetup&& setup, Rng rng);
+/// Takes the setup and rng by rvalue reference: execution consumes the
+/// parties, functionality, adversary, and rng state, so the caller must
+/// std::move both in and must not reuse them afterwards.
+sim::ExecutionResult execute(RunSetup&& setup, Rng&& rng);
 
 }  // namespace fairsfe::rpd

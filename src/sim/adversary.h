@@ -25,15 +25,16 @@
 
 namespace fairsfe::sim {
 
-/// What the adversary observes in one round.
+/// What the adversary observes in one round. The views borrow the engine's
+/// round buffers and are valid only for the duration of on_round.
 struct AdvView {
   int round = 0;
   /// Round r-1 messages addressed to corrupted parties (or broadcast): the
   /// input an honestly-behaving corrupted party consumes this round.
-  std::vector<Message> delivered;
+  MsgView delivered;
   /// Round r messages addressed to corrupted parties (or broadcast), seen
   /// early thanks to rushing.
-  std::vector<Message> rushed;
+  MsgView rushed;
 };
 
 /// Engine-provided capabilities handed to the adversary.
@@ -55,14 +56,14 @@ class AdvContext {
   /// Advance the *real* state of corrupted party `pid` by one honest round on
   /// adversary-chosen input, returning the messages honest execution would
   /// send. The adversary may forward, modify, or drop them.
-  virtual std::vector<Message> honest_step(PartyId pid, const std::vector<Message>& in) = 0;
+  virtual std::vector<Message> honest_step(PartyId pid, MsgView in) = 0;
 
   /// Hypothetical continuation probe on corrupted party `pid`: clone its
   /// current state, feed each batch in `batches` as one further round of
   /// input, then finalize via on_abort() and return the clone's output.
   /// The real state is untouched.
   [[nodiscard]] virtual std::optional<Bytes> probe_output(
-      PartyId pid, const std::vector<std::vector<Message>>& batches) const = 0;
+      PartyId pid, const std::vector<MsgView>& batches) const = 0;
 
   /// Direct access to a corrupted party's state.
   virtual IParty& party(PartyId pid) = 0;

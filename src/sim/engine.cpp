@@ -11,6 +11,47 @@ bool ExecutionResult::honest_output_present(PartyId pid) const {
   return idx < outputs.size() && outputs[idx].has_value();
 }
 
+std::vector<std::vector<std::string>> ExecutionResult::transcript_lines() const {
+  std::vector<std::vector<std::string>> lines;
+  lines.reserve(transcript.size());
+  for (const auto& round : transcript) {
+    std::vector<std::string> round_lines;
+    round_lines.reserve(round.size());
+    for (const Message& m : round) round_lines.push_back(describe(m));
+    lines.push_back(std::move(round_lines));
+  }
+  return lines;
+}
+
+namespace {
+
+// One round's messages plus the per-party mailboxes: index lists into `msgs`,
+// so a broadcast body is stored once and shared by every recipient.
+struct RoundBuf {
+  std::vector<Message> msgs;
+  std::vector<std::vector<std::uint32_t>> mail;  // index = PartyId
+  std::vector<std::uint32_t> func_mail;          // kFunc-addressed traffic
+
+  explicit RoundBuf(std::size_t n) : mail(n) {}
+
+  void clear() {
+    msgs.clear();
+    for (auto& box : mail) box.clear();
+    func_mail.clear();
+  }
+
+  [[nodiscard]] MsgView mailbox(PartyId pid) const {
+    const auto& box = mail[static_cast<std::size_t>(pid)];
+    return MsgView(msgs.data(), box.data(), box.size());
+  }
+  [[nodiscard]] MsgView func_mailbox() const {
+    return MsgView(msgs.data(), func_mail.data(), func_mail.size());
+  }
+  [[nodiscard]] MsgView all() const { return MsgView(msgs.data(), msgs.size()); }
+};
+
+}  // namespace
+
 // Shared context implementing both the adversary- and functionality-facing
 // capability interfaces against the engine state.
 class Engine::Ctx final : public AdvContext, public FuncContext {
@@ -37,7 +78,7 @@ class Engine::Ctx final : public AdvContext, public FuncContext {
     corrupted_.insert(pid);
   }
 
-  std::vector<Message> honest_step(PartyId pid, const std::vector<Message>& in) override {
+  std::vector<Message> honest_step(PartyId pid, MsgView in) override {
     require_corrupted(pid);
     IParty& p = *engine_.parties_[static_cast<std::size_t>(pid)];
     if (p.done()) return {};
@@ -45,12 +86,12 @@ class Engine::Ctx final : public AdvContext, public FuncContext {
   }
 
   [[nodiscard]] std::optional<Bytes> probe_output(
-      PartyId pid, const std::vector<std::vector<Message>>& batches) const override {
+      PartyId pid, const std::vector<MsgView>& batches) const override {
     require_corrupted(pid);
     const IParty& p = *engine_.parties_[static_cast<std::size_t>(pid)];
     std::unique_ptr<IParty> ghost = p.clone();
     int r = round_;
-    for (const auto& batch : batches) {
+    for (const MsgView& batch : batches) {
       if (ghost->done()) break;
       ghost->on_round(r++, batch);
     }
@@ -105,20 +146,11 @@ class FuncCtxView final : public FuncContext {
   Engine::Ctx& inner_;
 };
 
-std::vector<Message> visible_to_adversary(const std::vector<Message>& msgs,
-                                          const std::set<PartyId>& corrupted) {
-  std::vector<Message> out;
-  for (const Message& m : msgs) {
-    if (m.to == kBroadcast || (m.to >= 0 && corrupted.count(m.to))) out.push_back(m);
-  }
-  return out;
-}
-
 }  // namespace
 
 Engine::Engine(std::vector<std::unique_ptr<IParty>> parties,
                std::unique_ptr<IFunctionality> functionality,
-               std::unique_ptr<IAdversary> adversary, Rng rng, EngineConfig cfg)
+               std::unique_ptr<IAdversary> adversary, Rng rng, ExecutionOptions cfg)
     : parties_(std::move(parties)),
       functionality_(std::move(functionality)),
       adversary_(std::move(adversary)),
@@ -139,34 +171,59 @@ ExecutionResult Engine::run() {
   if (adversary_) adversary_->setup(*ctx_);
 
   FuncCtxView func_ctx(*ctx_);
-  std::vector<Message> prev_sends;
+
+  // Double-buffered rounds: `prev` holds round r-1's routed messages (what
+  // parties consume now), `cur` collects round r's sends.
+  RoundBuf buf_a(static_cast<std::size_t>(n));
+  RoundBuf buf_b(static_cast<std::size_t>(n));
+  RoundBuf* prev = &buf_a;
+  RoundBuf* cur = &buf_b;
+
+  RoutingStats& stats = result.stats;
+  // Route one message: move it into the round buffer exactly once, then fan
+  // out by index. Broadcast bodies are shared, never duplicated.
+  const auto deliver = [&](RoundBuf& buf, Message&& m) {
+    const auto idx = static_cast<std::uint32_t>(buf.msgs.size());
+    const std::uint64_t sz = m.payload.size();
+    stats.messages += 1;
+    stats.payload_bytes += sz;
+    if (m.to == kBroadcast) {
+      stats.broadcast_messages += 1;
+      stats.bytes_copy_avoided += sz * static_cast<std::uint64_t>(n);
+      for (auto& box : buf.mail) box.push_back(idx);
+    } else if (m.to == kFunc) {
+      stats.bytes_copy_avoided += sz;
+      buf.func_mail.push_back(idx);
+    } else if (m.to >= 0 && m.to < n) {
+      stats.bytes_copy_avoided += sz;
+      buf.mail[static_cast<std::size_t>(m.to)].push_back(idx);
+    }
+    buf.msgs.push_back(std::move(m));
+  };
+
   int r = 0;
   for (; r < cfg_.max_rounds; ++r) {
     ctx_->set_round(r);
-    std::vector<Message> sends;
+    cur->clear();
 
-    // 1. Honest parties move.
+    // 1. Honest parties move, consuming their round-(r-1) mailboxes.
     for (PartyId pid = 0; pid < n; ++pid) {
       if (ctx_->is_corrupted(pid)) continue;
       IParty& p = *parties_[static_cast<std::size_t>(pid)];
       if (p.done()) continue;
-      std::vector<Message> out = p.on_round(r, addressed_to(prev_sends, pid));
+      std::vector<Message> out = p.on_round(r, prev->mailbox(pid));
       for (Message& m : out) {
         m.from = pid;  // authenticated channels: sender identity is bound
-        sends.push_back(std::move(m));
+        deliver(*cur, std::move(m));
       }
     }
 
     // 2. Hybrid functionality moves (sees last round's kFunc traffic).
     if (functionality_) {
-      std::vector<Message> func_in;
-      for (const Message& m : prev_sends) {
-        if (m.to == kFunc) func_in.push_back(m);
-      }
-      std::vector<Message> out = functionality_->on_round(func_ctx, r, func_in);
+      std::vector<Message> out = functionality_->on_round(func_ctx, r, prev->func_mailbox());
       for (Message& m : out) {
         m.from = kFunc;
-        sends.push_back(std::move(m));
+        deliver(*cur, std::move(m));
       }
     }
 
@@ -174,24 +231,22 @@ ExecutionResult Engine::run() {
     if (adversary_) {
       AdvView view;
       view.round = r;
-      view.delivered = visible_to_adversary(prev_sends, ctx_->corrupted());
-      view.rushed = visible_to_adversary(sends, ctx_->corrupted());
+      view.delivered = prev->all().visible_to(ctx_->corrupted());
+      view.rushed = cur->all().visible_to(ctx_->corrupted());
       std::vector<Message> out = adversary_->on_round(*ctx_, view);
       for (Message& m : out) {
         // Channel authenticity: adversary may only speak for corrupted parties.
         if (!ctx_->is_corrupted(m.from)) continue;
-        sends.push_back(std::move(m));
+        deliver(*cur, std::move(m));
       }
     }
 
     if (cfg_.record_transcript) {
-      std::vector<std::string> lines;
-      lines.reserve(sends.size());
-      for (const Message& m : sends) lines.push_back(describe(m));
-      result.transcript.push_back(std::move(lines));
+      for (const Message& m : cur->msgs) stats.bytes_copied += m.payload.size();
+      result.transcript.push_back(cur->msgs);
     }
 
-    prev_sends = std::move(sends);
+    std::swap(prev, cur);
 
     // Termination: all honest parties done, or (if none) adversary finished.
     bool honest_exists = false;
@@ -226,7 +281,7 @@ ExecutionResult Engine::run() {
 }
 
 ExecutionResult run_honest(std::vector<std::unique_ptr<IParty>> parties, Rng rng,
-                           EngineConfig cfg) {
+                           ExecutionOptions cfg) {
   Engine engine(std::move(parties), nullptr, nullptr, std::move(rng), cfg);
   return engine.run();
 }

@@ -6,9 +6,16 @@
 // model: point-to-point messages are private; broadcast reaches everyone;
 // the adversary may only originate traffic from corrupted parties; rushing
 // and adaptive corruption follow the ordering documented in sim/adversary.h.
+//
+// Hot path: each round's messages are collected once into a round buffer and
+// routed into per-party mailboxes (index lists into that buffer), so a
+// point-to-point payload is moved exactly once and a broadcast body is stored
+// once and shared by index across all recipients. Consumers receive MsgView
+// borrows — no per-recipient copies. Transcripts are opt-in
+// (ExecutionOptions::record_transcript) and recorded as raw messages,
+// rendered to strings only on demand.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -23,9 +30,29 @@
 
 namespace fairsfe::sim {
 
-struct EngineConfig {
+struct ExecutionOptions {
   int max_rounds = 512;
+  /// Record every round's messages in ExecutionResult::transcript. Off by
+  /// default: the Monte-Carlo estimator discards transcripts, so the hot path
+  /// never pays for them. Examples and debugging runs switch it on.
   bool record_transcript = false;
+};
+
+/// Legacy name for ExecutionOptions.
+using EngineConfig = ExecutionOptions;
+
+/// Routing-cost counters for one execution (all updated on the delivery
+/// path, so they are exact, not sampled).
+struct RoutingStats {
+  std::uint64_t messages = 0;            ///< messages routed (all channels)
+  std::uint64_t broadcast_messages = 0;  ///< of which broadcasts
+  std::uint64_t payload_bytes = 0;       ///< payload bytes as sent (stored once)
+  /// Payload bytes the engine actually duplicated (transcript recording only;
+  /// zero when record_transcript is off).
+  std::uint64_t bytes_copied = 0;
+  /// Payload bytes a copy-per-recipient delivery (the pre-mailbox engine)
+  /// would have duplicated: one copy per addressee, n per broadcast.
+  std::uint64_t bytes_copy_avoided = 0;
 };
 
 struct ExecutionResult {
@@ -37,11 +64,17 @@ struct ExecutionResult {
   std::optional<Bytes> adversary_output;
   int rounds = 0;
   bool hit_round_cap = false;
-  /// Per-round message log (only if record_transcript).
-  std::vector<std::vector<std::string>> transcript;
+  /// Per-round raw message log (only if record_transcript). Rendering to
+  /// strings is deferred to transcript_lines().
+  std::vector<std::vector<Message>> transcript;
+  /// Routing-cost counters (always collected; cheap).
+  RoutingStats stats;
 
   /// True iff party pid was honest at the end and output a value (non-⊥).
   [[nodiscard]] bool honest_output_present(PartyId pid) const;
+
+  /// Render the recorded transcript via describe(), one line per message.
+  [[nodiscard]] std::vector<std::vector<std::string>> transcript_lines() const;
 };
 
 class Engine {
@@ -50,7 +83,7 @@ class Engine {
   /// null (no hybrid / all parties honest).
   Engine(std::vector<std::unique_ptr<IParty>> parties,
          std::unique_ptr<IFunctionality> functionality,
-         std::unique_ptr<IAdversary> adversary, Rng rng, EngineConfig cfg = {});
+         std::unique_ptr<IAdversary> adversary, Rng rng, ExecutionOptions cfg = {});
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -67,12 +100,12 @@ class Engine {
   std::unique_ptr<IFunctionality> functionality_;
   std::unique_ptr<IAdversary> adversary_;
   Rng rng_;
-  EngineConfig cfg_;
+  ExecutionOptions cfg_;
   std::unique_ptr<Ctx> ctx_;
 };
 
 /// Convenience: run a protocol with no adversary and no hybrid slot.
 ExecutionResult run_honest(std::vector<std::unique_ptr<IParty>> parties, Rng rng,
-                           EngineConfig cfg = {});
+                           ExecutionOptions cfg = {});
 
 }  // namespace fairsfe::sim

@@ -41,9 +41,9 @@ class IFunctionality {
   virtual ~IFunctionality() = default;
 
   /// Process messages addressed to kFunc last round; return this round's
-  /// messages (from == kFunc enforced by the engine).
-  virtual std::vector<Message> on_round(FuncContext& ctx, int round,
-                                        const std::vector<Message>& in) = 0;
+  /// messages (from == kFunc enforced by the engine). `in` borrows the
+  /// engine's round buffer; consume it within the call.
+  virtual std::vector<Message> on_round(FuncContext& ctx, int round, MsgView in) = 0;
 };
 
 /// Canonical payload tags for functionality traffic, shared by protocols.

@@ -4,15 +4,7 @@
 
 namespace fairsfe::sim {
 
-std::vector<Message> addressed_to(const std::vector<Message>& msgs, PartyId pid) {
-  std::vector<Message> out;
-  for (const Message& m : msgs) {
-    if (m.to == pid || m.to == kBroadcast) out.push_back(m);
-  }
-  return out;
-}
-
-const Message* first_from(const std::vector<Message>& msgs, PartyId from) {
+const Message* first_from(MsgView msgs, PartyId from) {
   for (const Message& m : msgs) {
     if (m.from == from) return &m;
   }

@@ -7,8 +7,18 @@
 // multi-party protocols (App. B): delivered to every party, visible to the
 // adversary the moment it is sent. `kFunc` addresses the hybrid ideal
 // functionality slot, if one is installed.
+//
+// Delivery is zero-copy: one round's messages live in a single round buffer
+// owned by the engine, and every consumer (party, functionality, adversary)
+// receives a `MsgView` — a non-owning view that either walks an index list
+// (the engine's per-party mailboxes, which share broadcast bodies by index)
+// or lazily filters a contiguous span by addressee. Payloads are never
+// duplicated per recipient.
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,6 +30,7 @@ using PartyId = int;
 
 inline constexpr PartyId kBroadcast = -1;  ///< to: every party
 inline constexpr PartyId kFunc = -2;       ///< to/from: the hybrid functionality
+inline constexpr PartyId kAnyParty = -3;   ///< MsgView: no addressee filter
 
 struct Message {
   PartyId from = 0;
@@ -27,12 +38,129 @@ struct Message {
   Bytes payload;
 };
 
-/// Filter helper: all messages in `msgs` addressed to `pid` (including
-/// broadcasts, which every party receives).
-std::vector<Message> addressed_to(const std::vector<Message>& msgs, PartyId pid);
+/// Non-owning view over (a subset of) one round's messages.
+///
+/// A view is either *contiguous* (a span, optionally filtered lazily by
+/// addressee and/or a corrupted set) or *indexed* (an index list into a round
+/// buffer — the engine's mailbox representation, in which a broadcast body is
+/// stored once and referenced from every mailbox). Iteration yields
+/// `const Message&` in the original send order.
+///
+/// Lifetime: a MsgView borrows the underlying storage; it is valid for the
+/// duration of the call it is passed to and must not be stored across rounds.
+class MsgView {
+ public:
+  constexpr MsgView() = default;
+  /// Whole view over a contiguous message array (no filter).
+  MsgView(const std::vector<Message>& msgs)  // NOLINT(google-explicit-constructor)
+      : data_(msgs.data()), size_(msgs.size()) {}
+  MsgView(std::initializer_list<Message> msgs)  // NOLINT(google-explicit-constructor)
+      : data_(msgs.begin()), size_(msgs.size()) {}
+  constexpr MsgView(const Message* data, std::size_t n) : data_(data), size_(n) {}
+  /// Indexed view: elements are base[idx[i]] (engine mailboxes).
+  constexpr MsgView(const Message* base, const std::uint32_t* idx, std::size_t n)
+      : data_(base), idx_(idx), size_(n) {}
 
-/// Filter helper: the first message from `from` in `msgs`, if any.
-const Message* first_from(const std::vector<Message>& msgs, PartyId from);
+  /// Derived view keeping only messages party `pid` receives (to == pid or
+  /// broadcast), or — with pid == kFunc — the hybrid functionality's traffic.
+  [[nodiscard]] MsgView addressed_to(PartyId pid) const {
+    MsgView v = *this;
+    v.addressee_ = pid;
+    return v;
+  }
+
+  /// Derived view keeping only adversary-visible messages (broadcasts and
+  /// messages addressed to a corrupted party). `corrupted` is borrowed.
+  [[nodiscard]] MsgView visible_to(const std::set<PartyId>& corrupted) const {
+    MsgView v = *this;
+    v.corrupted_ = &corrupted;
+    return v;
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Message;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Message*;
+    using reference = const Message&;
+
+    iterator() = default;
+    iterator(const MsgView* view, std::size_t pos) : view_(view), pos_(pos) { skip(); }
+
+    reference operator*() const { return view_->at(pos_); }
+    pointer operator->() const { return &view_->at(pos_); }
+    iterator& operator++() {
+      ++pos_;
+      skip();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++(*this);
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return pos_ == o.pos_; }
+    bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    void skip() {
+      while (pos_ < view_->size_ && !view_->matches(view_->at(pos_))) ++pos_;
+    }
+    const MsgView* view_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(this, 0); }
+  [[nodiscard]] iterator end() const { return iterator(this, size_); }
+
+  /// True iff no message passes the filter. O(underlying size) worst case.
+  [[nodiscard]] bool empty() const { return begin() == end(); }
+
+  /// Number of messages passing the filter. O(underlying size).
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (auto it = begin(); it != end(); ++it) ++c;
+    return c;
+  }
+
+  /// Copy the filtered messages into an owning vector (transcripts, tests).
+  [[nodiscard]] std::vector<Message> materialize() const {
+    return std::vector<Message>(begin(), end());
+  }
+
+ private:
+  [[nodiscard]] const Message& at(std::size_t pos) const {
+    return idx_ != nullptr ? data_[idx_[pos]] : data_[pos];
+  }
+  [[nodiscard]] bool matches(const Message& m) const {
+    if (addressee_ == kFunc) {
+      if (m.to != kFunc) return false;
+    } else if (addressee_ != kAnyParty) {
+      if (m.to != addressee_ && m.to != kBroadcast) return false;
+    }
+    if (corrupted_ != nullptr) {
+      if (m.to != kBroadcast && (m.to < 0 || corrupted_->count(m.to) == 0)) return false;
+    }
+    return true;
+  }
+
+  const Message* data_ = nullptr;
+  const std::uint32_t* idx_ = nullptr;
+  std::size_t size_ = 0;
+  PartyId addressee_ = kAnyParty;
+  const std::set<PartyId>* corrupted_ = nullptr;
+};
+
+/// Filter helper: view of the messages in `msgs` addressed to `pid`
+/// (including broadcasts, which every party receives). Zero-copy.
+[[nodiscard]] inline MsgView addressed_to(MsgView msgs, PartyId pid) {
+  return msgs.addressed_to(pid);
+}
+
+/// Filter helper: the first message from `from` in `msgs`, if any. The
+/// pointer aliases the viewed storage.
+const Message* first_from(MsgView msgs, PartyId from);
 
 /// Render a message for transcript logs.
 std::string describe(const Message& m);

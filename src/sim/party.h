@@ -30,7 +30,8 @@ class IParty {
   virtual ~IParty() = default;
 
   /// Consume last round's messages, emit this round's. Not called once done.
-  virtual std::vector<Message> on_round(int round, const std::vector<Message>& in) = 0;
+  /// `in` borrows the engine's round buffer; consume it within the call.
+  virtual std::vector<Message> on_round(int round, MsgView in) = 0;
 
   /// Finalize now: no further messages will arrive. Must leave done() == true.
   virtual void on_abort() = 0;

@@ -19,7 +19,7 @@ class ScriptParty final : public PartyBase<ScriptParty> {
         payload_(std::move(payload)),
         lifetime_(lifetime) {}
 
-  std::vector<Message> on_round(int round, const std::vector<Message>& in) override {
+  std::vector<Message> on_round(int round, MsgView in) override {
     for (const Message& m : in) {
       received_.push_back(m);
       log_ += std::to_string(round) + ":" + std::to_string(m.from) + ";";
@@ -80,7 +80,7 @@ TEST(Engine, RoundCapFinalizesViaAbort) {
   class Forever final : public PartyBase<Forever> {
    public:
     using PartyBase::PartyBase;
-    std::vector<Message> on_round(int, const std::vector<Message>&) override { return {}; }
+    std::vector<Message> on_round(int, MsgView) override { return {}; }
     void on_abort() override { finish_bot(); }
   };
   std::vector<std::unique_ptr<IParty>> parties;
@@ -93,9 +93,17 @@ TEST(Engine, RoundCapFinalizesViaAbort) {
   EXPECT_FALSE(r.outputs[0].has_value());
 }
 
-// Adversary that records its views and replays scripted messages.
+// Adversary that records (materialized) snapshots of its views and replays
+// scripted messages. AdvView borrows the engine's round buffers, so the raw
+// views must not be stored across rounds.
 class ScriptAdversary final : public IAdversary {
  public:
+  struct ViewSnapshot {
+    int round = 0;
+    std::vector<Message> delivered;
+    std::vector<Message> rushed;
+  };
+
   explicit ScriptAdversary(std::set<PartyId> corrupt) : corrupt_(std::move(corrupt)) {}
 
   void setup(AdvContext& ctx) override {
@@ -103,7 +111,8 @@ class ScriptAdversary final : public IAdversary {
   }
 
   std::vector<Message> on_round(AdvContext&, const AdvView& view) override {
-    views_.push_back(view);
+    views_.push_back(
+        {view.round, view.delivered.materialize(), view.rushed.materialize()});
     std::vector<Message> out = std::move(to_send_);
     to_send_.clear();
     return out;
@@ -112,7 +121,7 @@ class ScriptAdversary final : public IAdversary {
   [[nodiscard]] bool learned_output() const override { return false; }
 
   std::set<PartyId> corrupt_;
-  std::vector<AdvView> views_;
+  std::vector<ViewSnapshot> views_;
   std::vector<Message> to_send_;
 };
 
@@ -143,7 +152,7 @@ TEST(Engine, AdversaryCannotSeeHonestToHonestTraffic) {
   auto* adv_ptr = adv.get();
   Engine e(std::move(parties), nullptr, std::move(adv), Rng(6));
   e.run();
-  for (const AdvView& v : adv_ptr->views_) {
+  for (const auto& v : adv_ptr->views_) {
     EXPECT_TRUE(v.rushed.empty());
     EXPECT_TRUE(v.delivered.empty());
   }

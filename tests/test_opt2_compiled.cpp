@@ -108,13 +108,14 @@ TEST(Opt2Compiled, LockAbortMatchesHybridUtility) {
   // compiled protocol equals the hybrid protocol's (γ10+γ11)/2.
   const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
   const auto base = concat16();
-  auto factory = [base](sim::PartyId corrupt) {
-    return [base, corrupt](Rng& rng) {
+  const auto plan = Opt2CompiledPlan::build(base);
+  auto factory = [base, plan](sim::PartyId corrupt) {
+    return [base, plan, corrupt](Rng& rng) {
       rpd::RunSetup s;
       const auto a = u64_to_bits(rng.below(256), 8);
       const auto b = u64_to_bits(rng.below(256), 8);
       const Bytes y = circuit::bits_to_bytes(base->eval({a, b}));
-      s.parties = make_opt2_compiled_parties(base, {a, b}, rng);
+      s.parties = make_opt2_compiled_parties(plan, {a, b}, rng);
       s.functionality = std::make_unique<mpc::OtHub>();
       s.adversary = std::make_unique<adversary::LockAbortAdversary>(
           std::set<sim::PartyId>{corrupt}, y);

@@ -89,7 +89,7 @@ TEST(Payoff, ClosedFormBounds) {
 class EchoParty final : public sim::PartyBase<EchoParty> {
  public:
   EchoParty(sim::PartyId id, Bytes v) : PartyBase(id), v_(std::move(v)) {}
-  std::vector<sim::Message> on_round(int, const std::vector<sim::Message>&) override {
+  std::vector<sim::Message> on_round(int, sim::MsgView) override {
     finish(v_);
     return {};
   }
