@@ -6,11 +6,15 @@ Works with both report schemas in this repo:
   - perf_protocols --profile files (rows keyed by "name" with throughput and
     RoutingStats counters)
 
-Usage: scripts/bench_diff.py OLD.json NEW.json
+Usage: scripts/bench_diff.py [--fail-above PCT] OLD.json NEW.json
 
-Purely informational — exits 0 regardless of direction so it can run as a
-non-gating CI step; eyeball the signs.
+Without --fail-above the diff is purely informational — exits 0 regardless of
+direction; eyeball the signs. With --fail-above PCT it exits 1 when any *perf*
+key (throughput or cost counters — utility/std_error are estimates, not
+performance, and are never gated) regresses by more than PCT percent, so CI
+can use it as a perf smoke gate.
 """
+import argparse
 import json
 import sys
 
@@ -28,6 +32,9 @@ NUMERIC_KEYS = [
     "utility",
     "std_error",
 ]
+# Keys eligible for --fail-above gating. Statistical estimates are excluded:
+# a seed or run-count change moves them without any code regressing.
+GATED_KEYS = set(NUMERIC_KEYS) - {"utility", "std_error"}
 
 
 def load_rows(path):
@@ -40,15 +47,32 @@ def fmt(v):
     return f"{v:,.3f}".rstrip("0").rstrip(".") if isinstance(v, float) else str(v)
 
 
+def regression_pct(key, old, new):
+    """How much worse `new` is than `old` for this key, in percent (>= 0)."""
+    if old == 0:
+        return 0.0
+    if key in HIGHER_IS_BETTER:
+        return max(0.0, (old - new) / old * 100.0)
+    return max(0.0, (new - old) / old * 100.0)
+
+
 def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__.strip())
-    old_rows, old_rep = load_rows(sys.argv[1])
-    new_rows, new_rep = load_rows(sys.argv[2])
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--fail-above", type=float, metavar="PCT", default=None,
+                    help="exit 1 if any perf key regresses by more than PCT%%")
+    ap.add_argument("old", metavar="OLD.json")
+    ap.add_argument("new", metavar="NEW.json")
+    args = ap.parse_args()
+
+    old_rows, old_rep = load_rows(args.old)
+    new_rows, new_rep = load_rows(args.new)
 
     exp = new_rep.get("experiment", "?")
-    print(f"bench diff [{exp}]: {sys.argv[1]} -> {sys.argv[2]}\n")
+    print(f"bench diff [{exp}]: {args.old} -> {args.new}\n")
 
+    worst = (0.0, None)  # (pct, "row/key") over gated keys only
     for name in new_rows:
         new = new_rows[name]
         old = old_rows.get(name)
@@ -60,6 +84,10 @@ def main():
             if key not in new or key not in old:
                 continue
             o, n = old[key], new[key]
+            if key in GATED_KEYS:
+                pct = regression_pct(key, o, n)
+                if pct > worst[0]:
+                    worst = (pct, f"{name}/{key}")
             if o == n:
                 continue
             ratio = (n / o) if o else float("inf")
@@ -69,6 +97,16 @@ def main():
     gone = set(old_rows) - set(new_rows)
     for name in sorted(gone):
         print(f"{name}: dropped from report")
+
+    if args.fail_above is not None:
+        pct, where = worst
+        print(f"\nworst perf regression: {pct:.1f}%"
+              + (f" ({where})" if where else "")
+              + f", threshold {args.fail_above:.1f}%")
+        if pct > args.fail_above:
+            print("FAIL: perf regression above threshold")
+            sys.exit(1)
+        print("OK: within threshold")
 
 
 if __name__ == "__main__":

@@ -2,20 +2,25 @@
 # CI gate for the parallel Monte-Carlo estimation engine: build the tsan
 # preset and run the scheduling-independence tests (test_estimator_parallel
 # plus the hot-path golden tests, which exercise the shared CompiledCircuit
-# and mailbox delivery) under ThreadSanitizer, so data races in the
-# estimator/thread-pool/plan-cache layer fail the build rather than silently
-# perturbing estimates.
+# and mailbox delivery, plus the fault-injection suites, which exercise the
+# injector/timeout/crash paths under the same thread-count invariance
+# contract) under ThreadSanitizer, so data races in the estimator/thread-pool/
+# plan-cache/fault layer fail the build rather than silently perturbing
+# estimates.
 #
 # Afterwards, a non-gating perf smoke: a Release build of perf_protocols
 # --profile writes BENCH_hotpath.ci.json and scripts/bench_diff.py prints the
-# delta against the committed BENCH_hotpath.json. Regressions are surfaced,
-# never fatal (CI machines differ too much for a hard throughput gate).
+# delta against the committed BENCH_hotpath.json, flagging any perf counter
+# more than 35% worse. Regressions are surfaced, never fatal (CI machines
+# differ too much for a hard throughput gate). The fault-tolerance experiment
+# (exp18) also runs at a tiny run count as a smoke check of the sweep
+# harness.
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt|Hotpath}"
+FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt|Hotpath|Fault}"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target fairsfe_tests
@@ -23,13 +28,18 @@ ctest --test-dir build-tsan -R "${FILTER}" --output-on-failure -j "$(nproc)"
 
 echo "tsan gate passed (${FILTER})"
 
-# --- non-gating hot-path perf smoke -----------------------------------------
+# --- non-gating perf + fault smoke ------------------------------------------
 if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
-   cmake --build build-perf -j "$(nproc)" --target perf_protocols >/dev/null 2>&1; then
+   cmake --build build-perf -j "$(nproc)" --target perf_protocols \
+         --target exp18_fault_tolerance >/dev/null 2>&1; then
   ./build-perf/bench/perf_protocols --profile --json BENCH_hotpath.ci.json 500 || true
   if [[ -f BENCH_hotpath.json && -f BENCH_hotpath.ci.json ]]; then
-    python3 scripts/bench_diff.py BENCH_hotpath.json BENCH_hotpath.ci.json || true
+    python3 scripts/bench_diff.py --fail-above 35 \
+        BENCH_hotpath.json BENCH_hotpath.ci.json ||
+      echo "perf smoke regression (non-gating)"
   fi
+  ./build-perf/bench/exp18_fault_tolerance 120 --json BENCH_fault.ci.json ||
+    echo "fault smoke deviation (non-gating; 120 runs is noisy)"
 else
   echo "perf smoke skipped (Release build unavailable)"
 fi

@@ -4,7 +4,7 @@
 // sign the single output value y; the broadcast phase then rejects forged
 // announcements. Since exactly one message is ever signed per key pair, a
 // one-time scheme gives the existential unforgeability the paper requires of
-// [GMR88]-style signatures (see DESIGN.md §5).
+// [GMR88]-style signatures (see DESIGN.md §6).
 //
 // Key layout: sk = 256 pairs of 32-byte preimages, vk = their hashes.
 // Sign(m): h = SHA-256(m); reveal preimage sk[i][h_i] for each bit i.

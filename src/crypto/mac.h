@@ -9,7 +9,7 @@
 // Forging a tag for a new message after seeing one (message, tag) pair
 // succeeds with probability ≤ ℓ/p — negligible for our parameters. Being
 // information-theoretic it is *stronger* than the computational MAC the
-// paper assumes, which only helps the reproduction (see DESIGN.md §5).
+// paper assumes, which only helps the reproduction (see DESIGN.md §6).
 #pragma once
 
 #include <optional>

@@ -76,6 +76,20 @@ rpd::RunSetup opt2_setup(Rng& rng, std::unique_ptr<sim::IAdversary> adv) {
 }
 
 Bytes opt2_expected_y(const std::vector<Bytes>& xs) { return xs[0] + xs[1]; }
+
+// Strict j-bit: every honest party output the actual y (⊥ and default-input
+// fallbacks both fail the test).
+std::function<bool(const sim::ExecutionResult&)> honest_output_equals(Bytes y,
+                                                                      std::size_t n) {
+  return [y = std::move(y), n](const sim::ExecutionResult& r) {
+    for (std::size_t pid = 0; pid < n; ++pid) {
+      if (r.corrupted.count(static_cast<sim::PartyId>(pid))) continue;
+      const auto& out = r.outputs[pid];
+      if (!out || *out != y) return false;
+    }
+    return true;
+  };
+}
 }  // namespace
 
 rpd::SetupFactory opt2_lock_abort(sim::PartyId corrupt) {
@@ -88,6 +102,36 @@ rpd::SetupFactory opt2_lock_abort(sim::PartyId corrupt) {
     s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt},
                                                        opt2_expected_y(xs));
     s.engine.max_rounds = 12;
+    return s;
+  };
+}
+
+rpd::SetupFactory opt2_lock_abort_strict(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    const auto xs = random_inputs(2, rng);
+    const Bytes y = opt2_expected_y(xs);
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    s.parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    s.functionality =
+        std::make_unique<fair::Opt2ShareFunc>(spec, nullptr, /*patience=*/8);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt}, y);
+    s.engine.max_rounds = 64;
+    s.honest_got_output = honest_output_equals(y, 2);
+    return s;
+  };
+}
+
+rpd::SetupFactory contract_attack_strict(fair::ContractVariant variant,
+                                         sim::PartyId corrupt) {
+  return [variant, corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const auto xs = random_inputs(2, rng);
+    const Bytes y = xs[0] + xs[1];
+    s.parties = fair::make_contract_parties(variant, xs[0], xs[1], rng);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt}, y);
+    s.engine.max_rounds = 64;
+    s.honest_got_output = honest_output_equals(y, 2);
     return s;
   };
 }

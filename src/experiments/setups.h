@@ -30,6 +30,17 @@ rpd::SetupFactory opt2_passive();                         ///< run to completion
 rpd::SetupFactory opt2_no_corruption();
 rpd::SetupFactory opt2_corrupt_all();
 
+/// Strict-correctness variants for the fault-tolerance experiment (E18):
+/// same protocol and lock-abort attack as above, but the j-bit demands every
+/// honest output equal the true y = f(x1, x2) — a default-input fallback or
+/// garbled reconstruction no longer counts as "honest got output". The round
+/// budget accommodates fault-induced stalls (max_rounds = 64) and the share
+/// functionality waits out late inputs (patience), so crash-restarted or
+/// delay-hit parties can still join phase 1.
+rpd::SetupFactory opt2_lock_abort_strict(sim::PartyId corrupt);
+rpd::SetupFactory contract_attack_strict(fair::ContractVariant variant,
+                                         sim::PartyId corrupt);
+
 /// The two-party dummy protocol Φ^Fsfe under lock-abort / gate-abort.
 rpd::SetupFactory dummy2_lock_abort(sim::PartyId corrupt);
 rpd::SetupFactory dummy2_abort_gate(sim::PartyId corrupt);

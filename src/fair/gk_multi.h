@@ -15,7 +15,7 @@
 // hold v_{j-1}: the abort is unfair exactly when j = i*, and the truncated
 // geometric keeps that probability at most ≈ 1/p for *any* coalition size
 // 1 ≤ t ≤ n-1 (the full [3] construction additionally improves parameters
-// below the 2n/3 corruption threshold — see DESIGN.md §5).
+// below the 2n/3 corruption threshold — see DESIGN.md §6).
 #pragma once
 
 #include <memory>

@@ -27,22 +27,30 @@ std::optional<Bytes> find_opening(MsgView in, sim::PartyId from) {
 }
 }  // namespace
 
-Opt2ShareFunc::Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes)
-    : spec_(std::move(spec)), notes_(std::move(notes)) {}
+Opt2ShareFunc::Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes, int patience)
+    : spec_(std::move(spec)), notes_(std::move(notes)), patience_(patience) {}
 
 std::vector<Message> Opt2ShareFunc::on_round(sim::FuncContext& ctx, int /*round*/,
                                              MsgView in) {
-  if (fired_ || in.empty()) return {};
-  fired_ = true;
-
-  std::array<std::optional<Bytes>, 2> inputs;
+  if (fired_) return {};
+  // Inputs accumulate across rounds so that a late (delayed / post-restart)
+  // sender can still contribute within the patience window.
   for (const Message& m : in) {
     if (m.from != 0 && m.from != 1) continue;
     const auto x = sim::decode_func_input(m.payload);
-    if (x && !inputs[static_cast<std::size_t>(m.from)]) {
-      inputs[static_cast<std::size_t>(m.from)] = *x;
+    if (x && !inputs_[static_cast<std::size_t>(m.from)]) {
+      inputs_[static_cast<std::size_t>(m.from)] = *x;
     }
   }
+  seen_traffic_ = seen_traffic_ || !in.empty();
+  if (!seen_traffic_) return {};
+  if ((!inputs_[0] || !inputs_[1]) && waited_ < patience_) {
+    ++waited_;
+    return {};
+  }
+  fired_ = true;
+
+  const std::array<std::optional<Bytes>, 2>& inputs = inputs_;
 
   std::vector<Message> out;
   if (!inputs[0] || !inputs[1]) {

@@ -16,7 +16,9 @@
 //     matching the tight bound (γ10 + γ11)/2 of Theorems 3 and 4.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/auth_share.h"
@@ -29,9 +31,16 @@ namespace fairsfe::fair {
 /// The f′ functionality: authenticated sharing of y plus the index î.
 /// Unfair (abort gate after corrupted outputs). Records "y" (blob) and
 /// "i_hat" into notes.
+///
+/// `patience`: how many extra rounds to wait for a still-missing input after
+/// phase-1 traffic first arrives, accumulating inputs across rounds. The
+/// default 0 keeps the historical semantics — fire on the first round with
+/// any traffic, aborting if an input is absent. Fault runs (E18) raise it so
+/// a crash-restarted or delay-hit party can still join phase 1.
 class Opt2ShareFunc final : public sim::IFunctionality {
  public:
-  explicit Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr);
+  explicit Opt2ShareFunc(mpc::SfeSpec spec, mpc::NotesPtr notes = nullptr,
+                         int patience = 0);
 
   std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
                                      sim::MsgView in) override;
@@ -39,7 +48,11 @@ class Opt2ShareFunc final : public sim::IFunctionality {
  private:
   mpc::SfeSpec spec_;
   mpc::NotesPtr notes_;
+  int patience_ = 0;
+  int waited_ = 0;
+  bool seen_traffic_ = false;
   bool fired_ = false;
+  std::array<std::optional<Bytes>, 2> inputs_;
 };
 
 class Opt2Party final : public sim::PartyBase<Opt2Party> {

@@ -11,7 +11,7 @@
 // wrong value for honest-but-aborting adversaries). That is exactly the
 // power the paper's lower-bound adversaries use — they run corrupted parties
 // honestly until aborting — and active security for the fairness phase is
-// modeled by the ideal-hybrid mode (see DESIGN.md §5). The protocol is
+// modeled by the ideal-hybrid mode (see DESIGN.md §6). The protocol is
 // adaptively secure in this setting because channels are ideally private.
 #pragma once
 

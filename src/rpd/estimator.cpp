@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <mutex>
 
 #include "util/thread_pool.h"
@@ -26,6 +27,9 @@ struct ShardAccumulator {
   double sum = 0.0;
   double sum_sq = 0.0;
   std::array<std::size_t, 4> counts{};
+  std::size_t capped = 0;
+  std::size_t first_capped = std::numeric_limits<std::size_t>::max();
+  sim::fault::FaultStats fault_stats;
 };
 
 }  // namespace
@@ -55,6 +59,8 @@ UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector
       Rng run_rng = master.fork_at("run", i);
       Rng setup_rng = run_rng.fork("setup");
       RunSetup setup = factory(setup_rng);
+      if (opts.fault) setup.engine.fault = *opts.fault;
+      if (opts.round_timeout >= 0) setup.engine.round_timeout = opts.round_timeout;
       const std::size_t n = setup.parties.size();
       auto j_predicate = setup.honest_got_output;
       auto i_predicate = setup.adversary_learned;
@@ -65,6 +71,14 @@ UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector
       if (i_predicate) o.adversary_learned = i_predicate(result);
       const FairnessEvent e = classify(o);
       est.run_events[i] = e;
+      acc.fault_stats += result.fault_stats;
+      if (result.hit_round_cap) {
+        // Hard per-run error: the protocol never reached a verdict. Keep the
+        // classification trace aligned but exclude the run from the average.
+        acc.capped += 1;
+        acc.first_capped = std::min(acc.first_capped, i);
+        continue;
+      }
       acc.counts[static_cast<std::size_t>(e)]++;
       const double pay = payoff.of(e);
       acc.sum += pay;
@@ -82,21 +96,29 @@ UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector
   double sum = 0.0;
   double sum_sq = 0.0;
   std::array<std::size_t, 4> counts{};
+  std::size_t first_capped = std::numeric_limits<std::size_t>::max();
   for (const ShardAccumulator& acc : shards) {  // merge in index order
     sum += acc.sum;
     sum_sq += acc.sum_sq;
     for (std::size_t k = 0; k < 4; ++k) counts[k] += acc.counts[k];
+    est.round_cap_hits += acc.capped;
+    first_capped = std::min(first_capped, acc.first_capped);
+    est.fault_stats += acc.fault_stats;
   }
+  est.valid_runs = runs - est.round_cap_hits;
+  est.first_round_cap_run = est.round_cap_hits > 0 ? first_capped : runs;
 
-  const double mean = sum / static_cast<double>(runs);
-  est.utility = mean;
-  if (runs > 1) {
-    const double var =
-        (sum_sq - static_cast<double>(runs) * mean * mean) / static_cast<double>(runs - 1);
-    est.std_error = std::sqrt(std::max(0.0, var) / static_cast<double>(runs));
-  }
-  for (std::size_t k = 0; k < 4; ++k) {
-    est.event_freq[k] = static_cast<double>(counts[k]) / static_cast<double>(runs);
+  const auto valid = static_cast<double>(est.valid_runs);
+  if (est.valid_runs > 0) {
+    const double mean = sum / valid;
+    est.utility = mean;
+    if (est.valid_runs > 1) {
+      const double var = (sum_sq - valid * mean * mean) / (valid - 1.0);
+      est.std_error = std::sqrt(std::max(0.0, var) / valid);
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      est.event_freq[k] = static_cast<double>(counts[k]) / valid;
+    }
   }
   return est;
 }

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,13 @@ struct EstimatorOptions {
   /// each completed shard. Calls are serialized (an internal mutex) but may
   /// come from worker threads; `done_runs` is monotone and ends at total.
   std::function<void(std::size_t done, std::size_t total)> progress;
+  /// Fault-plan override: when set, it replaces each run's
+  /// `setup.engine.fault` after the factory builds it, so one factory can be
+  /// swept across fault severities (exp18) without rebuilding setups.
+  std::optional<sim::fault::FaultPlan> fault;
+  /// `ExecutionOptions::round_timeout` override; < 0 keeps the factory's
+  /// value.
+  int round_timeout = -1;
 
   [[nodiscard]] EstimatorOptions with_seed(std::uint64_t s) const {
     EstimatorOptions o = *this;
@@ -73,22 +81,44 @@ struct EstimatorOptions {
     o.runs = r;
     return o;
   }
+  [[nodiscard]] EstimatorOptions with_fault(sim::fault::FaultPlan p) const {
+    EstimatorOptions o = *this;
+    o.fault = std::move(p);
+    return o;
+  }
 };
 
 struct UtilityEstimate {
-  double utility = 0.0;       ///< empirical mean payoff
+  double utility = 0.0;       ///< empirical mean payoff (over valid runs)
   double std_error = 0.0;     ///< standard error of the mean
-  std::array<double, 4> event_freq{};  ///< empirical Pr[E_ij], indexed by event
-  std::size_t runs = 0;
+  std::array<double, 4> event_freq{};  ///< empirical Pr[E_ij] over valid runs
+  std::size_t runs = 0;       ///< executions requested (= run_events.size())
+  /// Executions that terminated on their own. A run that hits
+  /// ExecutionOptions::max_rounds is a hard per-run error — the protocol
+  /// never reached a verdict — so it is excluded from utility / std_error /
+  /// event_freq instead of silently folding its truncated state into the
+  /// average.
+  std::size_t valid_runs = 0;
+  std::size_t round_cap_hits = 0;  ///< runs excluded for hitting max_rounds
+  /// Lowest run index that hit the cap (== runs when none did). Reproduce it
+  /// directly: the offending execution's randomness is
+  /// Rng(opts.seed).fork_at("run", first_round_cap_run).
+  std::size_t first_round_cap_run = 0;
   /// Per-run event classification, index = run index (deterministic in the
-  /// seed, independent of `threads`).
+  /// seed, independent of `threads`). Capped runs are still classified here
+  /// so the trace stays index-aligned.
   std::vector<FairnessEvent> run_events;
+  /// Fault-injection counters summed over all runs (all zero when no
+  /// FaultPlan is active).
+  sim::fault::FaultStats fault_stats;
   /// Wall-clock duration of the estimation (metadata; not deterministic).
   double wall_seconds = 0.0;
 
   [[nodiscard]] double freq(FairnessEvent e) const {
     return event_freq[static_cast<std::size_t>(e)];
   }
+  /// True iff every run terminated before the round cap.
+  [[nodiscard]] bool clean() const { return round_cap_hits == 0; }
   /// Conservative high-probability half-width (3 standard errors).
   [[nodiscard]] double margin() const { return 3.0 * std_error; }
   /// Monte-Carlo throughput of this estimation.

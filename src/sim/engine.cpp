@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/fault/injector.h"
 
 namespace fairsfe::sim {
 
@@ -172,6 +175,21 @@ ExecutionResult Engine::run() {
 
   FuncCtxView func_ctx(*ctx_);
 
+  // Fault injection: compiled only for an enabled plan, so the disabled
+  // default neither forks fault randomness nor perturbs a single byte of the
+  // reliable execution (pinned by tests/test_fault.cpp).
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (cfg_.fault.enabled()) {
+    injector = std::make_unique<fault::FaultInjector>(cfg_.fault, n, rng_.fork("fault"));
+  }
+  fault::FaultStats& fstats = result.fault_stats;
+  // Consecutive rounds each honest party has spent with an empty mailbox
+  // (timeout accounting; only maintained when the injector is active).
+  std::vector<int> stalled(static_cast<std::size_t>(n), 0);
+  // Reordered deliveries of the current round: flushed to the back of their
+  // recipient's mailbox after all other routing, so they are consumed last.
+  std::vector<std::pair<PartyId, std::uint32_t>> reorder_tail;
+
   // Double-buffered rounds: `prev` holds round r-1's routed messages (what
   // parties consume now), `cur` collects round r's sends.
   RoundBuf buf_a(static_cast<std::size_t>(n));
@@ -182,23 +200,104 @@ ExecutionResult Engine::run() {
   RoutingStats& stats = result.stats;
   // Route one message: move it into the round buffer exactly once, then fan
   // out by index. Broadcast bodies are shared, never duplicated.
+  //
+  // RoutingStats always count the canonical pre-fault routing (what was
+  // sent); the injector then decides what each honest mailbox actually sees.
+  // The message body always enters the round buffer: the adversary is the
+  // network scheduler and taps the wire upstream of the faults, so its
+  // AdvView stays pre-fault. Self-deliveries (own broadcast loopback),
+  // deliveries to currently-corrupted parties, and — unless the plan says
+  // otherwise — the hybrid functionality channel are reliable.
   const auto deliver = [&](RoundBuf& buf, Message&& m) {
     const auto idx = static_cast<std::uint32_t>(buf.msgs.size());
     const std::uint64_t sz = m.payload.size();
+    const int r = ctx_->round();
     stats.messages += 1;
     stats.payload_bytes += sz;
     if (m.to == kBroadcast) {
       stats.broadcast_messages += 1;
       stats.bytes_copy_avoided += sz * static_cast<std::uint64_t>(n);
-      for (auto& box : buf.mail) box.push_back(idx);
-    } else if (m.to == kFunc) {
+    } else if (m.to == kFunc || (m.to >= 0 && m.to < n)) {
       stats.bytes_copy_avoided += sz;
-      buf.func_mail.push_back(idx);
-    } else if (m.to >= 0 && m.to < n) {
-      stats.bytes_copy_avoided += sz;
-      buf.mail[static_cast<std::size_t>(m.to)].push_back(idx);
     }
+    const PartyId from = m.from;
+    const PartyId to = m.to;
+
+    if (!injector) {
+      if (to == kBroadcast) {
+        for (auto& box : buf.mail) box.push_back(idx);
+      } else if (to == kFunc) {
+        buf.func_mail.push_back(idx);
+      } else if (to >= 0 && to < n) {
+        buf.mail[static_cast<std::size_t>(to)].push_back(idx);
+      }
+      buf.msgs.push_back(std::move(m));
+      return;
+    }
+
     buf.msgs.push_back(std::move(m));
+    // Per-recipient fate of one delivery leg (messages collected at round r
+    // are consumed at round r+1, hence the crash check against r+1).
+    const auto route_leg = [&](PartyId rcpt) {
+      if (rcpt == from || ctx_->is_corrupted(rcpt)) {
+        buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+        return;
+      }
+      if (injector->is_crashed(rcpt, r + 1)) {
+        fstats.lost_in_crash += 1;
+        return;
+      }
+      using Fate = fault::FaultInjector::Fate;
+      const Fate f = injector->fate(from, rcpt, r, fstats);
+      switch (f.kind) {
+        case Fate::kDeliver:
+          buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+          break;
+        case Fate::kDrop:
+          break;
+        case Fate::kDelay:
+          // Re-addressed to the recipient directly: a delayed broadcast leg
+          // becomes an ordinary point-to-point redelivery.
+          injector->schedule(Message{from, rcpt, buf.msgs[idx].payload},
+                             r + f.delay_rounds);
+          break;
+        case Fate::kDuplicate:
+          buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+          injector->schedule(Message{from, rcpt, buf.msgs[idx].payload}, r + 1);
+          break;
+        case Fate::kCorrupt: {
+          Message garbled{from, rcpt, buf.msgs[idx].payload};
+          fault::corrupt_in_flight(garbled.payload, injector->rng());
+          const auto gidx = static_cast<std::uint32_t>(buf.msgs.size());
+          buf.msgs.push_back(std::move(garbled));
+          buf.mail[static_cast<std::size_t>(rcpt)].push_back(gidx);
+          break;
+        }
+        case Fate::kReorder:
+          reorder_tail.emplace_back(rcpt, idx);
+          break;
+      }
+    };
+
+    if (to == kBroadcast) {
+      for (PartyId rcpt = 0; rcpt < n; ++rcpt) route_leg(rcpt);
+    } else if (to == kFunc) {
+      if (!cfg_.fault.affect_func_channel) {
+        buf.func_mail.push_back(idx);
+      } else {
+        using Fate = fault::FaultInjector::Fate;
+        const Fate f = injector->fate(from, kFunc, r, fstats);
+        // The hybrid slot has no mailbox history: only drop applies; every
+        // other fate degrades to plain delivery.
+        if (f.kind != Fate::kDrop) buf.func_mail.push_back(idx);
+      }
+    } else if (to >= 0 && to < n) {
+      if (from == kFunc && !cfg_.fault.affect_func_channel) {
+        buf.mail[static_cast<std::size_t>(to)].push_back(idx);
+      } else {
+        route_leg(to);
+      }
+    }
   };
 
   int r = 0;
@@ -206,11 +305,44 @@ ExecutionResult Engine::run() {
     ctx_->set_round(r);
     cur->clear();
 
+    if (injector) {
+      injector->tick(r, fstats);
+      // Redeliver delayed/duplicated copies due this round. They were
+      // re-addressed point-to-point at fate time; no fate is re-drawn (a
+      // copy already in the injector's hands is not re-faulted).
+      for (Message& m : injector->take_due(r)) {
+        if (injector->is_crashed(m.to, r + 1)) {
+          fstats.lost_in_crash += 1;
+          continue;
+        }
+        const auto idx = static_cast<std::uint32_t>(cur->msgs.size());
+        cur->mail[static_cast<std::size_t>(m.to)].push_back(idx);
+        cur->msgs.push_back(std::move(m));
+        fstats.injected += 1;
+      }
+    }
+
     // 1. Honest parties move, consuming their round-(r-1) mailboxes.
     for (PartyId pid = 0; pid < n; ++pid) {
       if (ctx_->is_corrupted(pid)) continue;
       IParty& p = *parties_[static_cast<std::size_t>(pid)];
       if (p.done()) continue;
+      if (injector) {
+        if (injector->is_crashed(pid, r)) continue;  // down: no step, no timeout
+        if (r > 0 && prev->mail[static_cast<std::size_t>(pid)].empty()) {
+          // The expected message did not arrive: stall instead of stepping
+          // (parties are activation-driven state machines), and after
+          // round_timeout consecutive empty rounds observe the abort event.
+          stalled[static_cast<std::size_t>(pid)] += 1;
+          if (cfg_.round_timeout > 0 &&
+              stalled[static_cast<std::size_t>(pid)] >= cfg_.round_timeout) {
+            p.on_abort();
+            fstats.timeouts_fired += 1;
+          }
+          continue;
+        }
+        stalled[static_cast<std::size_t>(pid)] = 0;
+      }
       std::vector<Message> out = p.on_round(r, prev->mailbox(pid));
       for (Message& m : out) {
         m.from = pid;  // authenticated channels: sender identity is bound
@@ -241,6 +373,15 @@ ExecutionResult Engine::run() {
       }
     }
 
+    // Reordered deliveries land at the back of their round's mailbox, after
+    // honest, functionality, and adversary traffic alike.
+    if (injector && !reorder_tail.empty()) {
+      for (const auto& [rcpt, idx] : reorder_tail) {
+        cur->mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+      }
+      reorder_tail.clear();
+    }
+
     if (cfg_.record_transcript) {
       for (const Message& m : cur->msgs) stats.bytes_copied += m.payload.size();
       result.transcript.push_back(cur->msgs);
@@ -249,12 +390,16 @@ ExecutionResult Engine::run() {
     std::swap(prev, cur);
 
     // Termination: all honest parties done, or (if none) adversary finished.
+    // A party crashed with no scheduled restart is never stepped again, so it
+    // counts as done here and is finalized through on_abort() below.
     bool honest_exists = false;
     bool all_honest_done = true;
     for (PartyId pid = 0; pid < n; ++pid) {
       if (ctx_->is_corrupted(pid)) continue;
       honest_exists = true;
-      if (!parties_[static_cast<std::size_t>(pid)]->done()) all_honest_done = false;
+      if (parties_[static_cast<std::size_t>(pid)]->done()) continue;
+      if (injector && injector->crashed_forever(pid, r)) continue;
+      all_honest_done = false;
     }
     if (honest_exists ? all_honest_done : (!adversary_ || adversary_->finished())) {
       ++r;

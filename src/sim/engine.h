@@ -24,6 +24,7 @@
 
 #include "crypto/rng.h"
 #include "sim/adversary.h"
+#include "sim/fault/plan.h"
 #include "sim/functionality.h"
 #include "sim/message.h"
 #include "sim/party.h"
@@ -36,6 +37,15 @@ struct ExecutionOptions {
   /// default: the Monte-Carlo estimator discards transcripts, so the hot path
   /// never pays for them. Examples and debugging runs switch it on.
   bool record_transcript = false;
+  /// Network-fault / crash-injection plan (sim/fault/plan.h). The default
+  /// (disabled) plan leaves execution byte-identical to the reliable engine:
+  /// the injector is never constructed and no fault randomness is forked.
+  fault::FaultPlan fault;
+  /// Only meaningful when `fault` is enabled: an honest party whose mailbox
+  /// has been empty for this many consecutive rounds (its expected message
+  /// never arrived) observes the abort event — on_abort(), the paper's abort
+  /// semantics — instead of spinning to max_rounds. <= 0 disables timeouts.
+  int round_timeout = 6;
 };
 
 /// Legacy name for ExecutionOptions.
@@ -69,6 +79,9 @@ struct ExecutionResult {
   std::vector<std::vector<Message>> transcript;
   /// Routing-cost counters (always collected; cheap).
   RoutingStats stats;
+  /// Fault-injection counters (all zero when ExecutionOptions::fault is
+  /// disabled).
+  fault::FaultStats fault_stats;
 
   /// True iff party pid was honest at the end and output a value (non-⊥).
   [[nodiscard]] bool honest_output_present(PartyId pid) const;

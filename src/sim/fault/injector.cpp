@@ -1,0 +1,98 @@
+#include "sim/fault/injector.h"
+
+#include <algorithm>
+
+namespace fairsfe::sim::fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int n, Rng rng)
+    : plan_(plan), rng_(std::move(rng)), crash_by_party_(static_cast<std::size_t>(n)) {
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.party >= 0 && c.party < n) {
+      crash_by_party_[static_cast<std::size_t>(c.party)].push_back(c);
+    }
+  }
+}
+
+FaultInjector::Fate FaultInjector::fate(PartyId from, PartyId to, int round,
+                                        FaultStats& stats) {
+  stats.examined += 1;
+  Fate out;
+  const ChannelFaults* f = plan_.lookup(from, to, round);
+  if (f == nullptr || !f->any()) return out;
+
+  // One uniform per nonzero rate, drawn unconditionally so the keystream
+  // consumption per examined message depends only on the rule structure,
+  // never on earlier outcomes.
+  const auto draw = [&](double rate) { return rate > 0.0 && rng_.uniform() < rate; };
+  const bool drop = draw(f->drop);
+  const bool delay = draw(f->delay);
+  const bool duplicate = draw(f->duplicate);
+  const bool corrupt = draw(f->corrupt);
+  const bool reorder = draw(f->reorder);
+
+  if (drop) {
+    stats.dropped += 1;
+    out.kind = Fate::kDrop;
+  } else if (delay) {
+    stats.delayed += 1;
+    out.kind = Fate::kDelay;
+    const auto span = static_cast<std::uint64_t>(std::max(1, f->max_delay_rounds));
+    out.delay_rounds = 1 + static_cast<int>(rng_.below(span));
+  } else if (duplicate) {
+    stats.duplicated += 1;
+    out.kind = Fate::kDuplicate;
+  } else if (corrupt) {
+    stats.corrupted += 1;
+    out.kind = Fate::kCorrupt;
+  } else if (reorder) {
+    stats.reordered += 1;
+    out.kind = Fate::kReorder;
+  }
+  return out;
+}
+
+bool FaultInjector::is_crashed(PartyId party, int round) const {
+  if (party < 0 || static_cast<std::size_t>(party) >= crash_by_party_.size()) {
+    return false;
+  }
+  for (const CrashEvent& c : crash_by_party_[static_cast<std::size_t>(party)]) {
+    if (round >= c.at_round &&
+        (c.restart_round == CrashEvent::kNever || round < c.restart_round)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::crashed_forever(PartyId party, int round) const {
+  if (party < 0 || static_cast<std::size_t>(party) >= crash_by_party_.size()) {
+    return false;
+  }
+  for (const CrashEvent& c : crash_by_party_[static_cast<std::size_t>(party)]) {
+    if (round >= c.at_round && c.restart_round == CrashEvent::kNever) return true;
+  }
+  return false;
+}
+
+void FaultInjector::tick(int round, FaultStats& stats) {
+  for (const CrashEvent& c : plan_.crashes) {
+    if (c.at_round == round) stats.crashes += 1;
+    if (c.restart_round != CrashEvent::kNever && c.restart_round == round) {
+      stats.restarts += 1;
+    }
+  }
+}
+
+void FaultInjector::schedule(Message m, int collect_round) {
+  due_[collect_round].push_back(std::move(m));
+}
+
+std::vector<Message> FaultInjector::take_due(int round) {
+  auto it = due_.find(round);
+  if (it == due_.end()) return {};
+  std::vector<Message> out = std::move(it->second);
+  due_.erase(it);
+  return out;
+}
+
+}  // namespace fairsfe::sim::fault

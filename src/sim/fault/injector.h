@@ -1,0 +1,70 @@
+// Compiled, deterministic form of a FaultPlan.
+//
+// The engine constructs one FaultInjector per execution — only when the plan
+// is enabled() — seeded from the engine Rng's dedicated "fault" fork, so
+// fault randomness is independent of party/adversary/functionality streams
+// and executions stay bit-identical across estimator thread counts.
+//
+// The injector is consulted once per (message, recipient) pair at the
+// engine's single delivery point: fate() draws the in-flight outcome,
+// schedule()/take_due() carry delayed and duplicated copies across rounds,
+// and the crash tables answer is_crashed()/crashed_forever() for the party
+// scheduler. It owns no engine state and performs no I/O.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "sim/fault/plan.h"
+#include "sim/message.h"
+
+namespace fairsfe::sim::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int n, Rng rng);
+
+  /// In-flight outcome of one recipient-delivery. Fates are mutually
+  /// exclusive; the draw order is drop, delay, duplicate, corrupt, reorder
+  /// with the first hit winning.
+  struct Fate {
+    enum Kind { kDeliver, kDrop, kDelay, kDuplicate, kCorrupt, kReorder };
+    Kind kind = kDeliver;
+    int delay_rounds = 0;  ///< set when kind == kDelay
+  };
+
+  /// Draw the fate of a message sent from -> to at engine round `round`.
+  /// One uniform is consumed per nonzero rate of the matching rule — a
+  /// plan-static count — so sweeps that share a seed and a rule structure
+  /// remain run-for-run coupled across rate values.
+  Fate fate(PartyId from, PartyId to, int round, FaultStats& stats);
+
+  /// True iff `party` is down at engine round `round`.
+  [[nodiscard]] bool is_crashed(PartyId party, int round) const;
+  /// True iff `party` is down at `round` with no scheduled restart.
+  [[nodiscard]] bool crashed_forever(PartyId party, int round) const;
+
+  /// Advance crash bookkeeping to `round`: counts crash and restart
+  /// transitions that happen exactly at this round. Call once per round.
+  void tick(int round, FaultStats& stats);
+
+  /// Queue a fault-materialized copy (delayed/duplicated delivery) to be
+  /// collected into the round buffer at engine round `collect_round`.
+  void schedule(Message m, int collect_round);
+  /// Drain the copies due for collection at `round`.
+  std::vector<Message> take_due(int round);
+
+  /// The dedicated fault randomness stream (also used for payload-bit
+  /// corruption via corrupt_in_flight).
+  Rng& rng() { return rng_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<std::vector<CrashEvent>> crash_by_party_;  // index = PartyId
+  std::map<int, std::vector<Message>> due_;              // collect round -> copies
+};
+
+}  // namespace fairsfe::sim::fault

@@ -1,0 +1,43 @@
+#include "sim/fault/plan.h"
+
+#include <sstream>
+
+namespace fairsfe::sim::fault {
+
+FaultStats& FaultStats::operator+=(const FaultStats& o) {
+  examined += o.examined;
+  dropped += o.dropped;
+  delayed += o.delayed;
+  duplicated += o.duplicated;
+  corrupted += o.corrupted;
+  reordered += o.reordered;
+  injected += o.injected;
+  timeouts_fired += o.timeouts_fired;
+  crashes += o.crashes;
+  restarts += o.restarts;
+  lost_in_crash += o.lost_in_crash;
+  return *this;
+}
+
+std::string FaultStats::to_string() const {
+  std::ostringstream os;
+  os << "examined=" << examined << " dropped=" << dropped
+     << " delayed=" << delayed << " duplicated=" << duplicated
+     << " corrupted=" << corrupted << " reordered=" << reordered
+     << " injected=" << injected << " timeouts=" << timeouts_fired
+     << " crashes=" << crashes << " restarts=" << restarts
+     << " lost_in_crash=" << lost_in_crash;
+  return os.str();
+}
+
+void corrupt_in_flight(Bytes& payload, Rng& rng) {
+  if (payload.empty()) return;
+  const std::uint64_t nbits = static_cast<std::uint64_t>(payload.size()) * 8;
+  const std::uint64_t flips = 1 + rng.below(3);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t bit = rng.below(nbits);
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace fairsfe::sim::fault

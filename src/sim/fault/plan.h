@@ -1,0 +1,154 @@
+// Deterministic network-fault and crash-injection plans.
+//
+// Every theorem-reproduction in this repository measures utilities over a
+// perfectly reliable synchronous network. A FaultPlan describes an
+// *unreliable* one: per-channel, per-round-window probabilities of dropping,
+// delaying (by k rounds), duplicating, byte-corrupting, or reordering a
+// message in flight, plus party crash / crash-restart schedules. The plan is
+// pure data; the engine compiles it into a FaultInjector (sim/fault/
+// injector.h) hooked at the single mailbox-delivery point of sim::Engine.
+//
+// Model (documented in DESIGN.md §5): the adversary *is* the network
+// scheduler — it taps the wire upstream of the faults (its AdvView and the
+// probes it feeds corrupted parties remain pre-fault), while deliveries into
+// honest parties' and the functionality's mailboxes pass through the
+// injector. Self-addressed deliveries (a party's own broadcast loopback) and
+// deliveries to currently-corrupted parties are always reliable; traffic to
+// and from the hybrid functionality is exempt unless
+// `affect_func_channel` is set (a hybrid call is an atomic ideal
+// interaction, not wire traffic).
+//
+// A zero (default) plan disables the injector entirely: execution is
+// byte-identical to the fault-free engine (pinned by tests/test_fault.cpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "sim/message.h"
+
+namespace fairsfe::sim::fault {
+
+/// Per-channel fault probabilities. All default to 0 (reliable channel).
+struct ChannelFaults {
+  double drop = 0.0;       ///< P[message silently lost]
+  double delay = 0.0;      ///< P[delivery postponed by 1..max_delay_rounds]
+  int max_delay_rounds = 1;
+  double duplicate = 0.0;  ///< P[a second copy arrives one round later]
+  double corrupt = 0.0;    ///< P[1-3 payload bits flipped in flight]
+  double reorder = 0.0;    ///< P[moved to the back of the round's mailbox]
+
+  [[nodiscard]] bool any() const {
+    return drop > 0.0 || delay > 0.0 || duplicate > 0.0 || corrupt > 0.0 ||
+           reorder > 0.0;
+  }
+};
+
+/// One matching rule: faults applied to messages sent from -> to during
+/// engine rounds [from_round, to_round]. kAnyParty wildcards an endpoint.
+/// The first matching rule of FaultPlan::rules wins.
+struct FaultRule {
+  PartyId from = kAnyParty;
+  PartyId to = kAnyParty;
+  int from_round = 0;
+  int to_round = std::numeric_limits<int>::max();
+  ChannelFaults faults;
+
+  [[nodiscard]] bool matches(PartyId f, PartyId t, int round) const {
+    if (from != kAnyParty && from != f) return false;
+    if (to != kAnyParty && to != t) return false;
+    return round >= from_round && round <= to_round;
+  }
+};
+
+/// Party crash schedule entry: `party` stops executing at engine round
+/// `at_round`; deliveries while crashed are lost. With a `restart_round`
+/// the party resumes from its pre-crash state (messages missed in between
+/// stay lost); with kNever it stays down and is finalized via on_abort().
+struct CrashEvent {
+  static constexpr int kNever = -1;
+  PartyId party = 0;
+  int at_round = 0;
+  int restart_round = kNever;
+};
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;      ///< first match wins
+  std::vector<CrashEvent> crashes;
+  /// Also fault party<->functionality traffic. Off by default: the hybrid
+  /// slot models an atomic ideal call, not a wire.
+  bool affect_func_channel = false;
+
+  /// True iff the plan can ever perturb an execution. A disabled plan makes
+  /// the engine skip the injector entirely (byte-identical executions).
+  [[nodiscard]] bool enabled() const {
+    if (!crashes.empty()) return true;
+    for (const FaultRule& r : rules) {
+      if (r.faults.any()) return true;
+    }
+    return false;
+  }
+
+  /// First matching rule's faults for a send, or nullptr (reliable).
+  [[nodiscard]] const ChannelFaults* lookup(PartyId from, PartyId to, int round) const {
+    for (const FaultRule& r : rules) {
+      if (r.matches(from, to, round)) return &r.faults;
+    }
+    return nullptr;
+  }
+
+  /// Wildcard plan: the same faults on every party<->party channel.
+  static FaultPlan uniform(ChannelFaults f) {
+    FaultPlan p;
+    p.rules.push_back(FaultRule{kAnyParty, kAnyParty, 0,
+                                std::numeric_limits<int>::max(), f});
+    return p;
+  }
+  /// Wildcard drop-only plan (the exp18 sweep knob).
+  static FaultPlan uniform_drop(double p) {
+    ChannelFaults f;
+    f.drop = p;
+    return uniform(f);
+  }
+
+  FaultPlan& with_crash(PartyId party, int at_round,
+                        int restart_round = CrashEvent::kNever) {
+    crashes.push_back(CrashEvent{party, at_round, restart_round});
+    return *this;
+  }
+};
+
+/// Injector counters for one execution, reported in
+/// ExecutionResult::fault_stats alongside RoutingStats. All counters are
+/// exact (updated on the delivery path) and sum across runs in the
+/// estimator's UtilityEstimate::fault_stats.
+struct FaultStats {
+  std::uint64_t examined = 0;       ///< recipient-deliveries the injector saw
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t injected = 0;       ///< fault-materialized copies delivered late
+  std::uint64_t timeouts_fired = 0; ///< parties that observed the round_timeout abort
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t lost_in_crash = 0;  ///< deliveries addressed to a crashed party
+
+  FaultStats& operator+=(const FaultStats& o);
+  bool operator==(const FaultStats&) const = default;
+
+  [[nodiscard]] bool empty() const { return *this == FaultStats{}; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The injector's in-flight bit-corruption primitive: flips 1-3 uniformly
+/// chosen bits of `payload` (no-op on empty payloads). Exposed so the
+/// decoder-robustness fuzz (tests/test_robustness.cpp) can exercise exactly
+/// the mutation honest parties face on a corrupting channel.
+void corrupt_in_flight(Bytes& payload, Rng& rng);
+
+}  // namespace fairsfe::sim::fault

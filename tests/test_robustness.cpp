@@ -13,6 +13,7 @@
 #include "fair/optnsfe.h"
 #include "mpc/ot.h"
 #include "rpd/estimator.h"
+#include "sim/fault/plan.h"
 #include "experiments/setups.h"
 
 namespace fairsfe {
@@ -82,6 +83,55 @@ TEST(DecoderRobustness, TruncationsOfValidMessagesRejected) {
   }
 }
 
+TEST(DecoderRobustness, CorruptedInFlightFramesRejectedOrSafe) {
+  // The fault injector's corrupt fate flips 1-3 bits of a frame that was
+  // valid when sent (sim::fault::corrupt_in_flight — the exact mutation a
+  // corrupting channel applies). Decoders must never crash on such frames;
+  // unlike random junk these are well-formed up to a few bits, so they probe
+  // the "almost valid" corner the pure-garbage fuzz cannot reach.
+  Rng rng(31);
+  const AuthSharing2 sh = auth_share2(bytes_of("secret"), rng);
+  const std::vector<Bytes> frames = {
+      sim::encode_func_input(bytes_of("payload")),
+      sim::encode_func_output(bytes_of("payload")),
+      mpc::encode_ot_result_str(7, bytes_of("cccc")),
+      sh.share1.to_bytes(),
+      fair::encode_announcement(std::make_pair(bytes_of("y"), bytes_of("s"))),
+      fair::encode_gk_opening(3, bytes_of("opening")),
+  };
+  for (const Bytes& frame : frames) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Bytes hit = frame;
+      sim::fault::corrupt_in_flight(hit, rng);
+      (void)sim::decode_func_input(hit);
+      (void)sim::decode_func_output(hit);
+      (void)sim::is_func_abort(hit);
+      (void)mpc::decode_ot_result_str(hit);
+      (void)AuthShare2::from_bytes(hit);
+      (void)fair::decode_announcement(hit);
+      (void)fair::decode_gk_opening(hit);
+    }
+  }
+}
+
+TEST(DecoderRobustness, CorruptedOpeningNeverReconstructsWrongValue) {
+  // Bit-flipping an authenticated opening in flight must not let the
+  // receiver accept a *wrong* secret: the MAC check makes reconstruction
+  // fail (or, vacuously, still yield the true value) — this is exactly why
+  // Opt2Party can treat a corrupting channel like a dropping one.
+  Rng rng(32);
+  const Bytes secret = bytes_of("the true y");
+  for (int trial = 0; trial < 300; ++trial) {
+    const AuthSharing2 sh = auth_share2(secret, rng);
+    Bytes opening = sh.share2.opening_to_bytes();
+    sim::fault::corrupt_in_flight(opening, rng);
+    const auto y = auth_reconstruct2(sh.share1, opening);
+    if (y.has_value()) {
+      EXPECT_EQ(*y, secret) << "trial " << trial << ": forged value accepted";
+    }
+  }
+}
+
 // Adversary that sprays random junk point-to-point and to the functionality
 // every round while the honest parties run a protocol: honest outcome must
 // be a *sound* one (correct output, default-eval output, or ⊥) — never a
@@ -128,6 +178,36 @@ TEST(JunkResilience, Opt2SfeSurvivesSprayedGarbage) {
       const Bytes with_default = spec.eval({spec.default_inputs[0], xs[1]});
       EXPECT_TRUE(*r.outputs[1] == actual || *r.outputs[1] == with_default)
           << "seed " << seed << ": wrong value accepted";
+    }
+  }
+}
+
+TEST(JunkResilience, Opt2SfeSurvivesCorruptingChannel) {
+  // Honest execution over a channel that flips bits in most party-to-party
+  // frames: parties must reject the garbled openings cleanly (default-eval
+  // or ⊥ via the timeout/abort paths), never accept a wrong y, never crash.
+  sim::fault::ChannelFaults f;
+  f.corrupt = 0.6;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed + 400);
+    const mpc::SfeSpec spec = experiments::two_party_spec();
+    const auto xs = experiments::random_inputs(2, rng);
+    auto parties = fair::make_opt2_parties(spec, xs[0], xs[1], rng);
+    sim::EngineConfig cfg;
+    cfg.max_rounds = 64;
+    cfg.fault = sim::fault::FaultPlan::uniform(f);
+    sim::Engine e(std::move(parties), std::make_unique<fair::Opt2ShareFunc>(spec),
+                  nullptr, rng.fork("engine"), cfg);
+    auto r = e.run();
+    EXPECT_FALSE(r.hit_round_cap) << "seed " << seed;
+    const Bytes actual = xs[0] + xs[1];
+    for (int pid = 0; pid < 2; ++pid) {
+      if (!r.outputs[pid].has_value()) continue;
+      const Bytes with_default =
+          spec.eval({pid == 0 ? xs[0] : spec.default_inputs[0],
+                     pid == 1 ? xs[1] : spec.default_inputs[1]});
+      EXPECT_TRUE(*r.outputs[pid] == actual || *r.outputs[pid] == with_default)
+          << "seed " << seed << ": p" << pid << " accepted a wrong value";
     }
   }
 }
