@@ -1,197 +1,8 @@
-// Shared reporting for the experiment harnesses (bench/exp*) and the
-// estimator throughput harness in perf_protocols.
-//
-// bench::Reporter renders the historical fixed-width table on stdout — for
-// each configuration the measured utility (with its 3-sigma margin), the
-// empirical event distribution, and the paper's closed-form bound, then a
-// PASS/DEVIATION verdict on the shape claim — and, when the harness is
-// invoked with `--json <path>`, additionally writes the same data
-// machine-readably so BENCH_*.json trajectories can be recorded.
-//
-// CLI accepted by every harness:
-//   exp05_nparty_bounds [runs] [--json out.json] [--threads N]
-// where [runs] overrides the Monte-Carlo runs per point, --threads feeds
-// rpd::EstimatorOptions::threads (0 = one per hardware thread), and --json
-// selects the machine-readable sink.
-//
-// JSON schema (stable; one object per file):
-//   {
-//     "experiment": str, "claim": str, "gamma": str|null,
-//     "runs_per_point": int, "threads": int,
-//     "rows": [{"name": str, "utility": num, "std_error": num, "margin": num,
-//               "event_freq": [num, num, num, num],   // E00, E01, E10, E11
-//               "runs": int, "wall_seconds": num, "runs_per_sec": num,
-//               "paper": str}],
-//     "checks": [{"ok": bool, "what": str}],
-//     "deviations": int
-//   }
+// Forwarding header. bench::Args / bench::parse_args / bench::Reporter moved
+// into the library (src/experiments/report.h) so the scenario translation
+// units, the fairbench driver, and the test suite all link one
+// implementation. The namespace is still fairsfe::bench; existing includes
+// of "bench_util.h" keep compiling unchanged.
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-#include <vector>
-
-#include "rpd/estimator.h"
-
-namespace fairsfe::bench {
-
-class Reporter {
- public:
-  /// Parses [runs] / --json / --threads from argv; `default_runs` applies
-  /// when no positional override is given.
-  Reporter(int argc, char** argv, std::size_t default_runs) : runs_(default_runs) {
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        json_path_ = argv[++i];
-      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        threads_ = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-      } else if (argv[i][0] != '-') {
-        const long v = std::strtol(argv[i], nullptr, 10);
-        if (v > 0) runs_ = static_cast<std::size_t>(v);
-      }
-    }
-  }
-
-  [[nodiscard]] std::size_t runs() const { return runs_; }
-  [[nodiscard]] std::size_t threads() const { return threads_; }
-
-  /// EstimatorOptions for one utility point: the harness's runs/threads plus
-  /// the call site's seed. Callers needing a different run count adjust the
-  /// returned struct.
-  [[nodiscard]] rpd::EstimatorOptions opts(std::uint64_t seed) const {
-    rpd::EstimatorOptions o;
-    o.runs = runs_;
-    o.seed = seed;
-    o.threads = threads_;
-    return o;
-  }
-
-  void title(const std::string& id, const std::string& claim) {
-    experiment_ = id;
-    claim_ = claim;
-    std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
-  }
-
-  void gamma(const rpd::PayoffVector& g) {
-    gamma_ = g.to_string();
-    std::printf("gamma = %s, runs/point = %zu\n\n", gamma_.c_str(), runs_);
-  }
-
-  void row_header() {
-    std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "configuration", "utility",
-                "(+/-3SE)", "E00", "E01", "E10", "E11", "paper");
-    std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "-------------", "-------",
-                "--------", "---", "---", "---", "---", "-----");
-  }
-
-  void row(const std::string& name, const rpd::UtilityEstimate& est,
-           const std::string& paper) {
-    std::printf("%-28s %9.4f %8.4f   %5.2f %5.2f %5.2f %5.2f   %s\n", name.c_str(),
-                est.utility, est.margin(), est.event_freq[0], est.event_freq[1],
-                est.event_freq[2], est.event_freq[3], paper.c_str());
-    rows_.push_back(Row{name, est.utility, est.std_error, est.margin(), est.event_freq,
-                        est.runs, est.wall_seconds, est.runs_per_sec(), paper});
-  }
-
-  void check(bool ok, const std::string& what) {
-    std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
-    checks_.push_back(Check{ok, what});
-    if (!ok) failures_++;
-  }
-
-  /// Prints the verdict summary and, with --json, writes the report file.
-  /// Always returns 0: deviations are recorded in the output, never break
-  /// the bench loop.
-  int finish() {
-    std::printf("\n%s (%d deviation%s)\n",
-                failures_ == 0 ? "ALL CHECKS PASSED" : "DEVIATIONS", failures_,
-                failures_ == 1 ? "" : "s");
-    if (!json_path_.empty()) write_json();
-    return 0;
-  }
-
- private:
-  struct Row {
-    std::string name;
-    double utility, std_error, margin;
-    std::array<double, 4> event_freq;
-    std::size_t runs;
-    double wall_seconds, runs_per_sec;
-    std::string paper;
-  };
-  struct Check {
-    bool ok;
-    std::string what;
-  };
-
-  static std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
-
-  void write_json() {
-    std::FILE* f = std::fopen(json_path_.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "bench: cannot open %s for writing\n", json_path_.c_str());
-      return;
-    }
-    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"claim\": \"%s\",\n",
-                 json_escape(experiment_).c_str(), json_escape(claim_).c_str());
-    if (gamma_.empty()) {
-      std::fprintf(f, "  \"gamma\": null,\n");
-    } else {
-      std::fprintf(f, "  \"gamma\": \"%s\",\n", json_escape(gamma_).c_str());
-    }
-    std::fprintf(f, "  \"runs_per_point\": %zu,\n  \"threads\": %zu,\n  \"rows\": [",
-                 runs_, threads_);
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      std::fprintf(f,
-                   "%s\n    {\"name\": \"%s\", \"utility\": %.17g, \"std_error\": %.17g, "
-                   "\"margin\": %.17g, \"event_freq\": [%.17g, %.17g, %.17g, %.17g], "
-                   "\"runs\": %zu, \"wall_seconds\": %.6g, \"runs_per_sec\": %.6g, "
-                   "\"paper\": \"%s\"}",
-                   i == 0 ? "" : ",", json_escape(r.name).c_str(), r.utility, r.std_error,
-                   r.margin, r.event_freq[0], r.event_freq[1], r.event_freq[2],
-                   r.event_freq[3], r.runs, r.wall_seconds, r.runs_per_sec,
-                   json_escape(r.paper).c_str());
-    }
-    std::fprintf(f, "\n  ],\n  \"checks\": [");
-    for (std::size_t i = 0; i < checks_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"ok\": %s, \"what\": \"%s\"}", i == 0 ? "" : ",",
-                   checks_[i].ok ? "true" : "false", json_escape(checks_[i].what).c_str());
-    }
-    std::fprintf(f, "\n  ],\n  \"deviations\": %d\n}\n", failures_);
-    std::fclose(f);
-    std::printf("json report written to %s\n", json_path_.c_str());
-  }
-
-  std::size_t runs_;
-  std::size_t threads_ = 1;
-  std::string json_path_;
-  std::string experiment_, claim_, gamma_;
-  std::vector<Row> rows_;
-  std::vector<Check> checks_;
-  int failures_ = 0;
-};
-
-}  // namespace fairsfe::bench
+#include "experiments/report.h"

@@ -1,0 +1,149 @@
+// fairbench — the single driver for every registered experiment.
+//
+// Replaces the 18 one-binary-per-experiment exp* harnesses: the scenario
+// table lives in experiments::Registry (src/experiments/scenarios/), and
+// this binary only selects, runs, and reports.
+//
+//   fairbench --list                       enumerate registered scenarios
+//   fairbench --filter exp05 [runs]        run a selection (glob / substring
+//                                          / tag; empty filter = everything)
+//   fairbench --filter opt2 --json out.json --runs 500 --threads 0
+//   fairbench --filter exp18 --json new.json --baseline BENCH_fault.json
+//
+// JSON: one scenario selected -> a single object, byte-compatible with the
+// files the old exp* binaries wrote (BENCH_*.json); several -> an array of
+// those objects. --baseline feeds the fresh JSON plus the given baseline to
+// scripts/bench_diff.py (run from the repository root).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+
+using namespace fairsfe;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: fairbench [--list] [--filter <glob|substring|tag>] [runs] [--runs N]\n"
+      "                 [--threads N] [--json out.json] [--baseline old.json]\n"
+      "\n"
+      "  --list       print the scenario table and exit\n"
+      "  --filter     select scenarios by id glob, id substring, or tag glob\n"
+      "  runs/--runs  Monte-Carlo runs per point (default: per-scenario)\n"
+      "  --threads    estimator threads (0 = one per hardware thread)\n"
+      "  --json       write the report(s): one object for a single scenario,\n"
+      "               an array for several\n"
+      "  --baseline   after --json, diff against a baseline via\n"
+      "               scripts/bench_diff.py (run from the repo root)\n");
+}
+
+void list_scenarios(const std::vector<const experiments::ScenarioSpec*>& specs) {
+  std::printf("%-36s %6s %8s  %s\n", "id", "runs", "seed", "tags");
+  std::printf("%-36s %6s %8s  %s\n", "--", "----", "----", "----");
+  for (const auto* s : specs) {
+    std::string tags;
+    for (const auto& t : s->tags) {
+      if (!tags.empty()) tags += ",";
+      tags += t;
+    }
+    std::printf("%-36s %6zu %8llu  %s\n", s->id.c_str(), s->default_runs,
+                static_cast<unsigned long long>(s->base_seed), tags.c_str());
+    std::printf("    %s\n", s->title.c_str());
+  }
+  std::printf("\n%zu scenarios registered\n", specs.size());
+}
+
+int write_json(const std::string& path, const std::vector<std::string>& objects) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "fairbench: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  if (objects.size() == 1) {
+    // Byte-compatible with the files the standalone exp* binaries wrote.
+    std::fwrite(objects[0].data(), 1, objects[0].size(), f);
+    std::fputc('\n', f);
+  } else {
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      std::fwrite(objects[i].data(), 1, objects[i].size(), f);
+      if (i + 1 < objects.size()) std::fputc(',', f);
+      std::fputc('\n', f);
+    }
+    std::fputs("]\n", f);
+  }
+  std::fclose(f);
+  std::printf("json report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  for (const std::string& extra : args.passthrough) {
+    if (extra == "--help" || extra == "-h") {
+      print_usage();
+      return 0;
+    }
+    std::fprintf(stderr, "fairbench: ignoring unrecognized argument '%s'\n",
+                 extra.c_str());
+  }
+
+  experiments::Registry& reg = experiments::Registry::instance();
+  if (args.list) {
+    list_scenarios(reg.all());
+    return 0;
+  }
+
+  const auto selected = reg.match(args.filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "fairbench: no scenario matches '%s'; registered ids:\n",
+                 args.filter.c_str());
+    for (const auto* s : reg.all()) std::fprintf(stderr, "  %s\n", s->id.c_str());
+    return 2;
+  }
+  if (!args.baseline_path.empty() && args.json_path.empty()) {
+    std::fprintf(stderr, "fairbench: --baseline requires --json <path>\n");
+    return 2;
+  }
+
+  std::vector<std::string> objects;
+  int deviations = 0;
+  for (const experiments::ScenarioSpec* spec : selected) {
+    // The driver owns the JSON sink (single object vs array), so each
+    // per-scenario Reporter runs without one.
+    bench::Args local = args;
+    local.json_path.clear();
+    bench::Reporter rep(local, spec->default_runs);
+    rep.begin(*spec);
+    experiments::ScenarioContext ctx{*spec, rep};
+    spec->run(ctx);
+    rep.finish();
+    deviations += rep.deviations();
+    if (!args.json_path.empty()) objects.push_back(rep.json_object());
+  }
+
+  if (selected.size() > 1) {
+    std::printf("\n=== fairbench: %zu scenarios, %d deviation%s total ===\n",
+                selected.size(), deviations, deviations == 1 ? "" : "s");
+  }
+  if (!args.json_path.empty()) {
+    if (const int rc = write_json(args.json_path, objects); rc != 0) return rc;
+  }
+  if (!args.baseline_path.empty()) {
+    const std::string cmd =
+        "python3 scripts/bench_diff.py " + args.baseline_path + " " + args.json_path;
+    std::printf("\n$ %s\n", cmd.c_str());
+    // When stdout is a pipe our report is still sitting in the stdio buffer;
+    // flush so the child's diff doesn't interleave mid-table.
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <functional>
 
 #include "bench_util.h"
@@ -319,16 +320,11 @@ std::vector<ProfileCase> profile_cases() {
 }
 
 int run_profile(int argc, char** argv) {
-  std::size_t iters = 2000;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (argv[i][0] != '-') {
-      const long v = std::strtol(argv[i], nullptr, 10);
-      if (v > 0) iters = static_cast<std::size_t>(v);
-    }
-  }
+  // Same shared CLI as fairbench/run_scaling ([iters] / --json); the
+  // --profile selector itself lands in args.passthrough.
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t iters = args.runs_or(2000);
+  const std::string json_path = args.json_path;
 
   std::printf("\n=== P02-profile: zero-copy hot path ===\n");
   std::printf("%zu deterministic engine runs per configuration; RoutingStats are exact\n"

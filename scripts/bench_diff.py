@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Compare two BENCH_*.json reports and print per-row deltas.
 
-Works with both report schemas in this repo:
+Works with every report layout in this repo:
   - bench::Reporter files (rows keyed by "name" with "utility"/"runs_per_sec")
   - perf_protocols --profile files (rows keyed by "name" with throughput and
     RoutingStats counters)
+  - fairbench multi-scenario files: a JSON array of Reporter objects (one per
+    selected scenario); rows are then matched per (experiment, name) pair, so
+    an array baseline diffs cleanly against an array rerun and a legacy
+    single-object baseline still matches its scenario inside an array.
 
 Usage: scripts/bench_diff.py [--fail-above PCT] OLD.json NEW.json
 
@@ -38,9 +42,23 @@ GATED_KEYS = set(NUMERIC_KEYS) - {"utility", "std_error"}
 
 
 def load_rows(path):
+    """Load one report file into ({(experiment, row_name): row}, [reports]).
+
+    A single object (legacy BENCH_*.json; what fairbench still writes when
+    exactly one scenario is selected) becomes a one-element report list; a
+    fairbench array is taken as-is. Keying rows by (experiment, name) keeps
+    row names from different scenarios apart and lets the two layouts diff
+    against each other.
+    """
     with open(path) as f:
-        report = json.load(f)
-    return {row["name"]: row for row in report.get("rows", [])}, report
+        data = json.load(f)
+    reports = data if isinstance(data, list) else [data]
+    rows = {}
+    for report in reports:
+        exp = report.get("experiment", "?")
+        for row in report.get("rows", []):
+            rows[(exp, row["name"])] = row
+    return rows, reports
 
 
 def fmt(v):
@@ -66,16 +84,23 @@ def main():
     ap.add_argument("new", metavar="NEW.json")
     args = ap.parse_args()
 
-    old_rows, old_rep = load_rows(args.old)
-    new_rows, new_rep = load_rows(args.new)
+    old_rows, old_reps = load_rows(args.old)
+    new_rows, new_reps = load_rows(args.new)
 
-    exp = new_rep.get("experiment", "?")
-    print(f"bench diff [{exp}]: {args.old} -> {args.new}\n")
+    exps = ", ".join(r.get("experiment", "?") for r in new_reps)
+    print(f"bench diff [{exps}]: {args.old} -> {args.new}\n")
+
+    # Row names alone are unambiguous in a single-scenario diff; prefix the
+    # experiment only when the file holds several.
+    def label(key):
+        exp, name = key
+        return name if len(new_reps) == 1 else f"{exp} :: {name}"
 
     worst = (0.0, None)  # (pct, "row/key") over gated keys only
-    for name in new_rows:
-        new = new_rows[name]
-        old = old_rows.get(name)
+    for row_key in new_rows:
+        name = label(row_key)
+        new = new_rows[row_key]
+        old = old_rows.get(row_key)
         if old is None:
             print(f"{name}: new row (no baseline)")
             continue
@@ -95,8 +120,8 @@ def main():
             arrow = "improved" if better else "regressed"
             print(f"  {key:>20}: {fmt(o)} -> {fmt(n)}  ({ratio:.2f}x, {arrow})")
     gone = set(old_rows) - set(new_rows)
-    for name in sorted(gone):
-        print(f"{name}: dropped from report")
+    for row_key in sorted(gone):
+        print(f"{label(row_key)}: dropped from report")
 
     if args.fail_above is not None:
         pct, where = worst

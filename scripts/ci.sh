@@ -1,45 +1,54 @@
 #!/usr/bin/env bash
 # CI gate for the parallel Monte-Carlo estimation engine: build the tsan
-# preset and run the scheduling-independence tests (test_estimator_parallel
-# plus the hot-path golden tests, which exercise the shared CompiledCircuit
-# and mailbox delivery, plus the fault-injection suites, which exercise the
-# injector/timeout/crash paths under the same thread-count invariance
-# contract) under ThreadSanitizer, so data races in the estimator/thread-pool/
-# plan-cache/fault layer fail the build rather than silently perturbing
-# estimates.
+# preset and run the tier1 ctest label — the scheduling-independence suites
+# (estimator, thread pool, RNG forking, hot-path goldens, fault injection)
+# plus the scenario-registry suite — under ThreadSanitizer, so data races in
+# the estimator/thread-pool/plan-cache/fault layer fail the build rather
+# than silently perturbing estimates. The tier labels are assigned in
+# tests/CMakeLists.txt.
 #
-# Afterwards, a non-gating perf smoke: a Release build of perf_protocols
-# --profile writes BENCH_hotpath.ci.json and scripts/bench_diff.py prints the
-# delta against the committed BENCH_hotpath.json, flagging any perf counter
-# more than 35% worse. Regressions are surfaced, never fatal (CI machines
-# differ too much for a hard throughput gate). The fault-tolerance experiment
-# (exp18) also runs at a tiny run count as a smoke check of the sweep
-# harness.
+# Afterwards, a non-gating perf + experiment smoke against a Release build:
+#   * `fairbench --list` must enumerate the registered scenario table (a
+#     linker dropping scenario TUs would silently shrink it);
+#   * `fairbench --filter smoke --runs 32` sweeps every smoke-tagged
+#     scenario end-to-end (deviations at 32 runs are noise, never fatal);
+#   * perf_protocols --profile writes BENCH_hotpath.ci.json and
+#     scripts/bench_diff.py prints the delta against the committed
+#     BENCH_hotpath.json, flagging any perf counter more than 35% worse.
+#     Regressions are surfaced, never fatal (CI machines differ too much
+#     for a hard throughput gate).
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER="${1:-EstimatorParallel|ThreadPool|RngForkAt|Hotpath|Fault}"
-
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target fairsfe_tests
-ctest --test-dir build-tsan -R "${FILTER}" --output-on-failure -j "$(nproc)"
+if [[ $# -ge 1 ]]; then
+  ctest --test-dir build-tsan -R "$1" --output-on-failure -j "$(nproc)"
+  echo "tsan gate passed (-R $1)"
+else
+  ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$(nproc)"
+  echo "tsan gate passed (-L tier1)"
+fi
 
-echo "tsan gate passed (${FILTER})"
-
-# --- non-gating perf + fault smoke ------------------------------------------
+# --- non-gating perf + experiment smoke --------------------------------------
 if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
    cmake --build build-perf -j "$(nproc)" --target perf_protocols \
-         --target exp18_fault_tolerance >/dev/null 2>&1; then
+         --target fairbench >/dev/null 2>&1; then
+  SCENARIOS=$(./build-perf/fairbench --list | tail -1)
+  echo "fairbench --list: ${SCENARIOS}"
+  case "${SCENARIOS}" in
+    0\ scenarios*) echo "registry is empty — scenario TUs dropped?"; exit 1 ;;
+  esac
+  ./build-perf/fairbench --filter smoke --runs 32 ||
+    echo "experiment smoke deviation (non-gating; 32 runs is noisy)"
   ./build-perf/bench/perf_protocols --profile --json BENCH_hotpath.ci.json 500 || true
   if [[ -f BENCH_hotpath.json && -f BENCH_hotpath.ci.json ]]; then
     python3 scripts/bench_diff.py --fail-above 35 \
         BENCH_hotpath.json BENCH_hotpath.ci.json ||
       echo "perf smoke regression (non-gating)"
   fi
-  ./build-perf/bench/exp18_fault_tolerance 120 --json BENCH_fault.ci.json ||
-    echo "fault smoke deviation (non-gating; 120 runs is noisy)"
 else
   echo "perf smoke skipped (Release build unavailable)"
 fi

@@ -1,0 +1,149 @@
+// Shared CLI parsing and reporting for every experiment driver: the single
+// `fairbench` scenario runner, the perf_* harnesses, and the test suite's
+// schema checks.
+//
+// Historically this lived in bench/bench_util.h and every exp* binary
+// re-parsed `[runs] [--json] [--threads]` by hand. The class keeps its
+// `fairsfe::bench` namespace (so scenario bodies and the perf harnesses read
+// unchanged) but now lives in the library, next to the scenario registry
+// that drives it.
+//
+// bench::Reporter renders the historical fixed-width table on stdout — for
+// each configuration the measured utility (with its 3-sigma margin), the
+// empirical event distribution, and the paper's closed-form bound, then a
+// PASS/DEVIATION verdict on the shape claim — and, when the harness is
+// invoked with `--json <path>`, additionally writes the same data
+// machine-readably so BENCH_*.json trajectories can be recorded.
+//
+// CLI accepted by every harness (see bench::parse_args):
+//   fairbench [--list] [--filter <glob>] [runs] [--runs N] [--threads N]
+//             [--json out.json] [--baseline old.json]
+// where [runs] / --runs overrides the Monte-Carlo runs per point, --threads
+// feeds rpd::EstimatorOptions::threads (0 = one per hardware thread), and
+// --json selects the machine-readable sink.
+//
+// JSON schema (stable; fairbench emits one object per scenario, an array
+// when several scenarios run):
+//   {
+//     "experiment": str, "claim": str, "gamma": str|null,
+//     "runs_per_point": int, "threads": int,
+//     "rows": [{"name": str, "utility": num, "std_error": num, "margin": num,
+//               "event_freq": [num, num, num, num],   // E00, E01, E10, E11
+//               "runs": int, "wall_seconds": num, "runs_per_sec": num,
+//               "paper": str}],
+//     "checks": [{"ok": bool, "what": str}],
+//     "deviations": int
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpd/estimator.h"
+
+namespace fairsfe::experiments {
+struct ScenarioSpec;
+}  // namespace fairsfe::experiments
+
+namespace fairsfe::bench {
+
+/// The common experiment-harness CLI, parsed once. Flags every harness
+/// shares: positional [runs] (or --runs N), --threads N, --json <path>.
+/// Driver-level flags (--list, --filter, --baseline) are carried along for
+/// fairbench; anything unrecognized lands in `passthrough` so wrapper
+/// binaries (perf_*) can forward google-benchmark flags.
+struct Args {
+  std::size_t runs = 0;  ///< valid only when runs_set
+  bool runs_set = false;
+  std::size_t threads = 1;
+  std::string json_path;
+  bool list = false;
+  std::string filter;         ///< scenario glob for fairbench --filter
+  std::string baseline_path;  ///< fairbench --baseline, fed to bench_diff.py
+  std::vector<std::string> passthrough;  ///< unrecognized argv entries
+
+  [[nodiscard]] std::size_t runs_or(std::size_t default_runs) const {
+    return runs_set ? runs : default_runs;
+  }
+};
+
+/// Parses the shared harness CLI out of argv. Never fails: unknown flags are
+/// collected, a non-numeric positional is passed through.
+Args parse_args(int argc, char** argv);
+
+/// Paper-vs-measured table writer; one instance per scenario run.
+class Reporter {
+ public:
+  /// Parses [runs] / --json / --threads from argv; `default_runs` applies
+  /// when no positional override is given.
+  Reporter(int argc, char** argv, std::size_t default_runs);
+
+  /// The parsed-args form used by fairbench (which parses argv once and
+  /// shares the result across every selected scenario).
+  Reporter(const Args& args, std::size_t default_runs);
+
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// EstimatorOptions for one utility point: the harness's runs/threads plus
+  /// the call site's seed. Callers needing a different run count adjust the
+  /// returned struct.
+  [[nodiscard]] rpd::EstimatorOptions opts(std::uint64_t seed) const {
+    rpd::EstimatorOptions o;
+    o.runs = runs_;
+    o.seed = seed;
+    o.threads = threads_;
+    return o;
+  }
+
+  void title(const std::string& id, const std::string& claim);
+
+  /// Consume a ScenarioSpec directly: prints the spec's title/claim header,
+  /// so the table provably describes the registered configuration.
+  void begin(const experiments::ScenarioSpec& spec);
+
+  void gamma(const rpd::PayoffVector& g);
+  void row_header();
+  void row(const std::string& name, const rpd::UtilityEstimate& est,
+           const std::string& paper);
+  void check(bool ok, const std::string& what);
+
+  /// Prints the verdict summary and, with --json, writes the report file.
+  /// Always returns 0: deviations are recorded in the output, never break
+  /// the bench loop.
+  int finish();
+
+  [[nodiscard]] int deviations() const { return failures_; }
+
+  /// This scenario's report as one JSON object (the schema above). fairbench
+  /// concatenates these into the multi-scenario array.
+  [[nodiscard]] std::string json_object() const;
+
+ private:
+  struct Row {
+    std::string name;
+    double utility, std_error, margin;
+    std::array<double, 4> event_freq;
+    std::size_t runs;
+    double wall_seconds, runs_per_sec;
+    std::string paper;
+  };
+  struct Check {
+    bool ok;
+    std::string what;
+  };
+
+  static std::string json_escape(const std::string& s);
+  void write_json();
+
+  std::size_t runs_;
+  std::size_t threads_ = 1;
+  std::string json_path_;
+  std::string experiment_, claim_, gamma_;
+  std::vector<Row> rows_;
+  std::vector<Check> checks_;
+  int failures_ = 0;
+};
+
+}  // namespace fairsfe::bench

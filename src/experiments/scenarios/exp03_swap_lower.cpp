@@ -4,22 +4,22 @@
 // γ10 + γ11. The harness runs these adversaries against every two-party
 // protocol in the library and shows none escapes the bound — while the
 // unfair protocols exceed it.
-#include "bench_util.h"
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 3000);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title(
-            "E03: Theorem 4 / Lemma 7 — universal lower bound for the swap function",
-            "Claim: u(A1) + u(A2) >= g10 + g11 for every protocol; the mixed Agen earns\n"
-            ">= (g10+g11)/2. Opt2SFE meets the bound with equality (it is optimal).");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
-
 
   struct ProtocolRow {
     std::string name;
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
        rpd::SetupFactory{}},
   };
 
-  std::uint64_t seed = 300;
+  std::uint64_t seed = ctx.spec.base_seed;
   for (const auto& proto : protocols) {
     std::printf("--- protocol: %s ---\n", proto.name.c_str());
     rep.row_header();
@@ -62,5 +62,30 @@ int main(int argc, char** argv) {
 
   std::printf("Interpretation: no two-party protocol evades (g10+g11)/2; the optimal\n"
               "protocol achieves it exactly, the naive Pi1 does strictly worse.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp03(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp03_swap_lower";
+  s.title = "E03: Theorem 4 / Lemma 7 — universal lower bound for the swap function";
+  s.claim =
+      "Claim: u(A1) + u(A2) >= g10 + g11 for every protocol; the mixed Agen earns\n"
+      ">= (g10+g11)/2. Opt2SFE meets the bound with equality (it is optimal).";
+  s.protocol = "Opt2SFE / Pi1 / Pi2 (every two-party design)";
+  s.attack = "A1, A2, Agen (Theorem 4 adversaries)";
+  s.tags = {"smoke", "two-party", "opt2", "contract"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 3000;
+  s.base_seed = 300;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.g10 + g.g11; };
+  s.bound_note = "u(A1)+u(A2) >= g10+g11";
+  s.attacks = {{"A1 (corrupt p1)", opt2_lock_abort(0)},
+               {"A2 (corrupt p2)", opt2_lock_abort(1)},
+               {"Agen (mix of A1, A2)", opt2_agen()}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

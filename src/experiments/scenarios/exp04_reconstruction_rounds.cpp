@@ -8,14 +8,18 @@
 // simultaneous exchange a rushing adversary always takes the honest opening
 // and withholds its own, earning γ10 outright. The harness builds that
 // one-round variant and exhibits the gap.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "adversary/lock_abort.h"
-#include "bench_util.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/opt2sfe.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
-
+namespace fairsfe::experiments {
 namespace {
 
 // The strawman: phase 1 as in ΠOpt2SFE, then ONE simultaneous opening round.
@@ -107,19 +111,12 @@ rpd::SetupFactory one_round_lock_abort(sim::PartyId corrupt) {
   };
 }
 
-}  // namespace
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 3000);
-  const std::size_t runs = rep.runs();
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E04: Lemma 9/10 — reconstruction-round optimality",
-            "Claim: Opt2SFE needs exactly 2 reconstruction rounds; any 1-round\n"
-            "variant hands the rushing adversary g10 with probability 1.");
   rep.gamma(gamma);
   rep.row_header();
-
 
   // Phase-1 abort against Opt2SFE is fair (Lemma 9's first claim).
   const auto phase1 = rpd::estimate_utility(opt2_abort_phase1(), gamma, rep.opts(1));
@@ -136,8 +133,8 @@ int main(int argc, char** argv) {
 
   // The 1-round strawman: rushing steals the opening every time.
   for (sim::PartyId c : {0, 1}) {
-    const auto one_round = rpd::estimate_utility(one_round_lock_abort(c), gamma, runs,
-                                                 3 + static_cast<std::uint64_t>(c));
+    const auto one_round = rpd::estimate_utility(
+        one_round_lock_abort(c), gamma, rep.opts(3 + static_cast<std::uint64_t>(c)));
     rep.row("1-round variant / corrupt p" + std::to_string(c + 1), one_round,
             "g10 = 1.000 (Lemma 10)");
     rep.check(one_round.utility > gamma.g10 - 0.02,
@@ -156,5 +153,31 @@ int main(int argc, char** argv) {
     const auto r = e.run();
     std::printf("  Opt2SFE honest execution: %d rounds (phase 2 = 2 rounds)\n\n", r.rounds);
   }
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp04(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp04_reconstruction_rounds";
+  s.title = "E04: Lemma 9/10 — reconstruction-round optimality";
+  s.claim =
+      "Claim: Opt2SFE needs exactly 2 reconstruction rounds; any 1-round\n"
+      "variant hands the rushing adversary g10 with probability 1.";
+  s.protocol = "Opt2SFE vs 1-round strawman";
+  s.attack = "abort-phase1 / lock-abort / rushing";
+  s.tags = {"smoke", "two-party", "opt2"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 3000;
+  s.base_seed = 1;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.two_party_opt_bound(); };
+  s.bound_note = "(g10+g11)/2";
+  s.attacks = {{"abort-phase1", opt2_abort_phase1()},
+               {"lock-abort", opt2_lock_abort(0)},
+               {"1-round rushing (corrupt p1)", one_round_lock_abort(0)},
+               {"1-round rushing (corrupt p2)", one_round_lock_abort(1)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -4,21 +4,24 @@
 // chance of having corrupted the value-holder p_{i*} is exactly t/n — and
 // the (n−1)-coalition (or the mixed A_ī adversary) achieves the optimum
 // ((n−1)γ10 + γ11)/n. The harness sweeps n and t and prints both series.
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 2500);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E05: Lemma 11/13 — OptNSFE multi-party bounds",
-            "Claim: u(t-adversary) = (t*g10 + (n-t)*g11)/n; optimum at t = n-1.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
-  std::uint64_t seed = 500;
+  std::uint64_t seed = ctx.spec.base_seed;
 
   for (const std::size_t n : {3u, 4u, 5u, 6u, 8u}) {
     std::printf("--- n = %zu ---\n", n);
@@ -46,5 +49,30 @@ int main(int argc, char** argv) {
 
   std::printf("Shape: utility grows linearly in t with slope (g10-g11)/n and the\n"
               "optimum approaches g10 as n grows — exactly the paper's series.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp05(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp05_nparty_bounds";
+  s.title = "E05: Lemma 11/13 — OptNSFE multi-party bounds";
+  s.claim = "Claim: u(t-adversary) = (t*g10 + (n-t)*g11)/n; optimum at t = n-1.";
+  s.protocol = "OptNSFE";
+  s.attack = "t-coalition lock-abort, mixed A_ibar";
+  s.tags = {"smoke", "multi-party", "optn"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 2500;
+  s.base_seed = 500;
+  // x = t/n: the Lemma 11 line through (0, g11) and (1, g10).
+  s.bound = [](const rpd::PayoffVector& g, double x) {
+    return x * g.g10 + (1.0 - x) * g.g11;
+  };
+  s.bound_note = "(t*g10+(n-t)*g11)/n at x = t/n";
+  s.attacks = {{"lock-abort n=5 t=4", optn_lock_abort(5, 4)},
+               {"mixed A_ibar n=5", optn_a_ibar_mixed(5)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

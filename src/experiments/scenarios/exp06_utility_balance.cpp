@@ -3,22 +3,24 @@
 // Σ_{t=1}^{n-1} u(best t-adversary vs ΠOptnSFE) ≤ (n−1)(γ10+γ11)/2, and the
 // bound is tight (Lemma 16's coalition pairs achieve it). The harness prints
 // the per-t profile φ(t) and its sum against the bound, for several n.
-#include "bench_util.h"
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "rpd/balance.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E06: Lemma 14/16 — utility-balanced fairness of OptNSFE",
-            "Claim: sum_t phi(t) = (n-1)(g10+g11)/2, the minimal possible sum.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
-  std::uint64_t seed = 600;
+  std::uint64_t seed = ctx.spec.base_seed;
 
   for (const std::size_t n : {3u, 4u, 5u, 6u}) {
     const auto profile = rpd::balance_profile(
@@ -41,5 +43,26 @@ int main(int argc, char** argv) {
     rep.check(profile.sum() >= gamma.balance_bound(n) - profile.sum_margin() - 0.1,
               "n=" + std::to_string(n) + ": the balance bound is tight (Lemma 16)");
   }
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp06(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp06_utility_balance";
+  s.title = "E06: Lemma 14/16 — utility-balanced fairness of OptNSFE";
+  s.claim = "Claim: sum_t phi(t) = (n-1)(g10+g11)/2, the minimal possible sum.";
+  s.protocol = "OptNSFE";
+  s.attack = "per-t best of the n-party attack family";
+  s.tags = {"smoke", "multi-party", "optn", "balance"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1500;
+  s.base_seed = 600;
+  s.bound = [](const rpd::PayoffVector& g, double) { return (g.g10 + g.g11) / 2.0; };
+  s.bound_note = "sum_t phi(t) = (n-1)(g10+g11)/2";
+  s.attacks = nparty_attack_family(NPartyProtocol::kOptN, 4, 2);
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

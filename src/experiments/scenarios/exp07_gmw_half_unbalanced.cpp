@@ -3,23 +3,25 @@
 //     u(t) = γ11 for t < n/2,   u(t) = γ10 for t ≥ n/2,
 // which makes it NOT utility-balanced for even n (it "gives up completely"
 // at n/2), while for odd n its per-t sum meets the balanced bound exactly.
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "rpd/balance.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1200);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E07: Lemma 17 — the Pi-1/2-GMW utility staircase",
-            "Claim: u = g11 below n/2 corruptions, g10 at or above; not\n"
-            "utility-balanced for even n, exactly balanced for odd n.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
-  std::uint64_t seed = 700;
+  std::uint64_t seed = ctx.spec.base_seed;
 
   for (const std::size_t n : {4u, 5u, 6u, 7u, 8u}) {
     std::printf("--- n = %zu (threshold %zu) ---\n", n, fair::half_gmw_threshold(n));
@@ -52,5 +54,30 @@ int main(int argc, char** argv) {
                 "n=" + std::to_string(n) + " (odd): sum meets the balanced bound");
     }
   }
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp07(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp07_gmw_half_unbalanced";
+  s.title = "E07: Lemma 17 — the Pi-1/2-GMW utility staircase";
+  s.claim =
+      "Claim: u = g11 below n/2 corruptions, g10 at or above; not\n"
+      "utility-balanced for even n, exactly balanced for odd n.";
+  s.protocol = "Pi-1/2-GMW";
+  s.attack = "t-coalition lock-abort";
+  s.tags = {"smoke", "multi-party", "gmw", "balance"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1200;
+  s.base_seed = 700;
+  // x = t/n: the staircase jumps from g11 to g10 at x = 1/2.
+  s.bound = [](const rpd::PayoffVector& g, double x) { return 2.0 * x >= 1.0 ? g.g10 : g.g11; };
+  s.bound_note = "staircase g11 -> g10 at t = n/2";
+  s.attacks = {{"coalition n=6 t=3", half_gmw_coalition(6, 3)},
+               {"coalition n=6 t=2", half_gmw_coalition(6, 2)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -8,21 +8,23 @@
 //     only ((n−1)γ10+γ11)/n) but NOT utility-balanced: the single-corruption
 //     deviator earns γ10/n + (n−1)/n·(γ10+γ11)/2, pushing the per-t sum past
 //     the bound.
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "rpd/balance.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 2000);
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
   const std::size_t runs = rep.runs();
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E08: Appendix B.1 — optimal vs utility-balanced separation",
-            "Claim: Pi' is balanced but not optimal; the Lemma 18 protocol is\n"
-            "optimal but not balanced.");
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
   // ---------------- Π′ with odd n: balanced but not optimal ----------------
@@ -79,5 +81,29 @@ int main(int argc, char** argv) {
     rep.check(!rpd::is_utility_balanced(profile, gamma),
               "Lemma 18 protocol is NOT utility-balanced");
   }
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp08(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp08_optimal_vs_balanced";
+  s.title = "E08: Appendix B.1 — optimal vs utility-balanced separation";
+  s.claim =
+      "Claim: Pi' is balanced but not optimal; the Lemma 18 protocol is\n"
+      "optimal but not balanced.";
+  s.protocol = "Pi' (mixed) / Lemma 18 protocol";
+  s.attack = "coalitions, 1-party deviator";
+  s.tags = {"smoke", "multi-party", "balance", "separation"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 2000;
+  s.base_seed = 801;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.nparty_opt_bound(5); };
+  s.bound_note = "((n-1)g10+g11)/n at n=5";
+  s.attacks = {{"ceil(n/2)-coalition vs Pi'", mixed_best_attack(5, 3)},
+               {"1-party deviator vs Lemma 18", lemma18_deviator(4)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

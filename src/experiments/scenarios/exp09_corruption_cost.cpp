@@ -6,21 +6,23 @@
 // protocol becomes *ideally* γ^C-fair: its net utility never exceeds the
 // ideal benchmark. Theorem 6(2): the cost function of a utility-balanced
 // protocol cannot be strictly dominated by any other achievable one.
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "rpd/cost.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   const std::size_t n = 4;
-
-  rep.title("E09: Theorem 6 — corruption costs and ideal gamma^C-fairness",
-            "Claim: with c(t) = phi(t) - s(t), the balanced protocol is ideally\n"
-            "gamma^C-fair, and its cost function is undominated.");
   rep.gamma(gamma);
 
   // Measure s(t): the dummy protocol's best per-t utility.
@@ -70,5 +72,28 @@ int main(int argc, char** argv) {
   }
   rep.check(sum_opt <= sum_gmw + 0.15,
             "the balanced protocol minimizes the total corruption cost");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp09(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp09_corruption_cost";
+  s.title = "E09: Theorem 6 — corruption costs and ideal gamma^C-fairness";
+  s.claim =
+      "Claim: with c(t) = phi(t) - s(t), the balanced protocol is ideally\n"
+      "gamma^C-fair, and its cost function is undominated.";
+  s.protocol = "OptNSFE / Pi-1/2-GMW / dummy (cost benchmark)";
+  s.attack = "per-t best of the n-party attack family";
+  s.tags = {"smoke", "multi-party", "cost"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1500;
+  s.base_seed = 900;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.g11; };
+  s.bound_note = "ideal benchmark s(t) = max(g00, g11)";
+  s.attacks = nparty_attack_family(NPartyProtocol::kOptN, 4, 2);
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

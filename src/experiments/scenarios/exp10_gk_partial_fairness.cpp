@@ -4,23 +4,25 @@
 // fields the full attack family, and prints utility vs 1/p together with the
 // round counts — who wins (the protocol), by what factor (1/p), and how the
 // cost scales.
-#include "bench_util.h"
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 2500);
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
   const std::size_t runs = rep.runs();
-  const rpd::PayoffVector gamma = rpd::PayoffVector::partial_fairness();
-
-  rep.title("E10: Theorems 23/24 — Gordon-Katz 1/p-security",
-            "Claim: u_A <= 1/p for every attack; rounds grow as O(p*|Y|) /\n"
-            "O(p^2*|Z|).");
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
-  std::uint64_t seed = 1000;
+  std::uint64_t seed = ctx.spec.base_seed;
   std::printf("--- poly-size DOMAIN protocol (AND, |Y| = 2), Theorem 23 ---\n");
   for (const std::size_t p : {2u, 3u, 4u, 6u, 8u}) {
     const fair::GkParams params = fair::make_gk_and_params(p);
@@ -62,5 +64,29 @@ int main(int argc, char** argv) {
   std::printf("Contrast: Theorem 3's general-function optimum is (g10+g11)/2 = 0.5\n"
               "under this gamma — the GK protocols beat it for p > 2 precisely\n"
               "because their functions have polynomial-size domains/ranges.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp10(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp10_gk_partial_fairness";
+  s.title = "E10: Theorems 23/24 — Gordon-Katz 1/p-security";
+  s.claim =
+      "Claim: u_A <= 1/p for every attack; rounds grow as O(p*|Y|) /\n"
+      "O(p^2*|Z|).";
+  s.protocol = "Gordon-Katz poly-domain / poly-range";
+  s.attack = "GK attack family";
+  s.tags = {"smoke", "two-party", "gk", "partial-fairness"};
+  s.gamma = rpd::PayoffVector::partial_fairness();
+  s.default_runs = 2500;
+  s.base_seed = 1000;
+  // x = 1/p: the Theorem 23/24 cap on the attacker's payoff.
+  s.bound = [](const rpd::PayoffVector&, double x) { return x; };
+  s.bound_note = "u_A <= 1/p (pass x = 1/p)";
+  s.attacks = gk_attack_family(fair::make_gk_and_params(4));
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -13,21 +13,23 @@
 //      probability 1, while any ideal-world simulator (which never sees x1)
 //      matches with probability <= 1/2 — a constant advantage >= 1/8 for
 //      the environment pair (Z1, Z2).
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "adversary/strategies.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/leaky_and.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 4000);
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
   const std::size_t runs = rep.runs();
-
-  rep.title("E11: Lemmas 26/27 — the leaky-AND separation",
-            "Claim: Pi-tilde is 1/2-secure and 'private' per [GK10], yet leaks\n"
-            "x1 w.p. 1/4 and cannot realize F^{f,$}_sfe.");
 
   // 1. The privacy break.
   std::size_t leaks = 0;
@@ -94,5 +96,28 @@ int main(int argc, char** argv) {
   std::printf("Conclusion: Pi-tilde passes 1/p-security + privacy as defined in\n"
               "[GK10] but fails the paper's utility-based notion — the notions are\n"
               "separated, and the utility-based one is strictly stronger (Lemma 25).\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp11(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp11_leaky_and_separation";
+  s.title = "E11: Lemmas 26/27 — the leaky-AND separation";
+  s.claim =
+      "Claim: Pi-tilde is 1/2-secure and 'private' per [GK10], yet leaks\n"
+      "x1 w.p. 1/4 and cannot realize F^{f,$}_sfe.";
+  s.protocol = "Pi-tilde (leaky AND)";
+  s.attack = "LeakyAndProbe + GK attack family";
+  s.tags = {"smoke", "two-party", "gk", "separation"};
+  s.gamma = rpd::PayoffVector::partial_fairness();
+  s.default_runs = 4000;
+  s.base_seed = 42000;
+  s.bound = [](const rpd::PayoffVector&, double) { return 0.5; };
+  s.bound_note = "1/2-security accounting cap";
+  s.attacks = gk_attack_family(fair::make_gk_and_params(4));
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -8,19 +8,23 @@
 // grab-output-then-abort at the functionality gate, respectively rushing
 // lock-abort at the GMW output round — earns γ10 in both worlds, and honest
 // executions produce identical outputs.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "adversary/base.h"
 #include "adversary/lock_abort.h"
-#include "bench_util.h"
 #include "circuit/builder.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/opt2_compiled.h"
 #include "mpc/gmw.h"
 #include "mpc/ot.h"
 #include "mpc/yao.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
-
+namespace fairsfe::experiments {
 namespace {
 
 // Hybrid-world best response: ask for the corrupted outputs, then abort.
@@ -128,15 +132,9 @@ rpd::SetupFactory yao_attack(std::shared_ptr<const circuit::Circuit> circuit) {
   };
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E12: RPD composition — ideal hybrid vs GMW compilation",
-            "Claim: the attacker's utility against unfair SFE is the same whether\n"
-            "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
   struct Case {
@@ -153,7 +151,7 @@ int main(int argc, char** argv) {
        circuit::make_and_circuit()},
   };
 
-  std::uint64_t seed = 1200;
+  std::uint64_t seed = ctx.spec.base_seed;
   rep.row_header();
   for (const auto& c : cases) {
     const auto hybrid = rpd::estimate_utility(hybrid_attack(c.spec), gamma, rep.opts(seed++));
@@ -207,5 +205,29 @@ int main(int argc, char** argv) {
               "models; by this composition property their measured fairness carries\n"
               "over verbatim when the hybrid is instantiated with the GMW or Yao\n"
               "substrate — demonstrated above for the complete Opt2SFE stack.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp12(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp12_composition";
+  s.title = "E12: RPD composition — ideal hybrid vs GMW compilation";
+  s.claim =
+      "Claim: the attacker's utility against unfair SFE is the same whether\n"
+      "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.";
+  s.protocol = "plain unfair SFE (hybrid / GMW / Yao), compiled Opt2SFE";
+  s.attack = "grab-and-abort, rushing lock-abort";
+  s.tags = {"smoke", "two-party", "composition", "mpc"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1500;
+  s.base_seed = 1200;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.g10; };
+  s.bound_note = "g10 in both worlds";
+  s.attacks = {{"hybrid grab-and-abort (AND)",
+                hybrid_attack(mpc::make_circuit_spec(circuit::make_and_circuit()))}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -9,15 +9,20 @@
 //              always decides),
 //     u = γ11  once the honest party can out-search the gap —
 // whereas ΠOpt2SFE sits at the budget-independent optimum (γ10+γ11)/2.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "adversary/lock_abort.h"
-#include "bench_util.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/gradual.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
-
+namespace fairsfe::experiments {
 namespace {
+
 rpd::SetupFactory gradual_attack(std::size_t bits, std::size_t honest_budget,
                                  std::size_t adv_budget) {
   return [bits, honest_budget, adv_budget](Rng& rng) {
@@ -33,22 +38,17 @@ rpd::SetupFactory gradual_attack(std::size_t bits, std::size_t honest_budget,
     return s;
   };
 }
-}  // namespace
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
   const std::size_t runs = rep.runs();
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   const std::size_t bits = 16;
-
-  rep.title("E13 (extension): gradual release vs the utility-based lens",
-            "Claim (paper Section 1): gradual-release fairness depends on the\n"
-            "computational budget gap; the optimal protocol's does not.");
   rep.gamma(gamma);
 
   std::printf("secret = %zu bits per party; lock-abort adversary corrupts p2.\n\n", bits);
   rep.row_header();
-  std::uint64_t seed = 1300;
+  std::uint64_t seed = ctx.spec.base_seed;
 
   struct Row {
     std::size_t honest, adv;
@@ -87,5 +87,29 @@ int main(int argc, char** argv) {
               "protocol; the optimally fair protocol gives a guarantee that holds\n"
               "unconditionally — the paper's motivation for a protocol-intrinsic,\n"
               "comparative measure.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp13(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp13_gradual_release";
+  s.title = "E13 (extension): gradual release vs the utility-based lens";
+  s.claim =
+      "Claim (paper Section 1): gradual-release fairness depends on the\n"
+      "computational budget gap; the optimal protocol's does not.";
+  s.protocol = "bit-by-bit gradual release vs Opt2SFE";
+  s.attack = "lock-abort (corrupt p2) with brute-force budgets";
+  s.tags = {"smoke", "two-party", "gradual", "extension"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1500;
+  s.base_seed = 1300;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.two_party_opt_bound(); };
+  s.bound_note = "(g10+g11)/2 (the budget-independent optimum)";
+  s.attacks = {{"budgets honest=0 adv=0", gradual_attack(16, 0, 0)},
+               {"budgets honest=8 adv=6", gradual_attack(16, 8, 6)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

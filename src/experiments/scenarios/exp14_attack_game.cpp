@@ -7,15 +7,20 @@
 // two-party protocols; columns: attack strategies — and verifies that
 // ΠOpt2SFE is the minimax row, i.e. argmin over protocols of the best
 // attacker's utility.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
 #include "adversary/lock_abort.h"
-#include "bench_util.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/gradual.h"
 #include "fair/opt2sfe.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
-
+namespace fairsfe::experiments {
 namespace {
 
 // The one-round strawman from exp04, reproduced via the library API: plain
@@ -41,15 +46,9 @@ rpd::SetupFactory gradual_attack(sim::PartyId corrupt) {
   };
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 2000);
-  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
-
-  rep.title("E14 (extension): the RPD attack game, minimax check",
-            "Claim: Opt2SFE = argmin_Pi max_A u_A(Pi, A) over the two-party\n"
-            "designs in this library (the optimal protocol is the game value).");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
   const std::vector<ProtocolRow> designs = {
@@ -64,7 +63,7 @@ int main(int argc, char** argv) {
   std::printf("payoff matrix: max over {corrupt p1, corrupt p2} lock-abort attackers\n\n");
   std::printf("%-28s %14s %14s %12s\n", "design", "vs corrupt p1", "vs corrupt p2",
               "sup_A");
-  std::uint64_t seed = 1400;
+  std::uint64_t seed = ctx.spec.base_seed;
   double best_value = 1e9;
   std::string best_name;
   double opt2_value = 0;
@@ -94,5 +93,29 @@ int main(int argc, char** argv) {
   std::printf("Interpretation: the designer cannot push the best attacker below\n"
               "(g10+g11)/2 (Theorem 4), and Opt2SFE attains it (Theorem 3): the pair\n"
               "(Opt2SFE, Agen) is an equilibrium of the RPD meta-game.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp14(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp14_attack_game";
+  s.title = "E14 (extension): the RPD attack game, minimax check";
+  s.claim =
+      "Claim: Opt2SFE = argmin_Pi max_A u_A(Pi, A) over the two-party\n"
+      "designs in this library (the optimal protocol is the game value).";
+  s.protocol = "Pi1 / Pi2 / gradual release / Opt2SFE (the design rows)";
+  s.attack = "lock-abort columns (corrupt p1, corrupt p2)";
+  s.tags = {"smoke", "two-party", "game", "extension"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 2000;
+  s.base_seed = 1400;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.two_party_opt_bound(); };
+  s.bound_note = "game value (g10+g11)/2";
+  s.attacks = {{"Opt2SFE vs corrupt p1", opt2_lock_abort(0)},
+               {"Opt2SFE vs corrupt p2", opt2_lock_abort(1)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

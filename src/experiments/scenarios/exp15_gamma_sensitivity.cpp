@@ -6,19 +6,21 @@
 // ordering Π₁ ≺ Π₂ ≈ ΠOpt2SFE is invariant across all of Γ+fair, and (iii)
 // utilities are invariant under the γ01-normalization shift the paper uses
 // "wlog" — making the canonical γ01 = 0 choice harmless.
-#include "bench_util.h"
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
-
-  rep.title("E15 (extension): payoff-vector sensitivity sweep",
-            "Claim: utilities are linear in gamma, the protocol ordering is\n"
-            "invariant on Gamma+fair, and the g01-shift is harmless.");
-  std::uint64_t seed = 1500;
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  std::uint64_t seed = ctx.spec.base_seed;
 
   std::printf("--- sweep g11 with g10 = 1, g00 = g11/2 ---\n\n");
   std::printf("%-8s %16s %16s %16s %12s\n", "g11", "u(Pi1)", "u(Pi2)", "u(Opt2SFE)",
@@ -69,5 +71,28 @@ int main(int argc, char** argv) {
   std::printf("\nReading: per-t the two protocols are incomparable (GMW wins below\n"
               "n/2, loses at and above) — exactly why Definition 5 aggregates over t\n"
               "and why corruption costs (Theorem 6) are needed to rank them.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp15(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp15_gamma_sensitivity";
+  s.title = "E15 (extension): payoff-vector sensitivity sweep";
+  s.claim =
+      "Claim: utilities are linear in gamma, the protocol ordering is\n"
+      "invariant on Gamma+fair, and the g01-shift is harmless.";
+  s.protocol = "Pi1 / Pi2 / Opt2SFE / OptNSFE / Pi-1/2-GMW";
+  s.attack = "lock-abort under swept payoff vectors";
+  s.tags = {"smoke", "two-party", "multi-party", "gamma", "extension"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 1500;
+  s.base_seed = 1500;
+  s.bound = [](const rpd::PayoffVector& g, double) { return g.two_party_opt_bound(); };
+  s.bound_note = "(g10+g11)/2 per swept gamma";
+  s.attacks = {{"Opt2SFE lock-abort (corrupt p2)", opt2_lock_abort(1)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -5,23 +5,24 @@
 // coalition's unfair-abort payoff under 1/p, independently of the coalition
 // size t: the only unsimulatable event is withholding the round-i* summands,
 // and rushing does not help guess i*. The harness sweeps n, t and p.
-#include "bench_util.h"
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 #include "fair/gk_multi.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
+namespace fairsfe::experiments {
+namespace {
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 1500);
-  const rpd::PayoffVector pf = rpd::PayoffVector::partial_fairness();
-
-  rep.title("E16 (extension): multi-party 1/p-security [Beimel et al.]",
-            "Claim: every t-coalition's payoff stays <= 1/p under (0,0,1,0),\n"
-            "for all 1 <= t <= n-1, at O(p*|Y|) broadcast rounds.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector pf = ctx.spec.gamma;
   rep.gamma(pf);
 
-  std::uint64_t seed = 1600;
+  std::uint64_t seed = ctx.spec.base_seed;
   for (const std::size_t n : {3u, 4u, 5u}) {
     for (const std::size_t p : {2u, 4u}) {
       const fair::GkMultiParams params = fair::make_gk_multi_and_params(n, p);
@@ -54,5 +55,29 @@ int main(int argc, char** argv) {
   std::printf("Shape: unlike the all-or-nothing Pi-1/2-GMW staircase (E07), partial\n"
               "fairness degrades with p, not with t — the multi-party extension\n"
               "keeps the 1/p guarantee even against n-1 colluding parties.\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp16(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp16_multiparty_partial_fairness";
+  s.title = "E16 (extension): multi-party 1/p-security [Beimel et al.]";
+  s.claim =
+      "Claim: every t-coalition's payoff stays <= 1/p under (0,0,1,0),\n"
+      "for all 1 <= t <= n-1, at O(p*|Y|) broadcast rounds.";
+  s.protocol = "multi-party GK (fair/gk_multi.h)";
+  s.attack = "GK multi-party coalition family";
+  s.tags = {"smoke", "multi-party", "gk", "partial-fairness", "extension"};
+  s.gamma = rpd::PayoffVector::partial_fairness();
+  s.default_runs = 1500;
+  s.base_seed = 1600;
+  // x = 1/p, as in E10.
+  s.bound = [](const rpd::PayoffVector&, double x) { return x; };
+  s.bound_note = "u_A <= 1/p (pass x = 1/p)";
+  s.attacks = gk_multi_attack_family(4, 2, 4);
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

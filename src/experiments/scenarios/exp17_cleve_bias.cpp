@@ -9,14 +9,19 @@
 // quantitative backdrop against which the paper's utility-based relaxation
 // of fairness is defined.
 #include <cmath>
+#include <cstdio>
+#include <string>
 
-#include "bench_util.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
+#include "experiments/setups.h"
 #include "fair/coinflip.h"
 #include "sim/engine.h"
 
-using namespace fairsfe;
-
+namespace fairsfe::experiments {
 namespace {
+
 double target_rate(std::size_t rounds, bool eager, std::size_t runs, std::uint64_t seed0) {
   std::size_t hits = 0;
   for (std::size_t i = 0; i < runs; ++i) {
@@ -32,20 +37,27 @@ double target_rate(std::size_t rounds, bool eager, std::size_t runs, std::uint64
   }
   return static_cast<double>(hits) / static_cast<double>(runs);
 }
-}  // namespace
 
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 4000);
+// Estimator-compatible form of the biasing attack, so the registry's generic
+// consumers (tests, fairbench smoke passes) can drive this scenario too.
+rpd::SetupFactory coinflip_bias_attack(std::size_t rounds, bool eager) {
+  return [rounds, eager](Rng& rng) {
+    rpd::RunSetup s;
+    s.parties = fair::make_coinflip_parties(rounds, rng);
+    s.adversary = std::make_unique<fair::CoinBiasAdversary>(0, true, eager);
+    s.engine.max_rounds = static_cast<int>(2 * rounds + 8);
+    return s;
+  };
+}
+
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
   const std::size_t runs = rep.runs();
-
-  rep.title("E17 (extension): Cleve's coin-flipping bias [10]",
-            "Claim: an aborting rushing party biases the r-flip majority\n"
-            "protocol by 1/4 at r = 1, with decay ~1/sqrt(r) and no vanishing.");
 
   std::printf("runs/point = %zu, adversary corrupts p1, target = 1\n\n", runs);
   std::printf("%-8s %14s %14s %18s\n", "flips r", "eager bias", "tally bias",
               "1/(4*sqrt(r)) ref");
-  std::uint64_t seed = 1700;
+  std::uint64_t seed = ctx.spec.base_seed;
   double prev_tally = 1.0;
   double bias1 = 0.0;
   double bias_last = 0.0;
@@ -72,5 +84,32 @@ int main(int argc, char** argv) {
               "since no protocol can eliminate the attacker's advantage, the right\n"
               "question is the comparative one: WHICH protocol minimizes it. The\n"
               "utility-based answer for general SFE is (g10+g11)/2 (E02/E03).\n");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp17(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp17_cleve_bias";
+  s.title = "E17 (extension): Cleve's coin-flipping bias [10]";
+  s.claim =
+      "Claim: an aborting rushing party biases the r-flip majority\n"
+      "protocol by 1/4 at r = 1, with decay ~1/sqrt(r) and no vanishing.";
+  s.protocol = "commit-and-open majority coin flip";
+  s.attack = "rushing abort (eager / tally)";
+  s.tags = {"smoke", "two-party", "coinflip", "extension"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 4000;
+  s.base_seed = 1700;
+  // x = r (flip count): Cleve's Omega(1/r) reference curve.
+  s.bound = [](const rpd::PayoffVector&, double x) {
+    return x > 0.0 ? 0.25 / std::sqrt(x) : 0.25;
+  };
+  s.bound_note = "bias reference 1/(4*sqrt(r))";
+  s.attacks = {{"eager abort, r=5", coinflip_bias_attack(5, true)},
+               {"tally abort, r=5", coinflip_bias_attack(5, false)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -16,6 +16,8 @@
 //     honest party times out into its default evaluation and the adversary
 //     never sees the closing opening -> E00.
 // So u(p) = g10/2 + ((1-p) g11 + p g00)/2 = (g10+g11)/2 + p (g00 - g11)/2.
+// That closed form lives in this scenario's `bound` callback (x = p), so the
+// bench rows, the registry consumers, and the tests all share one formula.
 //
 // For gamma in Gamma+fair (g00 <= g11) drops can only *help* fairness — the
 // bound is robust. The donation appears exactly for the "spiteful" vectors
@@ -25,13 +27,15 @@
 // nest across p, so the measured spite curve is monotone run-for-run, not
 // just in expectation.
 #include <cmath>
+#include <cstdio>
+#include <string>
 
-#include "bench_util.h"
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
 #include "experiments/setups.h"
 
-using namespace fairsfe;
-using namespace fairsfe::experiments;
-
+namespace fairsfe::experiments {
 namespace {
 
 constexpr double kDropRates[] = {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
@@ -49,15 +53,8 @@ std::string pct(double p) {
   return buf;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::Reporter rep(argc, argv, 2000);
-
-  rep.title("E18: fault tolerance — utility under drop-rate and crash schedules",
-            "Claim: with strict correctness, u(p) = (g10+g11)/2 + p(g00-g11)/2 for "
-            "Opt2SFE under lock-abort; drops cannot push gamma+fair vectors past the "
-            "Theorem 3 bound, and donate utility exactly when g00 > g11.");
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
 
   std::size_t total_cap_hits = 0;
   const auto sweep = [&](const std::string& prefix, const rpd::PayoffVector& gamma,
@@ -72,8 +69,7 @@ int main(int argc, char** argv) {
       const auto est = point(rep, opt2_lock_abort_strict(0), gamma, seed, p);
       total_cap_hits += est.round_cap_hits;
       char paper[64];
-      std::snprintf(paper, sizeof(paper), "u(p) = %.4f",
-                    bound + p * (gamma.g00 - gamma.g11) / 2.0);
+      std::snprintf(paper, sizeof(paper), "u(p) = %.4f", ctx.spec.bound(gamma, p));
       rep.row(prefix + ":" + pct(p), est, paper);
       curve.push_back(est);
     }
@@ -188,5 +184,33 @@ int main(int argc, char** argv) {
 
   rep.check(total_cap_hits == 0,
             "no run hit the round cap (estimator excluded 0 runs)");
-  return rep.finish();
 }
+
+}  // namespace
+
+void register_exp18(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp18_fault_tolerance";
+  s.title = "E18: fault tolerance — utility under drop-rate and crash schedules";
+  s.claim =
+      "Claim: with strict correctness, u(p) = (g10+g11)/2 + p(g00-g11)/2 for "
+      "Opt2SFE under lock-abort; drops cannot push gamma+fair vectors past the "
+      "Theorem 3 bound, and donate utility exactly when g00 > g11.";
+  s.protocol = "Opt2SFE / Pi1 / Pi2 over lossy channels";
+  s.attack = "strict lock-abort under FaultPlan drop/crash schedules";
+  s.tags = {"smoke", "two-party", "fault"};
+  s.gamma = rpd::PayoffVector::standard();
+  s.default_runs = 2000;
+  s.base_seed = 1800;
+  s.fault = sim::fault::FaultPlan::uniform_drop(0.15);
+  // x = p (per-message drop rate): the closed-form drop curve derived above.
+  s.bound = [](const rpd::PayoffVector& g, double p) {
+    return g.two_party_opt_bound() + p * (g.g00 - g.g11) / 2.0;
+  };
+  s.bound_note = "u(p) = (g10+g11)/2 + p(g00-g11)/2";
+  s.attacks = {{"lock-abort strict (corrupt p1)", opt2_lock_abort_strict(0)}};
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -1,0 +1,31 @@
+// Registration hooks for the built-in scenario table. One function per
+// scenario translation unit; setups.cpp calls them all from
+// register_builtin_scenarios(). Adding experiment E19: create
+// scenarios/exp19_*.cpp defining register_exp19(Registry&), declare it here,
+// call it in setups.cpp — done, fairbench and the tests pick it up.
+#pragma once
+
+namespace fairsfe::experiments {
+
+class Registry;
+
+void register_exp01(Registry& r);
+void register_exp02(Registry& r);
+void register_exp03(Registry& r);
+void register_exp04(Registry& r);
+void register_exp05(Registry& r);
+void register_exp06(Registry& r);
+void register_exp07(Registry& r);
+void register_exp08(Registry& r);
+void register_exp09(Registry& r);
+void register_exp10(Registry& r);
+void register_exp11(Registry& r);
+void register_exp12(Registry& r);
+void register_exp13(Registry& r);
+void register_exp14(Registry& r);
+void register_exp15(Registry& r);
+void register_exp16(Registry& r);
+void register_exp17(Registry& r);
+void register_exp18(Registry& r);
+
+}  // namespace fairsfe::experiments

@@ -4,6 +4,8 @@
 #include "adversary/lock_abort.h"
 #include "adversary/mixed.h"
 #include "adversary/strategies.h"
+#include "experiments/registry.h"
+#include "experiments/scenarios/scenarios.h"
 #include "fair/dummy_ideal.h"
 #include "fair/gk_multi.h"
 #include "fair/lemma18.h"
@@ -549,6 +551,33 @@ std::vector<rpd::NamedAttack> gk_attack_family(const fair::GkParams& params) {
       {"match-target", gk_attack(params, GkAttack::kMatchTarget)},
       {"repeat-detector", gk_attack(params, GkAttack::kRepeatDetector)},
   };
+}
+
+// The manifest that populates Registry::instance(): every scenario
+// translation unit under scenarios/ hooks in here (see
+// scenarios/scenarios.h for the E19 recipe). An explicit call list — rather
+// than static-initializer self-registration — keeps the scenarios alive
+// inside a static library, where the linker would otherwise drop
+// translation units nothing references.
+void register_builtin_scenarios(Registry& r) {
+  register_exp01(r);
+  register_exp02(r);
+  register_exp03(r);
+  register_exp04(r);
+  register_exp05(r);
+  register_exp06(r);
+  register_exp07(r);
+  register_exp08(r);
+  register_exp09(r);
+  register_exp10(r);
+  register_exp11(r);
+  register_exp12(r);
+  register_exp13(r);
+  register_exp14(r);
+  register_exp15(r);
+  register_exp16(r);
+  register_exp17(r);
+  register_exp18(r);
 }
 
 }  // namespace fairsfe::experiments

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "experiments/registry.h"
 #include "util/thread_pool.h"
 
 namespace fairsfe::rpd {
@@ -121,6 +122,13 @@ UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector
     }
   }
   return est;
+}
+
+UtilityEstimate estimate_utility(const experiments::ScenarioSpec& scenario,
+                                 const EstimatorOptions& opts) {
+  EstimatorOptions o = opts;
+  if (!o.fault && scenario.fault) o.fault = *scenario.fault;
+  return estimate_utility(scenario.attacks.front().factory, scenario.gamma, o);
 }
 
 }  // namespace fairsfe::rpd

@@ -25,6 +25,10 @@
 #include "rpd/payoff.h"
 #include "sim/engine.h"
 
+namespace fairsfe::experiments {
+struct ScenarioSpec;
+}  // namespace fairsfe::experiments
+
 namespace fairsfe::rpd {
 
 /// Everything needed to execute one protocol run and classify it.
@@ -141,6 +145,15 @@ inline UtilityEstimate estimate_utility(const SetupFactory& factory,
   opts.seed = seed;
   return estimate_utility(factory, payoff, opts);
 }
+
+/// Estimate a registered scenario's canonical (first-registered) attack
+/// under the scenario's own payoff vector. `opts` supplies runs/seed/threads
+/// (start from `scenario.default_options()` for the registered defaults);
+/// when `opts` carries no fault plan the scenario's default plan applies.
+/// Tests and benches that go through this overload provably measure the
+/// same configuration.
+UtilityEstimate estimate_utility(const experiments::ScenarioSpec& scenario,
+                                 const EstimatorOptions& opts);
 
 /// Run a single execution from a setup (used by tests needing transcripts).
 /// Takes the setup and rng by rvalue reference: execution consumes the

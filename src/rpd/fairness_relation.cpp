@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "experiments/registry.h"
 #include "util/thread_pool.h"
 
 namespace fairsfe::rpd {
@@ -49,6 +50,13 @@ ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
     }
   }
   return out;
+}
+
+ProtocolAssessment assess_protocol(const experiments::ScenarioSpec& scenario,
+                                   const EstimatorOptions& opts) {
+  EstimatorOptions o = opts;
+  if (!o.fault && scenario.fault) o.fault = *scenario.fault;
+  return assess_protocol(scenario.attacks, scenario.gamma, o);
 }
 
 bool at_least_as_fair(const ProtocolAssessment& a, const ProtocolAssessment& b) {

@@ -45,6 +45,12 @@ ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
                                    const PayoffVector& payoff,
                                    const EstimatorOptions& opts);
 
+/// Assess a registered scenario's canonical attack family under the
+/// scenario's own payoff vector (see the ScenarioSpec overload of
+/// estimate_utility for the merge semantics of `opts`).
+ProtocolAssessment assess_protocol(const experiments::ScenarioSpec& scenario,
+                                   const EstimatorOptions& opts);
+
 /// Compatibility shim for the pre-EstimatorOptions positional signature.
 inline ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
                                           const PayoffVector& payoff, std::size_t runs,
