@@ -50,14 +50,29 @@ def load_rows(path):
     row names from different scenarios apart and lets the two layouts diff
     against each other.
     """
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: {path} is not valid JSON (line {e.lineno}: {e.msg}); "
+                 "was the benchmark interrupted mid-write?")
     reports = data if isinstance(data, list) else [data]
     rows = {}
     for report in reports:
+        if not isinstance(report, dict):
+            sys.exit(f"bench_diff: {path}: expected a report object or array of "
+                     f"report objects, got {type(report).__name__}")
         exp = report.get("experiment", "?")
         for row in report.get("rows", []):
+            if not isinstance(row, dict) or "name" not in row:
+                sys.exit(f"bench_diff: {path}: malformed row in report {exp!r} "
+                         "(every row needs a \"name\")")
             rows[(exp, row["name"])] = row
+    if not rows:
+        sys.exit(f"bench_diff: {path} contains no benchmark rows; "
+                 "nothing to compare")
     return rows, reports
 
 

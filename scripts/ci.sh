@@ -1,5 +1,12 @@
 #!/usr/bin/env bash
-# CI gate for the parallel Monte-Carlo estimation engine: build the tsan
+# CI gates, in order:
+#
+# 1. Static analysis (gating): scripts/lint.sh runs the fairsfe-lint fixture
+#    self-test plus the determinism-contract lint over the whole tree, and
+#    clang-tidy when installed. Any finding fails the build before a single
+#    TU is compiled under TSan.
+#
+# 2. TSan gate for the parallel Monte-Carlo estimation engine: build the tsan
 # preset and run the tier1 ctest label — the scheduling-independence suites
 # (estimator, thread pool, RNG forking, hot-path goldens, fault injection)
 # plus the scenario-registry suite — under ThreadSanitizer, so data races in
@@ -21,6 +28,10 @@
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# --- gating lint stage --------------------------------------------------------
+scripts/lint.sh
+echo "lint gate passed"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target fairsfe_tests

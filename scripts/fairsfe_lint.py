@@ -1,0 +1,518 @@
+#!/usr/bin/env python3
+"""fairsfe-lint — repo-specific determinism-contract linter.
+
+Every guarantee this codebase makes (bit-identical utility estimates across
+1/2/8 threads, golden-tested fault identity, byte-identical fairbench tables)
+rests on a determinism contract. This linter makes the statically visible part
+of that contract machine-checked:
+
+  nondeterminism            Nondeterminism sources (std::random_device,
+                            rand/srand, time(), clock(), system_clock,
+                            high_resolution_clock) are banned everywhere.
+                            All randomness must flow from a forked Rng stream;
+                            wall time may only be read via steady_clock (used
+                            for throughput reporting, never protocol-visible).
+  pointer-keyed-order       Associative containers keyed by pointer iterate in
+                            address order, which ASLR randomizes per process.
+                            Banned everywhere.
+  unordered-container       unordered_map/unordered_set declarations in the
+                            message/transcript-producing layers (src/sim,
+                            src/mpc, src/fair, src/adversary) need a
+                            LINT-ALLOW with a proof that their iteration order
+                            is never protocol-visible.
+  unordered-iteration       Iterating an unordered container (range-for,
+                            .begin()/.end()) in those same layers — hash-order
+                            dependent output. The identifier table is built
+                            from the file and its directly-included in-repo
+                            headers.
+  rng-fork-discipline       Rng streams must be derived via fork()/fork_at(),
+                            never copied, re-seeded from a draw of another
+                            stream, or seeded from an integer literal inside
+                            src/ (seeding belongs at the estimator boundary).
+  uninitialized-pod-member  In src/crypto, scalar POD class members without an
+                            initializer — reading one is UB and, under
+                            sanitizers, value-nondeterministic.
+  bare-assert               assert()/<cassert> in src/ — invariants must go
+                            through FAIRSFE_CHECK / FAIRSFE_DCHECK
+                            (src/util/check.h) whose on/off status is
+                            explicit, not whatever NDEBUG happens to be.
+
+Escape hatch: a finding is suppressed by `// LINT-ALLOW(rule): reason` on the
+same line or on a comment line directly above it. The reason is mandatory
+(`allow-missing-reason` otherwise) and an allow that suppresses nothing is
+itself a finding (`unused-allow`), so stale annotations can't accumulate.
+
+The linter is compile_commands-aware: given --compile-commands (exported by
+`cmake --preset lint`), the lint set is the listed translation units plus all
+headers under the scan roots, so generated/excluded TUs never drift into or
+out of the lint set silently. Without it, the scan roots are walked directly.
+
+Matching runs on comment- and string-stripped text, so prose never trips a
+rule. Heuristic and line-based by design: wrong in the rare multi-line
+declaration, cheap enough to gate every CI run (see scripts/lint.sh).
+
+Self-test: --self-test lints scripts/lint_fixtures/ (each fixture line
+carrying `// EXPECT(rule)` must be flagged with exactly that rule; every
+unmarked line must be clean; fixture paths are interpreted relative to src/
+so scoped rules apply). Wired as a tier1 ctest.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+CPP_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
+SCAN_ROOTS = ("src", "bench", "examples", "tests")
+PROTOCOL_DIRS = ("src/sim", "src/mpc", "src/fair", "src/adversary")
+
+ALLOW_RE = re.compile(r"LINT-ALLOW\((?P<rule>[a-z-]+)\)(?::\s*(?P<reason>.*?))?\s*(?:\*/)?\s*$")
+EXPECT_RE = re.compile(r"EXPECT\((?P<rule>[a-z-]+)\)")
+UNORDERED_DECL_ID_RE = re.compile(r"unordered_(?:map|set)<[^;]*>\s+(\w+)\s*[;{=]")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Keeps the matched rules honest: a banned token in prose or a log string is
+    not a finding. Raw string literals are not handled (none in this repo).
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (state == "char" and c == "'"):
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def class_body_lines(stripped):
+    """Line numbers (1-based) whose start is directly inside a class/struct body.
+
+    Tracks a brace stack; a `{` opened by a class/struct head pushes a class
+    context, any other `{` (function body, initializer, lambda) pushes a
+    plain block, so locals and nested function bodies are excluded.
+    """
+    lines = set()
+    stack = []  # True = class body, False = other block
+    pending_class = False
+    for lineno, line in enumerate(stripped.split("\n"), start=1):
+        if stack and stack[-1]:
+            lines.add(lineno)
+        for m in re.finditer(r"\b(class|struct|union|enum)\b|[{};)]", line):
+            tok = m.group(0)
+            if tok in ("class", "struct", "union"):
+                pending_class = True
+            elif tok == "enum":
+                pending_class = False  # enum bodies hold enumerators, not members
+            elif tok == ")":
+                # A `{` right after a parameter list is a function body, even
+                # when `class` appeared earlier on the line (template heads).
+                pending_class = False
+            elif tok == "{":
+                stack.append(pending_class)
+                pending_class = False
+            elif tok == "}":
+                if stack:
+                    stack.pop()
+            elif tok == ";":
+                pending_class = False  # forward declaration
+    return lines
+
+
+class Rule:
+    def __init__(self, name, dirs, message):
+        self.name = name
+        self.dirs = dirs  # path prefixes (relative, '/'-separated); None = everywhere
+        self.message = message
+
+    def in_scope(self, relpath):
+        if self.dirs is None:
+            return True
+        return any(relpath == d or relpath.startswith(d + "/") for d in self.dirs)
+
+    def check(self, ctx):
+        raise NotImplementedError
+
+
+class RegexRule(Rule):
+    def __init__(self, name, dirs, message, patterns, skip_preprocessor=False):
+        super().__init__(name, dirs, message)
+        self.patterns = [re.compile(p) for p in patterns]
+        self.skip_preprocessor = skip_preprocessor
+
+    def check(self, ctx):
+        for lineno, line in enumerate(ctx.stripped_lines, start=1):
+            if self.skip_preprocessor and line.lstrip().startswith("#"):
+                continue
+            for pat in self.patterns:
+                m = pat.search(line)
+                if m:
+                    yield lineno, f"{self.message} (matched `{m.group(0).strip()}`)"
+                    break
+
+
+class BareAssertRule(RegexRule):
+    def __init__(self):
+        super().__init__(
+            "bare-assert", ("src",),
+            "use FAIRSFE_CHECK/FAIRSFE_DCHECK from util/check.h, not assert()",
+            [r"\bassert\s*\(", r"#\s*include\s*<cassert>"])
+
+    def check(self, ctx):
+        if ctx.relpath == "src/util/check.h":
+            return  # the invariant layer itself
+        yield from super().check(ctx)
+
+
+class UnorderedIterationRule(Rule):
+    """Iteration over identifiers declared with an unordered container type."""
+
+    def __init__(self):
+        super().__init__(
+            "unordered-iteration", PROTOCOL_DIRS,
+            "iteration order of an unordered container is hash/seed-dependent "
+            "and must never reach messages or transcripts")
+
+    def check(self, ctx):
+        idents = set(UNORDERED_DECL_ID_RE.findall(ctx.stripped))
+        for header in ctx.included_headers:
+            idents.update(UNORDERED_DECL_ID_RE.findall(header))
+        if not idents:
+            return
+        alt = "|".join(re.escape(i) for i in sorted(idents))
+        pats = [
+            re.compile(r"for\s*\([^;)]*:\s*(?:this->)?(" + alt + r")\b"),
+            re.compile(r"\b(" + alt + r")\s*\.\s*(?:c?begin|c?end)\s*\("),
+        ]
+        for lineno, line in enumerate(ctx.stripped_lines, start=1):
+            for pat in pats:
+                m = pat.search(line)
+                if m:
+                    yield lineno, f"{self.message} (iterates `{m.group(1)}`)"
+                    break
+
+
+class UninitializedPodMemberRule(Rule):
+    MEMBER_RE = re.compile(
+        r"^\s*(?:mutable\s+)?"
+        r"(?:std::)?(?:u?int(?:8|16|32|64|ptr)?_t|size_t|ptrdiff_t|bool|char|short"
+        r"|int|long(?:\s+long)?|unsigned(?:\s+(?:char|short|int|long))?|float|double"
+        r"|std::array<[^;={]*>)"
+        r"\s+\w+(?:\s*\[[^\]]*\])?\s*;\s*$")
+    SKIP_RE = re.compile(r"\b(?:static|constexpr|using|typedef|friend|operator)\b")
+
+    def __init__(self):
+        super().__init__(
+            "uninitialized-pod-member", ("src/crypto",),
+            "scalar member without initializer: reading it is UB and "
+            "value-nondeterministic — default-initialize it")
+
+    def check(self, ctx):
+        member_lines = class_body_lines(ctx.stripped)
+        for lineno, line in enumerate(ctx.stripped_lines, start=1):
+            if lineno not in member_lines:
+                continue
+            if self.SKIP_RE.search(line):
+                continue
+            if self.MEMBER_RE.match(line):
+                yield lineno, self.message
+
+
+RULES = [
+    RegexRule(
+        "nondeterminism", None,
+        "nondeterminism source — all randomness must come from a forked Rng "
+        "stream and wall time only from steady_clock",
+        [
+            r"\brandom_device\b",
+            r"\bsrand\b",
+            r"(?<![\w.>])rand\s*\(",
+            r"(?<![\w.>])time\s*\(",
+            r"(?<![\w.>])clock\s*\(",
+            r"\bsystem_clock\b",
+            r"\bhigh_resolution_clock\b",
+        ]),
+    RegexRule(
+        "pointer-keyed-order", None,
+        "associative container keyed by pointer iterates in address order, "
+        "which ASLR randomizes per process",
+        [r"\b(?:unordered_)?(?:multi)?(?:map|set)<\s*(?:const\s+)?[\w:]+(?:<[^<>]*>)?\s*\*"]),
+    RegexRule(
+        "unordered-container", PROTOCOL_DIRS,
+        "unordered container in a message-producing layer: prove its iteration "
+        "order is never protocol-visible in a LINT-ALLOW, or use an "
+        "ordered/indexed structure",
+        [r"\bunordered_(?:map|set)\s*<"],
+        skip_preprocessor=True),
+    UnorderedIterationRule(),
+    RegexRule(
+        "rng-fork-discipline", ("src",),
+        "derive Rng streams with fork()/fork_at(); never copy a stream, "
+        "re-seed from another stream's draw, or hard-code a seed in src/",
+        [
+            r"\bRng\s+\w+\s*=\s*\w+\s*;",                  # Rng a = rng;  (copy)
+            r"\bRng(?:\s+\w+)?\s*[({][^;]*\.\s*u64\s*\(\)",  # Rng(rng.u64())
+            r"\bRng(?:\s+\w+)?\s*[({]\s*\d",                 # Rng(42)  (literal seed)
+        ]),
+    UninitializedPodMemberRule(),
+    BareAssertRule(),
+]
+
+RULE_NAMES = {r.name for r in RULES} | {"unused-allow", "allow-missing-reason"}
+
+
+class FileContext:
+    def __init__(self, relpath, text, included_headers):
+        self.relpath = relpath
+        self.raw_lines = text.split("\n")
+        self.stripped = strip_comments_and_strings(text)
+        self.stripped_lines = self.stripped.split("\n")
+        self.included_headers = included_headers  # stripped texts
+
+
+def parse_allows(raw_lines):
+    """Map target line -> list of [rule, reason, allow_lineno, used-flag].
+
+    A trailing allow targets its own line; an allow on a comment-only line
+    targets the next line.
+    """
+    allows = {}
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        comment_pos = line.find("//")
+        block_pos = line.find("/*")
+        pos = min(p for p in (comment_pos, block_pos) if p >= 0) if max(
+            comment_pos, block_pos) >= 0 else -1
+        own_line = pos >= 0 and not line[:pos].strip()
+        target = lineno + 1 if own_line else lineno
+        allows.setdefault(target, []).append(
+            [m.group("rule"), (m.group("reason") or "").strip(), lineno, False])
+    return allows
+
+
+def load_included_headers(path, root):
+    """Stripped text of in-repo headers directly included by `path`."""
+    texts = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError:
+        return texts
+    for m in INCLUDE_RE.finditer(text):
+        inc = m.group(1)
+        for cand in (os.path.join(root, "src", inc),
+                     os.path.join(os.path.dirname(path), inc)):
+            if os.path.isfile(cand):
+                try:
+                    with open(cand, encoding="utf-8", errors="replace") as f:
+                        texts.append(strip_comments_and_strings(f.read()))
+                except OSError:
+                    pass
+                break
+    return texts
+
+
+def lint_file(path, relpath, root, pretend_relpath=None):
+    """Lint one file; returns a list of (lineno, rule, message) findings."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [(0, "io-error", str(e))]
+    effective = pretend_relpath if pretend_relpath is not None else relpath
+    ctx = FileContext(effective, text, load_included_headers(path, root))
+    allows = parse_allows(ctx.raw_lines)
+
+    findings = []
+    for rule in RULES:
+        if not rule.in_scope(effective):
+            continue
+        for lineno, message in rule.check(ctx):
+            line_allows = allows.get(lineno, [])
+            suppressed = False
+            for entry in line_allows:
+                if entry[0] == rule.name and entry[1]:
+                    entry[3] = True
+                    suppressed = True
+            if not suppressed:
+                findings.append((lineno, rule.name, message))
+
+    for target, entries in sorted(allows.items()):
+        for rule_name, reason, allow_lineno, used in entries:
+            if rule_name not in RULE_NAMES:
+                findings.append((allow_lineno, "unused-allow",
+                                 f"LINT-ALLOW names unknown rule `{rule_name}`"))
+            elif not reason:
+                findings.append((allow_lineno, "allow-missing-reason",
+                                 f"LINT-ALLOW({rule_name}) must carry a reason "
+                                 "after the colon"))
+            elif not used:
+                findings.append((allow_lineno, "unused-allow",
+                                 f"LINT-ALLOW({rule_name}) suppresses nothing on "
+                                 f"line {target} — remove it"))
+    findings.sort()
+    return findings
+
+
+def collect_files(root, compile_commands):
+    """The lint set: TUs from compile_commands (if given) + walked sources."""
+    files = set()
+    if compile_commands:
+        try:
+            with open(compile_commands, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    p = os.path.normpath(
+                        os.path.join(entry.get("directory", root), entry["file"]))
+                    if p.endswith(CPP_EXTENSIONS) and os.path.isfile(p):
+                        rel = os.path.relpath(p, root)
+                        if not rel.startswith(".."):
+                            files.add(rel)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"fairsfe-lint: warning: cannot read {compile_commands}: {e}; "
+                  "falling back to a directory walk", file=sys.stderr)
+    for scan_root in SCAN_ROOTS:
+        base = os.path.join(root, scan_root)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+            for name in sorted(filenames):
+                if compile_commands and not name.endswith(".h"):
+                    continue  # TU set comes from compile_commands
+                if name.endswith(CPP_EXTENSIONS):
+                    files.add(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def run_lint(root, compile_commands, explicit_files):
+    if explicit_files:
+        rels = [os.path.relpath(os.path.abspath(f), root) for f in explicit_files]
+    else:
+        rels = collect_files(root, compile_commands)
+    total = 0
+    for rel in rels:
+        findings = lint_file(os.path.join(root, rel), rel.replace(os.sep, "/"), root)
+        for lineno, rule, message in findings:
+            print(f"{rel}:{lineno}: [{rule}] {message}")
+            total += 1
+    if total:
+        print(f"fairsfe-lint: {total} finding(s) in {len(rels)} file(s)")
+        return 1
+    print(f"fairsfe-lint: clean ({len(rels)} files)")
+    return 0
+
+
+def run_self_test(root):
+    """Lint the fixture corpus; findings must equal the EXPECT(...) markers."""
+    fixture_dir = os.path.join(root, "scripts", "lint_fixtures")
+    failures = 0
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(fixture_dir):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(CPP_EXTENSIONS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, fixture_dir).replace(os.sep, "/")
+            # Fixtures pretend to live under src/ so dir-scoped rules apply
+            # (e.g. lint_fixtures/crypto/x.cc lints as src/crypto/x.cc).
+            pretend = "src/" + rel
+            expected = set()
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for m in EXPECT_RE.finditer(line):
+                        expected.add((lineno, m.group("rule")))
+            got = {(lineno, rule)
+                   for lineno, rule, _ in lint_file(path, rel, root, pretend)}
+            checked += 1
+            for lineno, rule in sorted(expected - got):
+                print(f"SELF-TEST FAIL {rel}:{lineno}: expected [{rule}], not flagged")
+                failures += 1
+            for lineno, rule in sorted(got - expected):
+                print(f"SELF-TEST FAIL {rel}:{lineno}: unexpected [{rule}]")
+                failures += 1
+    if checked == 0:
+        print(f"SELF-TEST FAIL: no fixtures found under {fixture_dir}")
+        return 1
+    if failures:
+        print(f"fairsfe-lint self-test: {failures} failure(s) over {checked} fixtures")
+        return 1
+    print(f"fairsfe-lint self-test: OK ({checked} fixtures)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script's dir)")
+    ap.add_argument("--compile-commands", default=None, metavar="JSON",
+                    help="compile_commands.json to take the TU set from")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the fixture corpus under scripts/lint_fixtures/")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("files", nargs="*", help="lint only these files")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root or
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    if args.list_rules:
+        for rule in RULES:
+            scope = ", ".join(rule.dirs) if rule.dirs else "everywhere"
+            print(f"{rule.name:26} [{scope}] {rule.message}")
+        return 0
+    if args.self_test:
+        return run_self_test(root)
+    return run_lint(root, args.compile_commands, args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+// Known-bad corpus for `bare-assert`. In src/, invariants must go through
+// FAIRSFE_CHECK / FAIRSFE_DCHECK (src/util/check.h): assert() silently
+// compiles away under whatever NDEBUG a preset happens to set.
+#include <cassert>  // EXPECT(bare-assert)
+
+void checks(int n) {
+  assert(n > 0);  // EXPECT(bare-assert)
+  static_assert(sizeof(int) >= 4, "fine: compile-time, no NDEBUG coupling");
+  (void)n;
+}

@@ -1,0 +1,34 @@
+// Known-bad corpus for `uninitialized-pod-member`. Lints as
+// src/crypto/pod_members.cc: scalar members without initializers are flagged
+// (reading one is UB and value-nondeterministic under sanitizers); locals and
+// initialized members are not.
+#include <array>
+#include <cstdint>
+#include <vector>
+
+class Digest {
+ public:
+  void update();
+
+ private:
+  std::uint32_t state;                  // EXPECT(uninitialized-pod-member)
+  std::array<std::uint8_t, 64> buf;     // EXPECT(uninitialized-pod-member)
+  bool finalized;                       // EXPECT(uninitialized-pod-member)
+  double scale;                         // EXPECT(uninitialized-pod-member)
+
+  std::size_t pos = 0;                  // fine: initialized
+  std::uint64_t total{0};               // fine: initialized
+  std::vector<std::uint8_t> bytes;      // fine: self-initializing type
+  static constexpr std::size_t kCap = 64;  // fine: constant
+};
+
+struct Header {
+  std::uint8_t tag;                     // EXPECT(uninitialized-pod-member)
+  std::uint32_t len = 0;                // fine: initialized
+};
+
+void locals_are_fine() {
+  std::uint8_t scratch[8];  // fine: local buffer, filled before use
+  std::uint32_t word;       // fine: local
+  (void)scratch; (void)word;
+}

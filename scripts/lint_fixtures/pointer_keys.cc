@@ -1,0 +1,18 @@
+// Known-bad corpus for `pointer-keyed-order`: associative containers keyed by
+// pointer iterate in address order, which ASLR randomizes per process.
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Party;
+
+std::map<const Party*, int> round_of;      // EXPECT(pointer-keyed-order)
+std::set<Party*> active;                   // EXPECT(pointer-keyed-order)
+std::multimap<Party*, int> queue_of;       // EXPECT(pointer-keyed-order)
+std::unordered_map<Party*, int> seen;      // EXPECT(pointer-keyed-order)
+
+// Value- or integer-keyed containers are fine:
+std::map<int, const Party*> by_id;
+std::set<long> ids;
+std::vector<Party*> roster;

@@ -1,0 +1,21 @@
+// Known-bad corpus for `rng-fork-discipline`. Streams must be derived with
+// fork()/fork_at(): copying a stream makes two components consume identical
+// randomness, re-seeding from a draw couples the child stream to the parent's
+// consumption pattern, and a literal seed in src/ bypasses the estimator's
+// explicit seeding.
+#include "crypto/rng.h"
+
+void bad_stream_handling(fairsfe::Rng& rng) {
+  fairsfe::Rng copy = rng;                   // EXPECT(rng-fork-discipline)
+  fairsfe::Rng reseeded(rng.u64());          // EXPECT(rng-fork-discipline)
+  fairsfe::Rng hardcoded(42);                // EXPECT(rng-fork-discipline)
+  auto temp = fairsfe::Rng(7).u64();         // EXPECT(rng-fork-discipline)
+  (void)copy; (void)reseeded; (void)hardcoded; (void)temp;
+}
+
+void good_stream_handling(fairsfe::Rng& rng) {
+  fairsfe::Rng child = rng.fork("child");
+  fairsfe::Rng nth = rng.fork_at("runs", 3);
+  fairsfe::Rng moved = std::move(child);
+  (void)nth; (void)moved;
+}

@@ -1,0 +1,27 @@
+// Known-good corpus: every banned pattern here carries a LINT-ALLOW with a
+// reason, so the whole file must lint clean (zero findings — any finding or
+// any unused-allow is a self-test failure). Lints as src/sim/allowed.cc so
+// the protocol-layer rules apply.
+#include <cstdint>
+#include <ctime>
+#include <unordered_map>
+
+class ReplayCache {
+ public:
+  std::uint64_t lookup(std::uint64_t label) { return seen_[label]; }
+
+  void sweep() {
+    // Trailing-form allow:
+    for (auto& kv : seen_) kv.second = 0;  // LINT-ALLOW(unordered-iteration): results are accumulated commutatively, order never reaches a message
+  }
+
+ private:
+  // Preceding-comment-form allow (applies to the next line):
+  // LINT-ALLOW(unordered-container): keyed lookup only; sweep() above carries its own iteration proof
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;
+};
+
+std::uint64_t epoch_for_logs() {
+  // LINT-ALLOW(nondeterminism): log timestamp only, never enters a transcript
+  return static_cast<std::uint64_t>(time(nullptr));
+}

@@ -1,0 +1,28 @@
+// Known-bad corpus for `unordered-container` / `unordered-iteration`. This
+// fixture lints as src/sim/unordered.cc (self-test prepends src/), i.e. a
+// message-producing layer where hash-order must never become visible.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+class Hub {
+ public:
+  void route() {
+    for (const auto& kv : pending_) {           // EXPECT(unordered-iteration)
+      (void)kv;
+    }
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // EXPECT(unordered-iteration)
+      (void)*it;
+    }
+    // Keyed lookup (no iteration) is not flagged by the iteration rule:
+    pending_[7] = 1;
+    // Iterating an ordered container is fine:
+    for (const auto v : order_) (void)v;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, int> pending_;  // EXPECT(unordered-container)
+  std::unordered_set<std::uint64_t> seen_;          // EXPECT(unordered-container)
+  std::vector<std::uint64_t> order_;
+};

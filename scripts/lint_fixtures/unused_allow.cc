@@ -1,0 +1,19 @@
+// Allow-hygiene corpus: a LINT-ALLOW must carry a reason, and an allow that
+// suppresses nothing is itself a finding — stale annotations can't pile up.
+#include <cstdlib>
+
+int stale_allow() {
+  int x = 0;  // EXPECT(unused-allow) LINT-ALLOW(nondeterminism): nothing nondeterministic here
+  return x;
+}
+
+int reasonless_allow() {
+  // A reasonless allow suppresses nothing: both the underlying finding and
+  // the missing reason are reported.
+  return std::rand();  // EXPECT(nondeterminism) EXPECT(allow-missing-reason) LINT-ALLOW(nondeterminism)
+}
+
+int unknown_rule() {
+  int y = 1;  // EXPECT(unused-allow) LINT-ALLOW(no-such-rule): typo'd rule names must not silently pass
+  return y;
+}

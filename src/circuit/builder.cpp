@@ -1,7 +1,8 @@
 #include "circuit/builder.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace fairsfe::circuit {
 
@@ -75,7 +76,7 @@ Wire Builder::mux(Wire sel, Wire a, Wire b) {
 }
 
 Word Builder::xor_word(const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   Word out;
   out.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out.push_back(xor_gate(a[i], b[i]));
@@ -83,7 +84,7 @@ Word Builder::xor_word(const Word& a, const Word& b) {
 }
 
 Word Builder::and_word(const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   Word out;
   out.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out.push_back(and_gate(a[i], b[i]));
@@ -91,7 +92,7 @@ Word Builder::and_word(const Word& a, const Word& b) {
 }
 
 Word Builder::mux_word(Wire sel, const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   Word out;
   out.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out.push_back(mux(sel, a[i], b[i]));
@@ -99,7 +100,7 @@ Word Builder::mux_word(Wire sel, const Word& a, const Word& b) {
 }
 
 Word Builder::add(const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   Word out;
   out.reserve(a.size());
   Wire carry = constant(false);
@@ -114,7 +115,7 @@ Word Builder::add(const Word& a, const Word& b) {
 }
 
 Wire Builder::eq(const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   Wire acc = constant(true);
   for (std::size_t i = 0; i < a.size(); ++i) {
     acc = and_gate(acc, not_gate(xor_gate(a[i], b[i])));
@@ -123,7 +124,7 @@ Wire Builder::eq(const Word& a, const Word& b) {
 }
 
 Wire Builder::gt(const Word& a, const Word& b) {
-  assert(a.size() == b.size());
+  FAIRSFE_CHECK(a.size() == b.size(), "Builder: word operands must have equal width");
   // MSB-down scan: gt = a_i & ~b_i at the first differing bit.
   Wire gt_acc = constant(false);
   Wire eq_acc = constant(true);

@@ -1,7 +1,8 @@
 #include "circuit/circuit.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace fairsfe::circuit {
 
@@ -10,29 +11,30 @@ Circuit::Circuit(std::size_t num_parties, std::vector<Gate> gates,
     : gates_(std::move(gates)),
       input_widths_(std::move(input_widths)),
       outputs_(std::move(outputs)) {
-  assert(input_widths_.size() == num_parties);
-  (void)num_parties;
+  FAIRSFE_CHECK(input_widths_.size() == num_parties,
+                "Circuit: one input width per party");
   for (std::size_t i = 0; i < gates_.size(); ++i) {
     const Gate& g = gates_[i];
     switch (g.type) {
       case GateType::kXor:
       case GateType::kAnd:
-        assert(g.a < i && g.b < i);
+        FAIRSFE_DCHECK(g.a < i && g.b < i, "Circuit: gate inputs must be earlier wires");
         if (g.type == GateType::kAnd) ++and_count_;
         break;
       case GateType::kNot:
-        assert(g.a < i);
+        FAIRSFE_DCHECK(g.a < i, "Circuit: gate input must be an earlier wire");
         break;
       case GateType::kInput:
-        assert(g.party < input_widths_.size());
-        assert(g.input_index < input_widths_[g.party]);
+        FAIRSFE_DCHECK(g.party < input_widths_.size(), "Circuit: input gate party out of range");
+        FAIRSFE_DCHECK(g.input_index < input_widths_[g.party],
+                       "Circuit: input index exceeds declared width");
         break;
       case GateType::kConst:
         break;
     }
   }
   for (const Wire w : outputs_) {
-    assert(w < gates_.size());
+    FAIRSFE_DCHECK(w < gates_.size(), "Circuit: output wire out of range");
     (void)w;
   }
 }

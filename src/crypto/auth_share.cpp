@@ -2,6 +2,7 @@
 
 #include "crypto/rng.h"
 #include "crypto/secret_sharing.h"
+#include "util/check.h"
 
 namespace fairsfe {
 
@@ -42,6 +43,7 @@ AuthSharing2 auth_share2(ByteView secret, Rng& rng) {
   out.share2.key = MacKey::random(rng);
   const Bytes payload = make_payload(secret, out.share1.key, out.share2.key);
   const std::vector<Bytes> summands = xor_share(payload, 2, rng);
+  FAIRSFE_CHECK(summands.size() == 2, "auth_share2: sharing must yield 2 summands");
   out.share1.summand = summands[0];
   out.share2.summand = summands[1];
   // Each summand is authenticated under the *other* party's key so the

@@ -56,7 +56,9 @@ Bytes xor_bytes(ByteView a, ByteView b) {
 bool ct_equal(ByteView a, ByteView b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
   return acc == 0;
 }
 

@@ -1,7 +1,8 @@
 #include "crypto/chacha20.h"
 
-#include <cassert>
 #include <cstring>
+
+#include "util/check.h"
 
 namespace fairsfe {
 
@@ -26,9 +27,9 @@ inline std::uint32_t load_le32(const std::uint8_t* p) {
 
 }  // namespace
 
-ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) : block_{} {
-  assert(key.size() == kKeySize);
-  assert(nonce.size() == kNonceSize);
+ChaCha20::ChaCha20(ByteView key, ByteView nonce, std::uint32_t counter) {
+  FAIRSFE_CHECK(key.size() == kKeySize, "ChaCha20 key must be 32 bytes");
+  FAIRSFE_CHECK(nonce.size() == kNonceSize, "ChaCha20 nonce must be 12 bytes");
   state_[0] = 0x61707865;
   state_[1] = 0x3320646e;
   state_[2] = 0x79622d32;

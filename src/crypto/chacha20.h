@@ -38,8 +38,8 @@ class ChaCha20 {
  private:
   void refill();
 
-  std::array<std::uint32_t, 16> state_;
-  std::array<std::uint8_t, kBlockSize> block_;
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, kBlockSize> block_{};
   std::size_t block_pos_ = kBlockSize;  // forces refill on first use
 };
 

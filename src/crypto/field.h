@@ -63,7 +63,7 @@ class Fp {
     return f;
   }
 
-  std::uint64_t v_;
+  std::uint64_t v_ = 0;
 };
 
 /// Split a byte string into field elements (7 bytes per element, with a

@@ -1,13 +1,12 @@
 #include "crypto/secret_sharing.h"
 
-#include <cassert>
-
 #include "crypto/rng.h"
+#include "util/check.h"
 
 namespace fairsfe {
 
 std::vector<Bytes> xor_share(ByteView secret, std::size_t n, Rng& rng) {
-  assert(n >= 1);
+  FAIRSFE_CHECK(n >= 1, "xor_share needs at least one share");
   std::vector<Bytes> shares;
   shares.reserve(n);
   Bytes acc(secret.begin(), secret.end());
@@ -21,17 +20,18 @@ std::vector<Bytes> xor_share(ByteView secret, std::size_t n, Rng& rng) {
 }
 
 Bytes xor_reconstruct(const std::vector<Bytes>& shares) {
-  assert(!shares.empty());
+  FAIRSFE_CHECK(!shares.empty(), "xor_reconstruct over zero shares");
   Bytes acc = shares.front();
   for (std::size_t i = 1; i < shares.size(); ++i) {
-    assert(shares[i].size() == acc.size());
+    FAIRSFE_CHECK(shares[i].size() == acc.size(),
+                  "xor_reconstruct: share length mismatch");
     acc = xor_bytes(acc, shares[i]);
   }
   return acc;
 }
 
 std::vector<Fp> additive_share(Fp secret, std::size_t n, Rng& rng) {
-  assert(n >= 1);
+  FAIRSFE_CHECK(n >= 1, "additive_share needs at least one share");
   std::vector<Fp> shares;
   shares.reserve(n);
   Fp acc = secret;

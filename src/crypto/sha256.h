@@ -25,8 +25,8 @@ class Sha256 {
  private:
   void process_block(const std::uint8_t* block);
 
-  std::array<std::uint32_t, 8> state_;
-  std::array<std::uint8_t, kBlockSize> buf_;
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buf_{};
   std::size_t buf_len_ = 0;
   std::uint64_t total_len_ = 0;
 };

@@ -1,9 +1,9 @@
 #include "crypto/shamir.h"
 
-#include <cassert>
 #include <set>
 
 #include "crypto/rng.h"
+#include "util/check.h"
 
 namespace fairsfe {
 
@@ -36,7 +36,8 @@ std::optional<ShamirShare> ShamirShare::from_bytes(ByteView data) {
 
 std::vector<ShamirShare> shamir_share(const std::vector<Fp>& secret,
                                       std::size_t threshold, std::size_t n, Rng& rng) {
-  assert(threshold >= 1 && threshold <= n);
+  FAIRSFE_CHECK(threshold >= 1 && threshold <= n,
+                "shamir_share: threshold must be in [1, n]");
   std::vector<ShamirShare> shares(n);
   for (std::size_t i = 0; i < n; ++i) {
     shares[i].x = static_cast<std::uint32_t>(i + 1);

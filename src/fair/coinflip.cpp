@@ -1,6 +1,6 @@
 #include "fair/coinflip.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace fairsfe::fair {
 
@@ -45,7 +45,7 @@ std::optional<std::pair<bool, Bytes>> dec_coin_open(ByteView payload) {
 
 CoinFlipParty::CoinFlipParty(sim::PartyId id, std::size_t rounds, Rng rng)
     : PartyBase(id), rounds_(rounds), rng_(std::move(rng)) {
-  assert(rounds_ % 2 == 1);
+  FAIRSFE_CHECK(rounds_ % 2 == 1, "coinflip: round count must be odd");
 }
 
 void CoinFlipParty::finish_majority() {

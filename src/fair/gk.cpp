@@ -1,6 +1,6 @@
 #include "fair/gk.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace fairsfe::fair {
 
@@ -131,7 +131,7 @@ std::vector<Message> ShareGenFunc::on_round(sim::FuncContext& ctx, int /*round*/
 GkParty::GkParty(sim::PartyId id, GkParams params, Bytes input, Rng rng)
     : PartyBase(id), params_(std::move(params)), input_(std::move(input)),
       rng_(std::move(rng)) {
-  assert(id == 0 || id == 1);
+  FAIRSFE_CHECK(id == 0 || id == 1, "GkParty: protocol is 2-party");
 }
 
 void GkParty::finish_with_default() {

@@ -17,7 +17,9 @@ GkMultiParams make_gk_multi_and_params(std::size_t n, std::size_t p) {
   params.spec.n = n;
   params.spec.eval = [](const std::vector<Bytes>& xs) {
     std::uint8_t acc = 1;
-    for (const Bytes& x : xs) acc &= (x.empty() ? 0 : (x[0] & 1));
+    for (const Bytes& x : xs) {
+      acc = static_cast<std::uint8_t>(acc & (x.empty() ? 0 : (x[0] & 1)));
+    }
     return Bytes{acc};
   };
   params.spec.default_inputs.assign(n, Bytes{0});

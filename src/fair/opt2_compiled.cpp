@@ -1,6 +1,6 @@
 #include "fair/opt2_compiled.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace fairsfe::fair {
 
@@ -39,7 +39,7 @@ bool is_inner_traffic(const Message& m) {
 }  // namespace
 
 mpc::YaoConfig make_opt2_fprime(const circuit::Circuit& base) {
-  assert(base.num_parties() == 2);
+  FAIRSFE_CHECK(base.num_parties() == 2, "opt2: base circuit must be 2-party");
   const std::size_t m = base.outputs().size();
   const std::size_t w0 = base.input_width(0);
   const std::size_t w1 = base.input_width(1);
@@ -102,7 +102,7 @@ Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
                                      std::vector<bool> input, Rng rng)
     : PartyBase(id), plan_(std::move(plan)), input_(std::move(input)),
       rng_(std::move(rng)) {
-  assert(id == 0 || id == 1);
+  FAIRSFE_CHECK(id == 0 || id == 1, "Opt2Party: protocol is 2-party");
   const mpc::YaoConfig& cfg = plan_->fprime;
   const std::size_t m = plan_->base->outputs().size();
   std::vector<bool> padded = input_;
@@ -254,7 +254,7 @@ void Opt2CompiledParty::on_abort() {
 std::vector<std::unique_ptr<sim::IParty>> make_opt2_compiled_parties(
     std::shared_ptr<const Opt2CompiledPlan> plan,
     const std::vector<std::vector<bool>>& inputs, Rng& rng) {
-  assert(inputs.size() == 2);
+  FAIRSFE_CHECK(inputs.size() == 2, "make_opt2_parties: protocol is 2-party");
   std::vector<std::unique_ptr<sim::IParty>> parties;
   parties.push_back(
       std::make_unique<Opt2CompiledParty>(0, plan, inputs[0], rng.fork("opt2c-p0")));

@@ -1,9 +1,9 @@
 #include "mpc/gmw.h"
 
-#include <cassert>
 #include <stdexcept>
 
 #include "mpc/ot.h"
+#include "util/check.h"
 
 namespace fairsfe::mpc {
 
@@ -35,6 +35,17 @@ GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
     plan_ = std::make_shared<const circuit::CompiledCircuit>(
         circuit::CompiledCircuit::build(c));
   }
+  // Plan/circuit shape agreement: a cached plan built for a different circuit
+  // would silently evaluate the wrong gate schedule. The compiled layout
+  // pins one resolve step per AND layer plus the input step, and exactly the
+  // circuit's AND gates.
+  FAIRSFE_CHECK(plan_->num_and_gates() == c.and_count(),
+                "compiled plan does not match the circuit's AND gates");
+  FAIRSFE_CHECK(plan_->num_resolve_steps() == plan_->num_and_layers() + 1,
+                "compiled plan resolve schedule is malformed");
+  FAIRSFE_CHECK(plan_->inputs_of(static_cast<std::size_t>(id)).size() ==
+                    c.input_width(static_cast<std::size_t>(id)),
+                "compiled plan input wire map does not match the circuit");
   share_.assign(c.num_wires(), 0);
   and_state_.assign(c.num_wires(), -1);
 }
@@ -288,7 +299,8 @@ bool GmwParty::absorb_output_shares(MsgView in) {
 std::vector<std::unique_ptr<sim::IParty>> make_gmw_parties(
     std::shared_ptr<const GmwConfig> cfg, const std::vector<std::vector<bool>>& inputs,
     Rng& rng) {
-  assert(inputs.size() == cfg->circuit.num_parties());
+  FAIRSFE_CHECK(inputs.size() == cfg->circuit.num_parties(),
+                "make_gmw_parties: one input vector per party");
   std::vector<std::unique_ptr<sim::IParty>> parties;
   parties.reserve(inputs.size());
   for (std::size_t p = 0; p < inputs.size(); ++p) {

@@ -57,7 +57,9 @@ class OtHub final : public sim::IFunctionality {
     bool is_string = false;
     bool delivered = false;
   };
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Never iterated: accessed only by label lookup, and delivery drains the
+  // ordered ready_ vector below, so hash order is never protocol-visible.
+  std::unordered_map<std::uint64_t, Pending> pending_;  // LINT-ALLOW(unordered-container): lookup-only; delivery order comes from ready_
   /// Labels whose pair completed this round, in completion order. Delivery
   /// drains this list instead of rescanning every instance the hub has ever
   /// seen; delivered entries stay in pending_ as replay tombstones.

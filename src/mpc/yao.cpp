@@ -1,10 +1,10 @@
 #include "mpc/yao.h"
 
-#include <cassert>
 #include <map>
 
 #include "crypto/sha256.h"
 #include "mpc/ot.h"
+#include "util/check.h"
 
 namespace fairsfe::mpc {
 
@@ -57,8 +57,9 @@ YaoConfig YaoConfig::public_output(std::shared_ptr<const circuit::Circuit> circu
 
 YaoGarbler::YaoGarbler(YaoConfig cfg, std::vector<bool> input, Rng rng)
     : PartyBase(0), cfg_(std::move(cfg)), input_(std::move(input)), rng_(std::move(rng)) {
-  assert(cfg_.circuit->num_parties() == 2);
-  assert(input_.size() == cfg_.circuit->input_width(0));
+  FAIRSFE_CHECK(cfg_.circuit->num_parties() == 2, "YaoGarbler: circuit must be 2-party");
+  FAIRSFE_CHECK(input_.size() == cfg_.circuit->input_width(0),
+                "YaoGarbler: input width mismatch for party 0");
 }
 
 YaoGarbler::YaoGarbler(std::shared_ptr<const circuit::Circuit> circuit,
@@ -192,8 +193,9 @@ void YaoGarbler::on_abort() {
 
 YaoEvaluator::YaoEvaluator(YaoConfig cfg, std::vector<bool> input)
     : PartyBase(1), cfg_(std::move(cfg)), input_(std::move(input)) {
-  assert(cfg_.circuit->num_parties() == 2);
-  assert(input_.size() == cfg_.circuit->input_width(1));
+  FAIRSFE_CHECK(cfg_.circuit->num_parties() == 2, "YaoEvaluator: circuit must be 2-party");
+  FAIRSFE_CHECK(input_.size() == cfg_.circuit->input_width(1),
+                "YaoEvaluator: input width mismatch for party 1");
 }
 
 YaoEvaluator::YaoEvaluator(std::shared_ptr<const circuit::Circuit> circuit,
@@ -360,7 +362,7 @@ std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
 
 std::vector<std::unique_ptr<sim::IParty>> make_yao_parties(
     const YaoConfig& cfg, const std::vector<std::vector<bool>>& inputs, Rng& rng) {
-  assert(inputs.size() == 2);
+  FAIRSFE_CHECK(inputs.size() == 2, "make_yao_parties: Yao is 2-party");
   std::vector<std::unique_ptr<sim::IParty>> parties;
   parties.push_back(std::make_unique<YaoGarbler>(cfg, inputs[0], rng.fork("yao-garbler")));
   parties.push_back(std::make_unique<YaoEvaluator>(cfg, inputs[1]));

@@ -1,10 +1,10 @@
 #include "sim/engine.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/fault/injector.h"
+#include "util/check.h"
 
 namespace fairsfe::sim {
 
@@ -45,6 +45,13 @@ struct RoundBuf {
 
   [[nodiscard]] MsgView mailbox(PartyId pid) const {
     const auto& box = mail[static_cast<std::size_t>(pid)];
+#if FAIRSFE_DCHECKS_ENABLED
+    // Mailbox delivery contract: every index list entry points into this
+    // round's buffer, and entries are consumed in append (= delivery) order.
+    for (const std::uint32_t idx : box) {
+      FAIRSFE_CHECK(idx < msgs.size(), "mailbox index outside the round buffer");
+    }
+#endif
     return MsgView(msgs.data(), box.data(), box.size());
   }
   [[nodiscard]] MsgView func_mailbox() const {
@@ -114,7 +121,10 @@ class Engine::Ctx final : public AdvContext, public FuncContext {
   }
 
   Rng& func_rng() { return func_rng_; }
-  void set_round(int r) { round_ = r; }
+  void set_round(int r) {
+    FAIRSFE_DCHECK(r >= round_, "rounds must advance monotonically");
+    round_ = r;
+  }
 
  private:
   void require_corrupted(PartyId pid) const {
@@ -160,7 +170,9 @@ Engine::Engine(std::vector<std::unique_ptr<IParty>> parties,
       rng_(std::move(rng)),
       cfg_(cfg) {
   for (std::size_t i = 0; i < parties_.size(); ++i) {
-    assert(parties_[i] && parties_[i]->id() == static_cast<PartyId>(i));
+    FAIRSFE_CHECK(parties_[i] != nullptr, "engine constructed with a null party");
+    FAIRSFE_CHECK(parties_[i]->id() == static_cast<PartyId>(i),
+                  "party ids must equal their position (mailbox routing is indexed)");
   }
   ctx_ = std::make_unique<Ctx>(*this, rng_.fork("adversary"), rng_.fork("functionality"));
 }
@@ -377,6 +389,8 @@ ExecutionResult Engine::run() {
     // honest, functionality, and adversary traffic alike.
     if (injector && !reorder_tail.empty()) {
       for (const auto& [rcpt, idx] : reorder_tail) {
+        FAIRSFE_DCHECK(idx < cur->msgs.size(),
+                       "reordered delivery must reference this round's buffer");
         cur->mail[static_cast<std::size_t>(rcpt)].push_back(idx);
       }
       reorder_tail.clear();

@@ -54,8 +54,14 @@ class MsgView {
   /// Whole view over a contiguous message array (no filter).
   MsgView(const std::vector<Message>& msgs)  // NOLINT(google-explicit-constructor)
       : data_(msgs.data()), size_(msgs.size()) {}
+  // GCC warns that the initializer_list backing array dies at the end of the
+  // full-expression; that is exactly the lifetime contract documented above
+  // (valid only for the duration of the call), so the warning is moot here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
   MsgView(std::initializer_list<Message> msgs)  // NOLINT(google-explicit-constructor)
       : data_(msgs.begin()), size_(msgs.size()) {}
+#pragma GCC diagnostic pop
   constexpr MsgView(const Message* data, std::size_t n) : data_(data), size_(n) {}
   /// Indexed view: elements are base[idx[i]] (engine mailboxes).
   constexpr MsgView(const Message* base, const std::uint32_t* idx, std::size_t n)

@@ -209,7 +209,9 @@ TEST(FaultSemantics, PermanentCrashIsCountedAndFinalizedSoundly) {
   EXPECT_EQ(r.fault_stats.restarts, 0u);
   // The crashed party is finalized through on_abort(): it may hold a default
   // evaluation or ⊥, but never the true y (it died before reconstruction).
-  if (r.outputs[1].has_value()) EXPECT_NE(*r.outputs[1], y);
+  if (r.outputs[1].has_value()) {
+    EXPECT_NE(*r.outputs[1], y);
+  }
 }
 
 TEST(FaultSemantics, OneRoundOutageWithRestartIsAbsorbed) {

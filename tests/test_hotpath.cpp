@@ -102,7 +102,9 @@ TEST(Hotpath, ResolveScheduleCoversEveryNonInputGateOnce) {
       const auto step = plan.resolve_step(k);
       scheduled += step.size();
       for (std::size_t i = 0; i < step.size(); ++i) {
-        if (i > 0) EXPECT_LT(step[i - 1], step[i]);  // ascending = topological
+        if (i > 0) {
+          EXPECT_LT(step[i - 1], step[i]);  // ascending = topological
+        }
         EXPECT_EQ(seen[step[i]], 0);
         seen[step[i]] = 1;
         EXPECT_NE(c.gates()[step[i]].type, circuit::GateType::kInput);

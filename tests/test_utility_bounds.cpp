@@ -164,7 +164,7 @@ TEST_P(Lemma11Test, TAdversaryBoundHolds) {
   const double bound = kGamma.nparty_bound(t, n);
   EXPECT_NEAR(est.utility, bound, est.margin() + 0.03) << "n=" << n << " t=" << t;
   // Event split: E10 with prob t/n.
-  EXPECT_NEAR(est.freq(FairnessEvent::kE10), static_cast<double>(t) / n, 0.06);
+  EXPECT_NEAR(est.freq(FairnessEvent::kE10), static_cast<double>(t) / static_cast<double>(n), 0.06);
 }
 
 INSTANTIATE_TEST_SUITE_P(
