@@ -9,18 +9,29 @@
 //                                          / tag; empty filter = everything)
 //   fairbench --filter opt2 --json out.json --runs 500 --threads 0
 //   fairbench --filter exp18 --json new.json --baseline BENCH_fault.json
+//   fairbench --filter gmw --preproc offline_ideal
 //
 // JSON: one scenario selected -> a single object, byte-compatible with the
 // files the old exp* binaries wrote (BENCH_*.json); several -> an array of
 // those objects. --baseline feeds the fresh JSON plus the given baseline to
 // scripts/bench_diff.py (run from the repository root).
+//
+// --preproc moves the OT correlations of GMW-backed scenarios into an
+// offline phase: for every selected scenario that declares a PreprocBudget,
+// the driver mass-produces ONE timed CorrelatedRandomness batch sized for
+// all of the scenario's runs (runs × triples_per_run) and hands it to the
+// body via ScenarioContext, so the whole Monte-Carlo sweep amortizes a
+// single offline phase. Utilities and verdicts are invariant under the mode.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "crypto/rng.h"
 #include "experiments/registry.h"
 #include "experiments/report.h"
+#include "mpc/preproc/provider.h"
 
 using namespace fairsfe;
 
@@ -38,7 +49,10 @@ void print_usage() {
       "  --json       write the report(s): one object for a single scenario,\n"
       "               an array for several\n"
       "  --baseline   after --json, diff against a baseline via\n"
-      "               scripts/bench_diff.py (run from the repo root)\n");
+      "               scripts/bench_diff.py (run from the repo root)\n"
+      "  --preproc    correlated-randomness phase split: inline (default),\n"
+      "               offline_ideal (trusted dealer), offline_ot (real OT\n"
+      "               rounds run up front); one offline batch per scenario\n");
 }
 
 void list_scenarios(const std::vector<const experiments::ScenarioSpec*>& specs) {
@@ -122,6 +136,24 @@ int main(int argc, char** argv) {
     bench::Reporter rep(local, spec->default_runs);
     rep.begin(*spec);
     experiments::ScenarioContext ctx{*spec, rep};
+    ctx.preproc = args.preproc;
+    if (mpc::preproc::is_offline(args.preproc) && spec->preproc) {
+      // One amortized offline phase for the scenario's whole Monte-Carlo
+      // sweep. Seeded from base_seed so the batch — like every run — is a
+      // pure function of the registered spec.
+      const experiments::PreprocBudget& budget = *spec->preproc;
+      mpc::preproc::PreprocRequest req;
+      req.parties = budget.parties;
+      req.triples = rep.runs() * budget.triples_per_run;
+      req.rots = rep.runs() * budget.rots_per_run;
+      Rng batch_rng(spec->base_seed);
+      const auto t0 = std::chrono::steady_clock::now();
+      ctx.batch = mpc::preproc::generate_batch(args.preproc, req, batch_rng);
+      const auto t1 = std::chrono::steady_clock::now();
+      ctx.offline_seconds = std::chrono::duration<double>(t1 - t0).count();
+      rep.offline_batch(std::string(mpc::preproc::to_string(args.preproc)),
+                        req.triples, ctx.offline_seconds);
+    }
     spec->run(ctx);
     rep.finish();
     deviations += rep.deviations();

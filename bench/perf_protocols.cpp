@@ -13,6 +13,11 @@
 //       the engine's RoutingStats counters (messages/round, payload bytes and
 //       copy-avoided bytes per run). --json writes BENCH_hotpath.json so the
 //       trajectory of the zero-copy delivery path is recorded in-repo.
+//   perf_protocols --preproc [--json <path>] [iters]
+//     — offline/online phase split (DESIGN.md §10): for the GMW profile
+//       cases, inline OT-hybrid runs/sec vs the online phase consuming a
+//       pre-dealt CorrelatedRandomness batch, plus the offline batch cost
+//       for both providers. --json writes BENCH_preproc.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -27,6 +32,7 @@
 #include "fair/opt2sfe.h"
 #include "mpc/gmw.h"
 #include "mpc/ot.h"
+#include "mpc/preproc/provider.h"
 #include "mpc/yao.h"
 
 namespace fairsfe {
@@ -89,7 +95,7 @@ void BM_GmwMillionaires(benchmark::State& state) {
         circuit::u64_to_bits(rng.below(1u << bits), bits),
         circuit::u64_to_bits(rng.below(1u << bits), bits)};
     auto parties = mpc::make_gmw_parties(cfg, inputs, rng);
-    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    sim::Engine e(std::move(parties), mpc::make_gmw_functionality(*cfg), nullptr,
                   rng.fork("engine"));
     benchmark::DoNotOptimize(e.run());
   }
@@ -111,7 +117,7 @@ void BM_GmwMaxNParty(benchmark::State& state) {
       inputs.push_back(circuit::u64_to_bits(rng.below(256), 8));
     }
     auto parties = mpc::make_gmw_parties(cfg, inputs, rng);
-    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    sim::Engine e(std::move(parties), mpc::make_gmw_functionality(*cfg), nullptr,
                   rng.fork("engine"));
     benchmark::DoNotOptimize(e.run());
   }
@@ -132,7 +138,7 @@ void BM_YaoMillionaires(benchmark::State& state) {
         circuit::u64_to_bits(rng.below(1u << bits), bits),
         circuit::u64_to_bits(rng.below(1u << bits), bits)};
     auto parties = mpc::make_yao_parties(circuit, inputs, rng);
-    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    sim::Engine e(std::move(parties), mpc::make_ot_functionality(), nullptr,
                   rng.fork("engine"));
     benchmark::DoNotOptimize(e.run());
   }
@@ -153,7 +159,7 @@ void BM_Opt2CompiledRun(benchmark::State& state) {
     auto parties = fair::make_opt2_compiled_parties(plan, inputs, rng);
     sim::EngineConfig cfg;
     cfg.max_rounds = 24;
-    sim::Engine e(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    sim::Engine e(std::move(parties), mpc::make_ot_functionality(), nullptr,
                   rng.fork("engine"), cfg);
     benchmark::DoNotOptimize(e.run());
   }
@@ -183,7 +189,8 @@ void BM_UtilityEstimation(benchmark::State& state) {
   std::uint64_t seed = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        rpd::estimate_utility(opt2_lock_abort(0), gamma, 100, seed++));
+        rpd::estimate_utility(opt2_lock_abort(0), gamma,
+                              rpd::EstimatorOptions{.runs = 100, .seed = seed++}));
   }
 }
 BENCHMARK(BM_UtilityEstimation)->Unit(benchmark::kMillisecond);
@@ -286,7 +293,7 @@ std::vector<ProfileCase> profile_cases() {
         circuit::u64_to_bits(rng.below(1u << 16), 16),
         circuit::u64_to_bits(rng.below(1u << 16), 16)};
     auto parties = mpc::make_gmw_parties(mill, inputs, rng);
-    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    return sim::Engine(std::move(parties), mpc::make_gmw_functionality(*mill), nullptr,
                        rng.fork("engine"));
   }});
 
@@ -299,7 +306,7 @@ std::vector<ProfileCase> profile_cases() {
       inputs.push_back(circuit::u64_to_bits(rng.below(256), 8));
     }
     auto parties = mpc::make_gmw_parties(max4, inputs, rng);
-    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    return sim::Engine(std::move(parties), mpc::make_gmw_functionality(*max4), nullptr,
                        rng.fork("engine"));
   }});
 
@@ -312,7 +319,7 @@ std::vector<ProfileCase> profile_cases() {
     auto parties = fair::make_opt2_compiled_parties(plan, inputs, rng);
     sim::ExecutionOptions opts;
     opts.max_rounds = 24;
-    return sim::Engine(std::move(parties), std::make_unique<mpc::OtHub>(), nullptr,
+    return sim::Engine(std::move(parties), mpc::make_ot_functionality(), nullptr,
                        rng.fork("engine"), opts);
   }});
 
@@ -404,6 +411,184 @@ int run_profile(int argc, char** argv) {
   return zero_copies ? 0 : 1;
 }
 
+// --preproc mode: offline/online phase split for the GMW profile cases.
+// Reports, per configuration:
+//   [inline]  the classic OT-hybrid execution (BENCH_hotpath methodology),
+//   [online]  the online phase only — every run spends its slice of one
+//             pre-dealt CorrelatedRandomness batch (one broadcast per AND
+//             layer, zero kFunc traffic),
+//   offline_ideal cost for the full batch (iters × triples/run), and an
+//   offline_ot probe (the real OT rounds run up front, modest batch) so both
+//   providers' costs are on record.
+struct PreprocPerfCase {
+  std::string name;
+  std::shared_ptr<const mpc::GmwConfig> inline_cfg;
+  // Builds parties + inputs for iteration `seed`; shared by both phases.
+  std::function<std::vector<std::unique_ptr<sim::IParty>>(
+      std::shared_ptr<const mpc::GmwConfig>, Rng&)> make_parties;
+};
+
+int run_preproc(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t iters = args.runs_or(2000);
+  const std::string json_path = args.json_path;
+
+  std::printf("\n=== P02-preproc: offline/online phase split (DESIGN.md §10) ===\n");
+  std::printf("%zu deterministic engine runs per configuration and phase; the online\n"
+              "phase consumes run-indexed slices of one ideal-dealer batch.\n\n",
+              iters);
+
+  std::vector<PreprocPerfCase> cases;
+  {
+    auto mill = std::make_shared<const mpc::GmwConfig>(
+        mpc::GmwConfig::public_output(circuit::make_millionaires_circuit(16)));
+    cases.push_back({"gmw_millionaires_16", mill,
+                     [](std::shared_ptr<const mpc::GmwConfig> cfg, Rng& rng) {
+                       std::vector<std::vector<bool>> inputs = {
+                           circuit::u64_to_bits(rng.below(1u << 16), 16),
+                           circuit::u64_to_bits(rng.below(1u << 16), 16)};
+                       return mpc::make_gmw_parties(std::move(cfg), inputs, rng);
+                     }});
+    auto max4 = std::make_shared<const mpc::GmwConfig>(
+        mpc::GmwConfig::public_output(circuit::make_max_circuit(4, 8)));
+    cases.push_back({"gmw_max_4party_8bit", max4,
+                     [](std::shared_ptr<const mpc::GmwConfig> cfg, Rng& rng) {
+                       std::vector<std::vector<bool>> inputs;
+                       for (std::size_t p = 0; p < 4; ++p) {
+                         inputs.push_back(circuit::u64_to_bits(rng.below(256), 8));
+                       }
+                       return mpc::make_gmw_parties(std::move(cfg), inputs, rng);
+                     }});
+  }
+
+  struct PhaseRow {
+    std::string name;
+    std::size_t runs;
+    double wall_seconds;
+    [[nodiscard]] double runs_per_sec() const {
+      return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;
+    }
+  };
+  struct OfflineRow {
+    std::string name;
+    std::size_t triples;
+    double seconds;
+  };
+  std::vector<PhaseRow> rows;
+  std::vector<OfflineRow> offline;
+  bool speedup_ok = true;
+
+  std::printf("%-36s %12s\n", "configuration", "runs/sec");
+  std::printf("%-36s %12s\n", "-------------", "--------");
+  for (const PreprocPerfCase& c : cases) {
+    auto timed_phase = [&](const std::string& label,
+                           const std::shared_ptr<const mpc::GmwConfig>& cfg) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        Rng rng(i);
+        auto parties = c.make_parties(cfg, rng);
+        if (mpc::preproc::is_offline(cfg->preproc_mode)) {
+          mpc::make_gmw_run_binder(parties)(i);
+        }
+        sim::Engine e(std::move(parties), mpc::make_gmw_functionality(*cfg), nullptr,
+                      rng.fork("engine"));
+        e.run();
+      }
+      PhaseRow row{c.name + " [" + label + "]", iters,
+                   std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                       .count()};
+      std::printf("%-36s %12.0f\n", row.name.c_str(), row.runs_per_sec());
+      rows.push_back(row);
+      return row;
+    };
+
+    const PhaseRow inline_row = timed_phase("inline", c.inline_cfg);
+
+    // Offline phase: one ideal-dealer batch covering every run's slice.
+    const std::size_t parties = c.inline_cfg->circuit.num_parties();
+    const std::size_t triples = iters * c.inline_cfg->triples_per_run();
+    mpc::preproc::PreprocRequest req;
+    req.parties = parties;
+    req.triples = triples;
+    Rng dealer_rng(1);
+    auto t0 = std::chrono::steady_clock::now();
+    auto batch = mpc::preproc::generate_batch(mpc::preproc::PreprocMode::kOfflineIdeal,
+                                              req, dealer_rng);
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    offline.push_back({c.name + " offline_ideal", triples, secs});
+    std::printf("%-36s %12s   (%zu triples, %.4fs)\n",
+                (c.name + " offline_ideal").c_str(), "-", triples, secs);
+
+    auto online_cfg = mpc::GmwConfig::for_circuit(c.inline_cfg->circuit)
+                          .with_plan(c.inline_cfg->plan)
+                          .with_preproc(mpc::preproc::PreprocMode::kOfflineIdeal, batch)
+                          .build_shared();
+    const PhaseRow online_row = timed_phase("online", online_cfg);
+
+    // The real-OT provider on a modest probe batch: its cost per triple is
+    // what an implementation would pay up front instead of per layer.
+    mpc::preproc::PreprocRequest probe;
+    probe.parties = parties;
+    probe.triples = std::min<std::size_t>(triples, 4096);
+    Rng probe_rng(2);
+    t0 = std::chrono::steady_clock::now();
+    (void)mpc::preproc::generate_batch(mpc::preproc::PreprocMode::kOfflineOt, probe,
+                                       probe_rng);
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    offline.push_back({c.name + " offline_ot_probe", probe.triples, secs});
+    std::printf("%-36s %12s   (%zu triples, %.4fs)\n",
+                (c.name + " offline_ot_probe").c_str(), "-", probe.triples, secs);
+
+    const double speedup =
+        inline_row.runs_per_sec() > 0
+            ? online_row.runs_per_sec() / inline_row.runs_per_sec()
+            : 0;
+    std::printf("%-36s %11.2fx\n\n", (c.name + " online/inline").c_str(), speedup);
+    if (c.name == "gmw_max_4party_8bit" && speedup < 3.0) speedup_ok = false;
+  }
+
+  std::printf("  [%s] gmw_max_4party_8bit online phase >= 3x inline throughput\n",
+              speedup_ok ? "PASS" : "DEVIATION");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"P02-preproc\",\n"
+                    "  \"claim\": \"offline/online split: the online phase spends "
+                    "pre-dealt Beaver triples, one broadcast per AND layer\",\n"
+                    "  \"iters\": %zu,\n  \"rows\": [",
+                 iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"runs\": %zu, \"wall_seconds\": %.6g, "
+                   "\"runs_per_sec\": %.6g}",
+                   i == 0 ? "" : ",", rows[i].name.c_str(), rows[i].runs,
+                   rows[i].wall_seconds, rows[i].runs_per_sec());
+    }
+    std::fprintf(f, "\n  ],\n  \"offline\": [");
+    for (std::size_t i = 0; i < offline.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"triples\": %zu, \"seconds\": %.6g, "
+                   "\"triples_per_sec\": %.6g}",
+                   i == 0 ? "" : ",", offline[i].name.c_str(), offline[i].triples,
+                   offline[i].seconds,
+                   offline[i].seconds > 0
+                       ? static_cast<double>(offline[i].triples) / offline[i].seconds
+                       : 0.0);
+    }
+    std::fprintf(f, "\n  ],\n  \"checks\": [\n    {\"ok\": %s, \"what\": "
+                    "\"gmw_max_4party_8bit online >= 3x inline runs/sec\"}\n  ]\n}\n",
+                 speedup_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+  return speedup_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace fairsfe
 
@@ -414,6 +599,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--profile") == 0) {
       return fairsfe::run_profile(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--preproc") == 0) {
+      return fairsfe::run_preproc(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

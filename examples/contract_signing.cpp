@@ -48,12 +48,12 @@ int main() {
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi1, c);
       }),
-      gamma, 2000, 100);
+      gamma, rpd::EstimatorOptions{.runs = 2000, .seed = 100});
   const auto pi2 = rpd::assess_protocol(
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi2, c);
       }),
-      gamma, 2000, 200);
+      gamma, rpd::EstimatorOptions{.runs = 2000, .seed = 200});
   std::printf("best attacker vs Pi1: %.3f (%s)\n", pi1.best_utility(),
               pi1.best_attack_name().c_str());
   std::printf("best attacker vs Pi2: %.3f (%s)\n", pi2.best_utility(),

@@ -40,7 +40,8 @@ int main() {
   for (auto& c : candidates) {
     for (std::size_t t = 1; t < n; ++t) {
       const auto a =
-          rpd::assess_protocol(nparty_attack_family(c.kind, n, t), gamma, runs, seed);
+          rpd::assess_protocol(nparty_attack_family(c.kind, n, t), gamma,
+                               rpd::EstimatorOptions{.runs = runs, .seed = seed});
       seed += a.attacks.size();
       c.phi.push_back(a.best_utility());
     }

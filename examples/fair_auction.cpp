@@ -45,10 +45,12 @@ int main() {
   std::printf("%-4s %22s %22s %14s\n", "t", "OptNSFE (measured)", "Lemma 11 bound",
               "Pi-1/2-GMW");
   for (std::size_t t = 1; t < n; ++t) {
-    const auto opt = rpd::estimate_utility(experiments::optn_lock_abort(n, t), gamma, 2000,
-                                           10 + t);
-    const auto gmw = rpd::estimate_utility(experiments::half_gmw_coalition(n, t), gamma,
-                                           2000, 20 + t);
+    const auto opt = rpd::estimate_utility(
+        experiments::optn_lock_abort(n, t), gamma,
+        rpd::EstimatorOptions{.runs = 2000, .seed = 10 + t});
+    const auto gmw = rpd::estimate_utility(
+        experiments::half_gmw_coalition(n, t), gamma,
+        rpd::EstimatorOptions{.runs = 2000, .seed = 20 + t});
     std::printf("%-4zu %22.3f %22.3f %14.3f\n", t, opt.utility, gamma.nparty_bound(t, n),
                 gmw.utility);
   }

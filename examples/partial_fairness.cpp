@@ -24,7 +24,8 @@ int main() {
   for (const std::size_t p : {2u, 3u, 4u, 6u, 8u}) {
     const fair::GkParams params = fair::make_gk_and_params(p);
     const auto assessment =
-        rpd::assess_protocol(gk_attack_family(params), pf, 2000, 1000 + p);
+        rpd::assess_protocol(gk_attack_family(params), pf,
+                             rpd::EstimatorOptions{.runs = 2000, .seed = 1000 + p});
     std::printf("%-4zu %10.4f %14.4f %12zu\n", p, 1.0 / static_cast<double>(p),
                 assessment.best_utility(), params.cap());
   }

@@ -55,7 +55,8 @@ int main() {
     s.engine.max_rounds = 12;
     return s;
   };
-  const rpd::UtilityEstimate estimate = rpd::estimate_utility(factory, gamma, 2000, 7);
+  const rpd::UtilityEstimate estimate = rpd::estimate_utility(
+      factory, gamma, rpd::EstimatorOptions{.runs = 2000, .seed = 7});
 
   std::printf("attacker utility: %.3f +/- %.3f  (theoretical optimum (g10+g11)/2 = %.3f)\n",
               estimate.utility, estimate.margin(), gamma.two_party_opt_bound());

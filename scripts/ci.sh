@@ -23,7 +23,11 @@
 #     scripts/bench_diff.py prints the delta against the committed
 #     BENCH_hotpath.json, flagging any perf counter more than 35% worse.
 #     Regressions are surfaced, never fatal (CI machines differ too much
-#     for a hard throughput gate).
+#     for a hard throughput gate);
+#   * perf_protocols --preproc does the same for the offline/online phase
+#     split against BENCH_preproc.json — and its built-in >= 3x
+#     online-vs-inline check on gmw_max_4party_8bit fails the perf step
+#     itself if the online Beaver path ever degenerates to inline speed.
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
@@ -59,6 +63,13 @@ if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
     python3 scripts/bench_diff.py --fail-above 35 \
         BENCH_hotpath.json BENCH_hotpath.ci.json ||
       echo "perf smoke regression (non-gating)"
+  fi
+  ./build-perf/bench/perf_protocols --preproc --json BENCH_preproc.ci.json 500 ||
+    echo "preproc speedup check failed (online phase slower than 3x inline)"
+  if [[ -f BENCH_preproc.json && -f BENCH_preproc.ci.json ]]; then
+    python3 scripts/bench_diff.py --fail-above 35 \
+        BENCH_preproc.json BENCH_preproc.ci.json ||
+      echo "preproc perf regression (non-gating)"
   fi
 else
   echo "perf smoke skipped (Release build unavailable)"

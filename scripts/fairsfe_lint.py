@@ -36,6 +36,14 @@ of that contract machine-checked:
                             through FAIRSFE_CHECK / FAIRSFE_DCHECK
                             (src/util/check.h) whose on/off status is
                             explicit, not whatever NDEBUG happens to be.
+  direct-ot-access          Naming OtHub or encode_ot_send* outside src/mpc.
+                            The OT hub is the substitution point of the
+                            offline/online phase split (DESIGN.md §10):
+                            callers must obtain the hybrid slot via
+                            mpc::make_gmw_functionality(cfg) /
+                            mpc::make_ot_functionality() so PreprocMode stays
+                            a config switch. tests/ are exempt (they unit-test
+                            the hub itself).
 
 Escape hatch: a finding is suppressed by `// LINT-ALLOW(rule): reason` on the
 same line or on a comment line directly above it. The reason is mandatory
@@ -199,6 +207,26 @@ class RegexRule(Rule):
                     break
 
 
+class DirectOtAccessRule(RegexRule):
+    """Everywhere EXCEPT src/mpc (the hub's own layer) and tests/ (which
+    unit-test the hub). An exclusion list, so the rule follows new scan roots
+    automatically."""
+
+    EXEMPT = ("src/mpc", "tests")
+
+    def __init__(self):
+        super().__init__(
+            "direct-ot-access", None,
+            "direct OT-hybrid access outside src/mpc: obtain the slot via "
+            "mpc::make_gmw_functionality()/make_ot_functionality() so the "
+            "offline/online PreprocMode substitution stays a config switch",
+            [r"\bOtHub\b", r"\bencode_ot_send\w*\s*\("])
+
+    def in_scope(self, relpath):
+        return not any(relpath == d or relpath.startswith(d + "/")
+                       for d in self.EXEMPT)
+
+
 class BareAssertRule(RegexRule):
     def __init__(self):
         super().__init__(
@@ -304,6 +332,7 @@ RULES = [
         ]),
     UninitializedPodMemberRule(),
     BareAssertRule(),
+    DirectOtAccessRule(),
 ]
 
 RULE_NAMES = {r.name for r in RULES} | {"unused-allow", "allow-missing-reason"}

@@ -1,0 +1,19 @@
+// direct-ot-access: outside src/mpc, naming the OT hub (or hand-encoding its
+// wire format) bypasses the offline/online substitution point — the hybrid
+// slot must come from make_gmw_functionality()/make_ot_functionality().
+// Lints as src/experiments/direct_ot_access.cc, so the rule is in scope.
+
+void bad_hub_construction() {
+  auto* hub = new fairsfe::mpc::OtHub();  // EXPECT(direct-ot-access)
+  (void)hub;
+}
+
+void bad_wire_encoding() {
+  auto msg = fairsfe::mpc::encode_ot_send(7, true, false);  // EXPECT(direct-ot-access)
+  (void)msg;
+}
+
+void good_factory_use() {
+  auto slot = fairsfe::mpc::make_ot_functionality();
+  (void)slot;
+}

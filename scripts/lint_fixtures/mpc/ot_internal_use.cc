@@ -1,0 +1,11 @@
+// direct-ot-access is scoped to everything OUTSIDE src/mpc: this fixture
+// lints as src/mpc/ot_internal_use.cc, where the hub is the implementation
+// domain (the OtDrivenProvider runs its rounds, the factories construct it),
+// so neither line below is a finding.
+
+void internal_hub_use() {
+  auto* hub = new fairsfe::mpc::OtHub();
+  auto msg = fairsfe::mpc::encode_ot_send(7, true, false);
+  (void)hub;
+  (void)msg;
+}

@@ -24,10 +24,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "mpc/preproc/mode.h"
 #include "rpd/fairness_relation.h"
 #include "sim/fault/plan.h"
 
@@ -35,9 +37,24 @@ namespace fairsfe::bench {
 class Reporter;
 }  // namespace fairsfe::bench
 
+namespace fairsfe::mpc::preproc {
+class CorrelatedRandomness;
+}  // namespace fairsfe::mpc::preproc
+
 namespace fairsfe::experiments {
 
 struct ScenarioSpec;
+
+/// What one Monte-Carlo run of a scenario consumes from an offline
+/// CorrelatedRandomness batch. Declared on the ScenarioSpec so the driver
+/// (fairbench --preproc) can mass-produce ONE batch sized
+/// runs × triples_per_run and amortize it across every run and thread of the
+/// scenario, instead of each run paying its own offline phase.
+struct PreprocBudget {
+  std::size_t parties = 2;
+  std::size_t triples_per_run = 0;  ///< Beaver triples (= AND gates) per run
+  std::size_t rots_per_run = 0;     ///< ROT pairs per ordered pair per run
+};
 
 /// Everything a scenario body needs: the spec it was registered with (for
 /// bounds/γ/defaults — bodies must not hard-code what the spec declares) and
@@ -45,6 +62,14 @@ struct ScenarioSpec;
 struct ScenarioContext {
   const ScenarioSpec& spec;
   bench::Reporter& rep;
+  /// Requested preprocessing mode (fairbench --preproc; default inline).
+  mpc::preproc::PreprocMode preproc = mpc::preproc::PreprocMode::kInline;
+  /// The driver-amortized offline batch for spec.preproc (null under kInline
+  /// or when the spec declares no budget — bodies needing more material
+  /// generate their own with preproc::generate_batch).
+  std::shared_ptr<const mpc::preproc::CorrelatedRandomness> batch;
+  /// Wall-clock cost of generating `batch` (0 when batch is null).
+  double offline_seconds = 0.0;
 };
 
 /// One experiment of the paper's result matrix, as data.
@@ -65,6 +90,10 @@ struct ScenarioSpec {
   /// Default fault plan (exp18-style scenarios); estimator overloads apply
   /// it when the caller's EstimatorOptions carries none.
   std::optional<sim::fault::FaultPlan> fault;
+  /// Per-run correlated-randomness consumption. Set for GMW-backed scenarios
+  /// so `fairbench --preproc offline_*` can pre-generate one amortized batch
+  /// (see ScenarioContext::batch); scenarios without it run inline-only.
+  std::optional<PreprocBudget> preproc;
   /// The paper's closed-form bound u(γ, x), where x is the scenario's sweep
   /// parameter (drop rate p for exp18, corruption budget t/n encodings, ...;
   /// pass 0 when the bound is parameter-free). Test and bench share this one

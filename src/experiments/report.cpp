@@ -27,6 +27,15 @@ Args parse_args(int argc, char** argv) {
       a.filter = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       a.baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--preproc") == 0) {
+      // Only a recognized mode word is consumed: perf_protocols uses a bare
+      // `--preproc` as its mode selector, so `--preproc --json x` must not
+      // eat `--json` as the mode.
+      if (i + 1 < argc && mpc::preproc::parse_preproc_mode(argv[i + 1])) {
+        a.preproc = *mpc::preproc::parse_preproc_mode(argv[++i]);
+      } else {
+        a.passthrough.emplace_back(argv[i]);
+      }
     } else if (std::strcmp(argv[i], "--list") == 0) {
       a.list = true;
     } else if (argv[i][0] != '-') {
@@ -50,7 +59,16 @@ Reporter::Reporter(int argc, char** argv, std::size_t default_runs)
 Reporter::Reporter(const Args& args, std::size_t default_runs)
     : runs_(args.runs_or(default_runs)),
       threads_(args.threads),
+      preproc_(args.preproc),
       json_path_(args.json_path) {}
+
+void Reporter::offline_batch(const std::string& provider, std::size_t triples,
+                             double seconds) {
+  std::printf("offline batch [%s]: %zu triples in %.4fs (%.0f triples/s)\n",
+              provider.c_str(), triples, seconds,
+              seconds > 0 ? static_cast<double>(triples) / seconds : 0.0);
+  offline_.push_back(OfflineBatch{provider, triples, seconds});
+}
 
 void Reporter::title(const std::string& id, const std::string& claim) {
   experiment_ = id;
@@ -168,7 +186,22 @@ std::string Reporter::json_object() const {
     appendf(out, "%s\n    {\"ok\": %s, \"what\": \"%s\"}", i == 0 ? "" : ",",
             checks_[i].ok ? "true" : "false", json_escape(checks_[i].what).c_str());
   }
-  appendf(out, "\n  ],\n  \"deviations\": %d\n}", failures_);
+  appendf(out, "\n  ],\n  \"deviations\": %d", failures_);
+  // Emitted only under an offline mode (or when a batch was recorded), so
+  // the schema of inline runs — and thus every historical BENCH_*.json —
+  // stays byte-stable.
+  if (mpc::preproc::is_offline(preproc_) || !offline_.empty()) {
+    appendf(out, ",\n  \"preproc\": {\"mode\": \"%s\", \"offline\": [",
+            std::string(mpc::preproc::to_string(preproc_)).c_str());
+    for (std::size_t i = 0; i < offline_.size(); ++i) {
+      appendf(out,
+              "%s\n    {\"provider\": \"%s\", \"triples\": %zu, \"seconds\": %.6g}",
+              i == 0 ? "" : ",", json_escape(offline_[i].provider).c_str(),
+              offline_[i].triples, offline_[i].seconds);
+    }
+    appendf(out, "%s]}", offline_.empty() ? "" : "\n  ");
+  }
+  appendf(out, "\n}");
   return out;
 }
 

@@ -17,10 +17,14 @@
 //
 // CLI accepted by every harness (see bench::parse_args):
 //   fairbench [--list] [--filter <glob>] [runs] [--runs N] [--threads N]
-//             [--json out.json] [--baseline old.json]
+//             [--json out.json] [--baseline old.json] [--preproc <mode>]
 // where [runs] / --runs overrides the Monte-Carlo runs per point, --threads
-// feeds rpd::EstimatorOptions::threads (0 = one per hardware thread), and
-// --json selects the machine-readable sink.
+// feeds rpd::EstimatorOptions::threads (0 = one per hardware thread), --json
+// selects the machine-readable sink, and --preproc selects the
+// correlated-randomness phase split (inline | offline_ideal | offline_ot;
+// see mpc/preproc/mode.h). The mode flows into every EstimatorOptions the
+// Reporter hands out, and fairbench amortizes one offline batch per scenario
+// that declares a PreprocBudget.
 //
 // JSON schema (stable; fairbench emits one object per scenario, an array
 // when several scenarios run):
@@ -34,12 +38,18 @@
 //     "checks": [{"ok": bool, "what": str}],
 //     "deviations": int
 //   }
+// plus, when a preprocessing mode other than inline is active (or an offline
+// batch was recorded), a "preproc" section:
+//     "preproc": {"mode": str,
+//                 "offline": [{"provider": str, "triples": int,
+//                              "seconds": num}]}
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "mpc/preproc/mode.h"
 #include "rpd/estimator.h"
 
 namespace fairsfe::experiments {
@@ -61,6 +71,8 @@ struct Args {
   bool list = false;
   std::string filter;         ///< scenario glob for fairbench --filter
   std::string baseline_path;  ///< fairbench --baseline, fed to bench_diff.py
+  /// --preproc <mode>: correlated-randomness phase split for every scenario.
+  mpc::preproc::PreprocMode preproc = mpc::preproc::PreprocMode::kInline;
   std::vector<std::string> passthrough;  ///< unrecognized argv entries
 
   [[nodiscard]] std::size_t runs_or(std::size_t default_runs) const {
@@ -85,17 +97,26 @@ class Reporter {
 
   [[nodiscard]] std::size_t runs() const { return runs_; }
   [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] mpc::preproc::PreprocMode preproc() const { return preproc_; }
 
-  /// EstimatorOptions for one utility point: the harness's runs/threads plus
-  /// the call site's seed. Callers needing a different run count adjust the
-  /// returned struct.
+  /// EstimatorOptions for one utility point: the harness's runs/threads/
+  /// preproc mode plus the call site's seed. Callers needing a different run
+  /// count adjust the returned struct.
   [[nodiscard]] rpd::EstimatorOptions opts(std::uint64_t seed) const {
     rpd::EstimatorOptions o;
     o.runs = runs_;
     o.seed = seed;
     o.threads = threads_;
+    o.preproc = preproc_;
     return o;
   }
+
+  /// Record (and print) the cost of one offline correlated-randomness batch.
+  /// Scenario bodies and the fairbench driver call this once per batch; the
+  /// entries land in the JSON "preproc" section so offline and online cost
+  /// are reported separately.
+  void offline_batch(const std::string& provider, std::size_t triples,
+                     double seconds);
 
   void title(const std::string& id, const std::string& claim);
 
@@ -133,12 +154,19 @@ class Reporter {
     bool ok;
     std::string what;
   };
+  struct OfflineBatch {
+    std::string provider;
+    std::size_t triples;
+    double seconds;
+  };
 
   static std::string json_escape(const std::string& s);
   void write_json();
 
   std::size_t runs_;
   std::size_t threads_ = 1;
+  mpc::preproc::PreprocMode preproc_ = mpc::preproc::PreprocMode::kInline;
+  std::vector<OfflineBatch> offline_;
   std::string json_path_;
   std::string experiment_, claim_, gamma_;
   std::vector<Row> rows_;

@@ -23,7 +23,6 @@ namespace {
 
 void run(ScenarioContext& ctx) {
   bench::Reporter& rep = ctx.rep;
-  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = ctx.spec.gamma;
   rep.gamma(gamma);
 
@@ -32,8 +31,7 @@ void run(ScenarioContext& ctx) {
     const std::size_t n = 5;
     std::printf("--- Pi' (mixed protocol), n = %zu (odd => Pi-1/2-GMW branch) ---\n", n);
     rep.row_header();
-    const auto coalition = rpd::estimate_utility(mixed_best_attack(n, (n + 1) / 2), gamma,
-                                                 runs, 801);
+    const auto coalition = rpd::estimate_utility(mixed_best_attack(n, (n + 1) / 2), gamma, rep.opts(801));
     char buf[80];
     std::snprintf(buf, sizeof(buf), "g10 = %.3f > optimum %.3f", gamma.g10,
                   gamma.nparty_opt_bound(n));

@@ -105,7 +105,7 @@ rpd::SetupFactory compiled_attack(std::shared_ptr<const mpc::GmwConfig> cfg) {
     }
     const Bytes y = circuit::bits_to_bytes(cfg->circuit.eval(inputs));
     s.parties = mpc::make_gmw_parties(cfg, inputs, rng);
-    s.functionality = std::make_unique<mpc::OtHub>();
+    s.functionality = mpc::make_gmw_functionality(*cfg);
     s.adversary =
         std::make_unique<adversary::LockAbortAdversary>(std::set<sim::PartyId>{0}, y);
     s.engine.max_rounds = 64;
@@ -123,7 +123,7 @@ rpd::SetupFactory yao_attack(std::shared_ptr<const circuit::Circuit> circuit) {
     }
     const Bytes y = circuit::bits_to_bytes(circuit->eval(inputs));
     s.parties = mpc::make_yao_parties(circuit, inputs, rng);
-    s.functionality = std::make_unique<mpc::OtHub>();
+    s.functionality = mpc::make_ot_functionality();
     // The evaluator learns the output first; corrupt it and lock-abort.
     s.adversary =
         std::make_unique<adversary::LockAbortAdversary>(std::set<sim::PartyId>{1}, y);
@@ -183,7 +183,7 @@ void run(ScenarioContext& ctx) {
       const auto b = circuit::u64_to_bits(rng.below(256), 8);
       const Bytes y = circuit::bits_to_bytes(base->eval({a, b}));
       s.parties = fair::make_opt2_compiled_parties(plan, {a, b}, rng);
-      s.functionality = std::make_unique<mpc::OtHub>();
+      s.functionality = mpc::make_ot_functionality();
       s.adversary = std::make_unique<adversary::LockAbortAdversary>(
           std::set<sim::PartyId>{corrupt}, y);
       s.engine.max_rounds = 24;
@@ -218,7 +218,7 @@ void register_exp12(Registry& r) {
       "the SFE is an ideal F^{f,perp} call or the compiled GMW protocol.";
   s.protocol = "plain unfair SFE (hybrid / GMW / Yao), compiled Opt2SFE";
   s.attack = "grab-and-abort, rushing lock-abort";
-  s.tags = {"smoke", "two-party", "composition", "mpc"};
+  s.tags = {"smoke", "two-party", "composition", "mpc", "gmw"};
   s.gamma = rpd::PayoffVector::standard();
   s.default_runs = 1500;
   s.base_seed = 1200;

@@ -41,7 +41,6 @@ rpd::SetupFactory gradual_attack(std::size_t bits, std::size_t honest_budget,
 
 void run(ScenarioContext& ctx) {
   bench::Reporter& rep = ctx.rep;
-  const std::size_t runs = rep.runs();
   const rpd::PayoffVector gamma = ctx.spec.gamma;
   const std::size_t bits = 16;
   rep.gamma(gamma);
@@ -67,8 +66,8 @@ void run(ScenarioContext& ctx) {
   };
   for (const Row& row : rows) {
     const auto est =
-        rpd::estimate_utility(gradual_attack(bits, row.honest, row.adv), gamma, runs,
-                              seed++);
+        rpd::estimate_utility(gradual_attack(bits, row.honest, row.adv), gamma,
+                              rep.opts(seed++));
     char name[64];
     std::snprintf(name, sizeof(name), "budgets honest=%zu adv=%zu", row.honest, row.adv);
     char paper[64];

@@ -27,5 +27,6 @@ void register_exp15(Registry& r);
 void register_exp16(Registry& r);
 void register_exp17(Registry& r);
 void register_exp18(Registry& r);
+void register_exp19(Registry& r);
 
 }  // namespace fairsfe::experiments

@@ -578,6 +578,7 @@ void register_builtin_scenarios(Registry& r) {
   register_exp16(r);
   register_exp17(r);
   register_exp18(r);
+  register_exp19(r);
 }
 
 }  // namespace fairsfe::experiments

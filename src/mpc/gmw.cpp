@@ -12,14 +12,57 @@ using circuit::GateType;
 using sim::Message;
 using sim::MsgView;
 
+GmwConfigBuilder GmwConfig::for_circuit(circuit::Circuit c) {
+  return GmwConfigBuilder(std::move(c));
+}
+
 GmwConfig GmwConfig::public_output(circuit::Circuit c) {
-  GmwConfig cfg{std::move(c), {}, nullptr};
-  std::vector<std::size_t> all(cfg.circuit.outputs().size());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  cfg.output_map.assign(cfg.circuit.num_parties(), all);
-  cfg.plan = std::make_shared<const circuit::CompiledCircuit>(
-      circuit::CompiledCircuit::build(cfg.circuit));
+  return GmwConfigBuilder(std::move(c)).build();
+}
+
+GmwConfigBuilder::GmwConfigBuilder(circuit::Circuit c) : cfg_{std::move(c)} {}
+
+GmwConfigBuilder& GmwConfigBuilder::with_output_map(
+    std::vector<std::vector<std::size_t>> m) {
+  cfg_.output_map = std::move(m);
+  have_output_map_ = true;
+  return *this;
+}
+
+GmwConfigBuilder& GmwConfigBuilder::with_plan(
+    std::shared_ptr<const circuit::CompiledCircuit> plan) {
+  cfg_.plan = std::move(plan);
+  return *this;
+}
+
+GmwConfigBuilder& GmwConfigBuilder::with_preproc(
+    preproc::PreprocMode mode,
+    std::shared_ptr<const preproc::CorrelatedRandomness> store) {
+  cfg_.preproc_mode = mode;
+  cfg_.preproc = std::move(store);
+  return *this;
+}
+
+GmwConfig GmwConfigBuilder::build() {
+  GmwConfig cfg = std::move(cfg_);
+  if (!have_output_map_) {
+    std::vector<std::size_t> all(cfg.circuit.outputs().size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    cfg.output_map.assign(cfg.circuit.num_parties(), all);
+  }
+  if (!cfg.plan) {
+    cfg.plan = std::make_shared<const circuit::CompiledCircuit>(
+        circuit::CompiledCircuit::build(cfg.circuit));
+  }
+  FAIRSFE_CHECK(cfg.output_map.size() == cfg.circuit.num_parties(),
+                "GmwConfig: one output-index list per party");
+  FAIRSFE_CHECK(!preproc::is_offline(cfg.preproc_mode) || cfg.preproc != nullptr,
+                "GmwConfig: offline preproc mode needs a CorrelatedRandomness store");
   return cfg;
+}
+
+std::shared_ptr<const GmwConfig> GmwConfigBuilder::build_shared() {
+  return std::make_shared<const GmwConfig>(build());
 }
 
 GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
@@ -46,8 +89,21 @@ GmwParty::GmwParty(sim::PartyId id, std::shared_ptr<const GmwConfig> cfg,
   FAIRSFE_CHECK(plan_->inputs_of(static_cast<std::size_t>(id)).size() ==
                     c.input_width(static_cast<std::size_t>(id)),
                 "compiled plan input wire map does not match the circuit");
+  offline_ = preproc::is_offline(cfg_->preproc_mode);
+  if (offline_) {
+    FAIRSFE_CHECK(cfg_->preproc != nullptr,
+                  "GmwParty: offline preproc mode without a store");
+    FAIRSFE_CHECK(cfg_->preproc->num_parties() == c.num_parties(),
+                  "GmwParty: preproc store sized for a different party count");
+    tape_ = preproc::TripleTape(cfg_->preproc, static_cast<std::size_t>(id));
+  }
   share_.assign(c.num_wires(), 0);
   and_state_.assign(c.num_wires(), -1);
+}
+
+void GmwParty::bind_preproc_slice(std::size_t run_index) {
+  if (!offline_) return;
+  tape_.seek(run_index * plan_->num_and_gates());
 }
 
 namespace {
@@ -70,13 +126,7 @@ std::vector<Message> GmwParty::on_round(int /*round*/, MsgView in) {
         return {};
       }
       propagate();
-      if (layer_ < plan_->num_and_layers()) {
-        phase_ = Phase::kOtRoundTrip;
-        ot_wait_ = 2;
-        return send_layer_ots();
-      }
-      phase_ = Phase::kAwaitOutputs;
-      return send_output_shares();
+      return start_and_layer();
     }
     case Phase::kOtRoundTrip: {
       if (--ot_wait_ > 0) return {};  // hub is pairing; nothing due yet
@@ -86,12 +136,16 @@ std::vector<Message> GmwParty::on_round(int /*round*/, MsgView in) {
       }
       propagate();
       ++layer_;
-      if (layer_ < plan_->num_and_layers()) {
-        ot_wait_ = 2;
-        return send_layer_ots();
+      return start_and_layer();
+    }
+    case Phase::kBeaverOpen: {
+      if (!absorb_beaver(in)) {
+        finish_bot();
+        return {};
       }
-      phase_ = Phase::kAwaitOutputs;
-      return send_output_shares();
+      propagate();
+      ++layer_;
+      return start_and_layer();
     }
     case Phase::kAwaitOutputs: {
       if (!absorb_output_shares(in)) finish_bot();
@@ -246,6 +300,83 @@ bool GmwParty::absorb_ot_results(MsgView in) {
   return true;
 }
 
+std::vector<Message> GmwParty::start_and_layer() {
+  if (layer_ < plan_->num_and_layers()) {
+    if (offline_) {
+      phase_ = Phase::kBeaverOpen;
+      return send_layer_beaver();
+    }
+    phase_ = Phase::kOtRoundTrip;
+    ot_wait_ = 2;
+    return send_layer_ots();
+  }
+  phase_ = Phase::kAwaitOutputs;
+  return send_output_shares();
+}
+
+std::vector<Message> GmwParty::send_layer_beaver() {
+  const auto& gates = cfg_->circuit.gates();
+  const auto layer = plan_->and_layer(layer_);
+  const std::size_t len = layer.size();
+  pending_triples_.clear();
+  pending_triples_.reserve(len);
+  // Packed payload: d-shares for the layer, then e-shares.
+  std::vector<bool> bits(2 * len);
+  for (std::size_t k = 0; k < len; ++k) {
+    const std::uint32_t g = layer[k];
+    const bool x = share_[gates[g].a] != 0;
+    const bool y = share_[gates[g].b] != 0;
+    const preproc::BeaverTriple tr = tape_.next();
+    bits[k] = x != tr.a;
+    bits[len + k] = y != tr.b;
+    pending_triples_.push_back(tr);
+  }
+  Writer w;
+  w.blob(circuit::bits_to_bytes(bits));
+  w.u32(static_cast<std::uint32_t>(bits.size()));
+  return {Message{id_, sim::kBroadcast, w.take()}};
+}
+
+bool GmwParty::absorb_beaver(MsgView in) {
+  const std::size_t n = cfg_->circuit.num_parties();
+  const auto layer = plan_->and_layer(layer_);
+  const std::size_t len = layer.size();
+  // Reconstruct d = ⊕_p d_p and e = ⊕_p e_p from everyone's broadcast. The
+  // engine loops a party's own broadcast back to it, so "all n present"
+  // includes our own masked shares exactly once.
+  std::vector<bool> d(len, false), e(len, false);
+  std::vector<char> have(n, 0);
+  for (const Message& m : in) {
+    if (m.from < 0 || m.from >= static_cast<sim::PartyId>(n)) continue;
+    if (have[static_cast<std::size_t>(m.from)]) continue;
+    Reader r(m.payload);
+    const auto blob = r.blob();
+    const auto count = r.u32();
+    if (!blob || !count || !r.at_end()) continue;
+    if (*count != 2 * len) continue;
+    const auto bits = circuit::bytes_to_bits(*blob, *count);
+    for (std::size_t k = 0; k < len; ++k) {
+      d[k] = d[k] != bits[k];
+      e[k] = e[k] != bits[len + k];
+    }
+    have[static_cast<std::size_t>(m.from)] = 1;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!have[j]) return false;  // a party withheld its opening: abort
+  }
+  // z_p = c_p ⊕ d·b_p ⊕ e·a_p ⊕ [p = 0]·d·e  (⊕_p z_p = x & y).
+  for (std::size_t k = 0; k < len; ++k) {
+    const preproc::BeaverTriple& tr = pending_triples_[k];
+    bool z = tr.c;
+    if (d[k]) z = z != tr.b;
+    if (e[k]) z = z != tr.a;
+    if (id_ == 0 && d[k] && e[k]) z = !z;
+    and_state_[layer[k]] = z ? 1 : 0;
+  }
+  pending_triples_.clear();
+  return true;
+}
+
 std::vector<Message> GmwParty::send_output_shares() {
   const auto& c = cfg_->circuit;
   const std::size_t n = c.num_parties();
@@ -308,6 +439,25 @@ std::vector<std::unique_ptr<sim::IParty>> make_gmw_parties(
                                                  inputs[p], rng.fork("gmw-party")));
   }
   return parties;
+}
+
+std::unique_ptr<sim::IFunctionality> make_gmw_functionality(const GmwConfig& cfg) {
+  if (preproc::is_offline(cfg.preproc_mode)) return nullptr;  // pure broadcast online
+  return std::make_unique<OtHub>();
+}
+
+std::function<void(std::size_t)> make_gmw_run_binder(
+    const std::vector<std::unique_ptr<sim::IParty>>& parties) {
+  // Raw pointers are heap-stable even if the owning vector moves (RunSetup is
+  // moved into the engine); the binder must not capture the vector itself.
+  std::vector<GmwParty*> gmw;
+  gmw.reserve(parties.size());
+  for (const auto& p : parties) {
+    if (auto* g = dynamic_cast<GmwParty*>(p.get())) gmw.push_back(g);
+  }
+  return [gmw](std::size_t run_index) {
+    for (GmwParty* g : gmw) g->bind_preproc_slice(run_index);
+  };
 }
 
 }  // namespace fairsfe::mpc

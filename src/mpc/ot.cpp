@@ -128,4 +128,8 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
   return out;
 }
 
+std::unique_ptr<sim::IFunctionality> make_ot_functionality() {
+  return std::make_unique<OtHub>();
+}
+
 }  // namespace fairsfe::mpc

@@ -9,6 +9,7 @@
 // because the hub simply never emits them.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -65,5 +66,12 @@ class OtHub final : public sim::IFunctionality {
   /// seen; delivered entries stay in pending_ as replay tombstones.
   std::vector<std::uint64_t> ready_;
 };
+
+/// Sanctioned way to install the ideal-OT hub as an execution's hybrid slot.
+/// Code outside src/mpc/ must call this (or mpc::make_gmw_functionality)
+/// rather than naming OtHub directly — lint rule direct-ot-access keeps the
+/// online phase from minting its own correlations behind the
+/// PreprocessingProvider API's back.
+std::unique_ptr<sim::IFunctionality> make_ot_functionality();
 
 }  // namespace fairsfe::mpc

@@ -1,0 +1,53 @@
+// PreprocMode: how a protocol execution obtains its OT correlations.
+//
+// The paper analyzes protocols in the OT-hybrid model, so utilities and
+// fairness verdicts must be invariant under substituting *how* the
+// correlations are produced (the RPD composition claim, DESIGN.md §10).
+// This enum names the three sanctioned substitutions:
+//
+//   kInline        — ideal OT calls inside the measured run (the classic
+//                    OT-hybrid execution; bit-identical to the pre-split
+//                    engine and the default everywhere).
+//   kOfflineIdeal  — a trusted dealer (preproc::IdealDealer) hands out Beaver
+//                    triples and random-OT pairs before the run; the online
+//                    phase is XORs plus one broadcast per AND layer.
+//   kOfflineOt     — the same offline batch, but produced by running the real
+//                    OtHub rounds up front (preproc::OtDrivenProvider),
+//                    proving the dealer substitution is faithful.
+//
+// This header is include-anywhere: no dependencies, so sim/engine.h and
+// rpd/estimator.h can carry a PreprocMode without layering cycles.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace fairsfe::mpc::preproc {
+
+enum class PreprocMode {
+  kInline,
+  kOfflineIdeal,
+  kOfflineOt,
+};
+
+constexpr std::string_view to_string(PreprocMode m) {
+  switch (m) {
+    case PreprocMode::kInline: return "inline";
+    case PreprocMode::kOfflineIdeal: return "offline_ideal";
+    case PreprocMode::kOfflineOt: return "offline_ot";
+  }
+  return "inline";
+}
+
+/// Parse a command-line spelling; nullopt on anything unrecognized.
+constexpr std::optional<PreprocMode> parse_preproc_mode(std::string_view s) {
+  if (s == "inline") return PreprocMode::kInline;
+  if (s == "offline_ideal" || s == "ideal") return PreprocMode::kOfflineIdeal;
+  if (s == "offline_ot" || s == "ot") return PreprocMode::kOfflineOt;
+  return std::nullopt;
+}
+
+/// True for the modes that consume a CorrelatedRandomness batch.
+constexpr bool is_offline(PreprocMode m) { return m != PreprocMode::kInline; }
+
+}  // namespace fairsfe::mpc::preproc

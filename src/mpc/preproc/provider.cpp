@@ -1,0 +1,332 @@
+#include "mpc/preproc/provider.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/circuit.h"
+#include "mpc/ot.h"
+#include "sim/party.h"
+#include "util/check.h"
+
+namespace fairsfe::mpc::preproc {
+
+using sim::Message;
+using sim::MsgView;
+
+// ---------------------------------------------------------------------------
+// IdealDealer
+// ---------------------------------------------------------------------------
+
+CorrelatedRandomness IdealDealer::generate(const PreprocRequest& req, Rng& rng) {
+  const std::size_t n = req.parties;
+  const std::size_t T = req.triples;
+  const std::size_t R = req.rots;
+  CorrelatedRandomness out(n, T, R);
+
+  // Fixed fork labels (documented in DESIGN.md §10): the dealer stream is
+  // fork("preproc-dealer"), and party p's material comes from the pure
+  // derivation fork_at("party", p) of it — so the batch is a function of
+  // (seed, request) alone, independent of call order elsewhere.
+  Rng dealer = rng.fork("preproc-dealer");
+  std::vector<Rng> pr;
+  pr.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) pr.push_back(dealer.fork_at("party", p));
+
+  // Beaver triples: every party draws uniform a/b shares; parties 0..n-2 draw
+  // uniform c shares and the last share is forced so that ⊕c = ⊕a & ⊕b.
+  std::vector<std::vector<bool>> a(n), b(n), c(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    a[p].resize(T);
+    b[p].resize(T);
+    c[p].resize(T);
+    for (std::size_t t = 0; t < T; ++t) a[p][t] = pr[p].bit();
+    for (std::size_t t = 0; t < T; ++t) b[p][t] = pr[p].bit();
+    if (p + 1 < n) {
+      for (std::size_t t = 0; t < T; ++t) c[p][t] = pr[p].bit();
+    }
+  }
+  for (std::size_t t = 0; t < T; ++t) {
+    bool A = false, B = false, acc = false;
+    for (std::size_t p = 0; p < n; ++p) {
+      A = A != a[p][t];
+      B = B != b[p][t];
+      if (p + 1 < n) acc = acc != c[p][t];
+    }
+    c[n - 1][t] = (A && B) != acc;
+    for (std::size_t p = 0; p < n; ++p) out.set_triple(p, t, a[p][t], b[p][t], c[p][t]);
+  }
+
+  // Random-OT pairs: sender draws (m0, m1), receiver draws choice; the dealer
+  // (who sees both sides) records mc = m_choice.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (s == r) continue;
+      for (std::size_t t = 0; t < R; ++t) {
+        RotPair x;
+        x.m0 = pr[s].bit();
+        x.m1 = pr[s].bit();
+        x.choice = pr[r].bit();
+        x.mc = x.choice ? x.m1 : x.m0;
+        out.set_rot(s, r, t, x);
+      }
+    }
+  }
+  out.check_consistent();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OtDrivenProvider
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// OT labels: triple t, ordered pair (s, r) -> t·n² + s·n + r, matching GMW's
+// per-gate labeling; ROT t uses the label space above the triples.
+std::uint64_t triple_label(std::size_t t, std::size_t s, std::size_t r,
+                           std::size_t n) {
+  return (static_cast<std::uint64_t>(t) * n + s) * n + r;
+}
+std::uint64_t rot_label(std::size_t t, std::size_t s, std::size_t r, std::size_t n,
+                        std::size_t num_triples) {
+  return (static_cast<std::uint64_t>(num_triples + t) * n + s) * n + r;
+}
+
+// One party of the offline protocol. Round 0: draw random a/b shares for
+// every requested triple and run the GMW cross-term pattern (as OT sender
+// offer (r, r ⊕ a_me); as receiver choose with b_me) for all triples in ONE
+// batched layer — plus one random OT per requested ROT. Then wait for the
+// hub's result round (recognised by arrival, so the machine also works under
+// fault-injection engines where empty-mailbox rounds stall the party):
+// absorb results and output all share material packed as bits. The whole
+// batch costs ~4 engine rounds regardless of size.
+class RotGenParty final : public sim::PartyBase<RotGenParty> {
+ public:
+  RotGenParty(sim::PartyId id, std::size_t n, std::size_t triples, std::size_t rots,
+              Rng rng)
+      : PartyBase(id), n_(n), triples_(triples), rots_(rots), rng_(std::move(rng)) {}
+
+  std::vector<Message> on_round(int /*round*/, MsgView in) override {
+    switch (phase_) {
+      case Phase::kEmit: {
+        phase_ = Phase::kAwait;
+        return emit_requests();
+      }
+      case Phase::kAwait: {
+        // Activation-driven, not round-counted: under a fault-injection
+        // engine a party with an empty mailbox stalls instead of stepping,
+        // so the hub's results are recognised by arrival (any kFunc message
+        // in the mailbox), never by assuming "results are due this round".
+        const bool results_round =
+            std::any_of(in.begin(), in.end(),
+                        [](const Message& m) { return m.from == sim::kFunc; });
+        if (!results_round) return {};  // hub still pairing; keep waiting
+        if (!absorb_results(in)) {
+          finish_bot();
+          return {};
+        }
+        finish(pack_output());
+        return {};
+      }
+    }
+    return {};
+  }
+
+  void on_abort() override {
+    if (!done()) finish_bot();
+  }
+
+ private:
+  enum class Phase { kEmit, kAwait };
+
+  std::vector<Message> emit_requests() {
+    const std::size_t me = static_cast<std::size_t>(id_);
+    a_.resize(triples_);
+    b_.resize(triples_);
+    c_.resize(triples_);
+    rot_m0_.assign(n_, std::vector<bool>(rots_));
+    rot_m1_.assign(n_, std::vector<bool>(rots_));
+    rot_choice_.assign(n_, std::vector<bool>(rots_));
+    rot_mc_.assign(n_, std::vector<bool>(rots_));
+    std::vector<Message> out;
+    out.reserve((triples_ + rots_) * 2 * (n_ - 1));
+    for (std::size_t t = 0; t < triples_; ++t) {
+      a_[t] = rng_.bit();
+      b_[t] = rng_.bit();
+      bool acc = a_[t] && b_[t];
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == me) continue;
+        const bool r = rng_.bit();
+        acc = acc != r;
+        out.push_back(Message{id_, sim::kFunc,
+                              encode_ot_send(triple_label(t, me, j, n_), r, r != a_[t])});
+        out.push_back(Message{id_, sim::kFunc,
+                              encode_ot_choose(triple_label(t, j, me, n_), b_[t])});
+        ++expected_;
+      }
+      c_[t] = acc;
+    }
+    for (std::size_t t = 0; t < rots_; ++t) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == me) continue;
+        const bool m0 = rng_.bit();
+        const bool m1 = rng_.bit();
+        rot_m0_[j][t] = m0;
+        rot_m1_[j][t] = m1;
+        out.push_back(Message{id_, sim::kFunc,
+                              encode_ot_send(rot_label(t, me, j, n_, triples_), m0, m1)});
+        const bool ch = rng_.bit();
+        rot_choice_[j][t] = ch;
+        out.push_back(Message{id_, sim::kFunc,
+                              encode_ot_choose(rot_label(t, j, me, n_, triples_), ch)});
+        ++expected_;
+      }
+    }
+    return out;
+  }
+
+  bool absorb_results(MsgView in) {
+    const std::size_t me = static_cast<std::size_t>(id_);
+    std::size_t got = 0;
+    for (const Message& m : in) {
+      if (m.from != sim::kFunc) continue;
+      const auto res = decode_ot_result(m.payload);
+      if (!res) continue;
+      const std::size_t idx = static_cast<std::size_t>(res->label / (n_ * n_));
+      const std::size_t sender = static_cast<std::size_t>((res->label / n_) % n_);
+      const std::size_t recv = static_cast<std::size_t>(res->label % n_);
+      if (recv != me || sender >= n_ || sender == me) continue;
+      if (idx < triples_) {
+        c_[idx] = c_[idx] != res->value;
+      } else if (idx < triples_ + rots_) {
+        rot_mc_[sender][idx - triples_] = res->value;
+      } else {
+        continue;
+      }
+      ++got;
+    }
+    return got == expected_;
+  }
+
+  Bytes pack_output() const {
+    const std::size_t me = static_cast<std::size_t>(id_);
+    std::vector<bool> bits;
+    bits.reserve(3 * triples_ + 4 * rots_ * (n_ - 1));
+    for (std::size_t t = 0; t < triples_; ++t) bits.push_back(a_[t]);
+    for (std::size_t t = 0; t < triples_; ++t) bits.push_back(b_[t]);
+    for (std::size_t t = 0; t < triples_; ++t) bits.push_back(c_[t]);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == me) continue;
+      for (std::size_t t = 0; t < rots_; ++t) {
+        bits.push_back(rot_m0_[j][t]);
+        bits.push_back(rot_m1_[j][t]);
+      }
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == me) continue;
+      for (std::size_t t = 0; t < rots_; ++t) {
+        bits.push_back(rot_choice_[j][t]);
+        bits.push_back(rot_mc_[j][t]);
+      }
+    }
+    Writer w;
+    w.blob(circuit::bits_to_bytes(bits));
+    w.u32(static_cast<std::uint32_t>(bits.size()));
+    return w.take();
+  }
+
+  std::size_t n_;
+  std::size_t triples_;
+  std::size_t rots_;
+  Rng rng_;
+  Phase phase_ = Phase::kEmit;
+  std::size_t expected_ = 0;
+  std::vector<bool> a_, b_, c_;
+  // ROT material, indexed [peer][t] (the me slot stays unused).
+  std::vector<std::vector<bool>> rot_m0_, rot_m1_, rot_choice_, rot_mc_;
+};
+
+}  // namespace
+
+CorrelatedRandomness OtDrivenProvider::generate(const PreprocRequest& req,
+                                                Rng& rng) {
+  const std::size_t n = req.parties;
+  const std::size_t T = req.triples;
+  const std::size_t R = req.rots;
+  FAIRSFE_CHECK(n >= 2, "OtDrivenProvider: need >= 2 parties");
+
+  std::vector<std::unique_ptr<sim::IParty>> parties;
+  parties.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    parties.push_back(std::make_unique<RotGenParty>(static_cast<sim::PartyId>(p), n,
+                                                    T, R, rng.fork("rotgen-party")));
+  }
+  sim::Engine engine(std::move(parties), std::make_unique<OtHub>(), nullptr,
+                     rng.fork("offline-engine"), engine_opts_);
+  sim::ExecutionResult res = engine.run();
+
+  CorrelatedRandomness out(n, T, R);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!res.outputs[p].has_value()) {
+      throw std::runtime_error(
+          "OtDrivenProvider: offline phase aborted (party " + std::to_string(p) +
+          " output bot); no batch produced");
+    }
+    Reader rd(*res.outputs[p]);
+    const auto blob = rd.blob();
+    const auto count = rd.u32();
+    const std::size_t want = 3 * T + 4 * R * (n - 1);
+    if (!blob || !count || *count != want) {
+      throw std::runtime_error("OtDrivenProvider: malformed offline output");
+    }
+    const auto bits = circuit::bytes_to_bits(*blob, *count);
+    std::size_t k = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      out.set_triple(p, t, bits[t], bits[T + t], bits[2 * T + t]);
+    }
+    k = 3 * T;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == p) continue;
+      for (std::size_t t = 0; t < R; ++t) {
+        RotPair x = out.rot(p, j, t);
+        x.m0 = bits[k++];
+        x.m1 = bits[k++];
+        out.set_rot(p, j, t, x);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == p) continue;
+      for (std::size_t t = 0; t < R; ++t) {
+        RotPair x = out.rot(j, p, t);
+        x.choice = bits[k++];
+        x.mc = bits[k++];
+        out.set_rot(j, p, t, x);
+      }
+    }
+  }
+  // A faithful offline run must have produced exactly the Beaver/ROT
+  // correlations the dealer would have; this aborts on any corruption the
+  // per-party framing checks above could not see.
+  out.check_consistent();
+  return out;
+}
+
+std::unique_ptr<PreprocessingProvider> make_provider(PreprocMode mode) {
+  switch (mode) {
+    case PreprocMode::kInline: return nullptr;
+    case PreprocMode::kOfflineIdeal: return std::make_unique<IdealDealer>();
+    case PreprocMode::kOfflineOt: return std::make_unique<OtDrivenProvider>();
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const CorrelatedRandomness> generate_batch(PreprocMode mode,
+                                                           const PreprocRequest& req,
+                                                           Rng& rng) {
+  auto provider = make_provider(mode);
+  if (!provider) return nullptr;
+  return std::make_shared<const CorrelatedRandomness>(provider->generate(req, rng));
+}
+
+}  // namespace fairsfe::mpc::preproc

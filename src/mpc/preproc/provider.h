@@ -1,0 +1,82 @@
+// PreprocessingProvider: where CorrelatedRandomness batches come from.
+//
+// Two implementations, one per offline PreprocMode:
+//
+//   IdealDealer — a trusted dealer. Every bit is a pure function of the
+//   caller's Rng via fixed fork labels ("preproc-dealer", then fork_at
+//   ("party", p) per party), so a batch is reproducible independently of
+//   thread interleaving — the same determinism contract the estimator's
+//   fork_at("run", i) gives per-run randomness. This is the estimator's
+//   provider of choice: fast and dependency-free.
+//
+//   OtDrivenProvider — produces the *same kind* of batch by actually running
+//   the OtHub functionality rounds up front on a sim::Engine: each party
+//   draws random a/b shares and evaluates the cross terms with exactly the
+//   pairwise-OT pattern GMW uses per AND gate (one batched layer for the
+//   whole request), then outputs its share material. Substituting this
+//   provider for the dealer and getting byte-identical utilities is the
+//   paper's composition claim made executable (DESIGN.md §10).
+//
+// An aborted offline run (e.g. fault injection dropped OT traffic) throws —
+// the online phase never starts from a partially-filled store.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "crypto/rng.h"
+#include "mpc/preproc/mode.h"
+#include "mpc/preproc/store.h"
+#include "sim/engine.h"
+
+namespace fairsfe::mpc::preproc {
+
+/// Shape of an offline batch: how many parties it serves, how many Beaver
+/// triples and (optionally) ROT pairs per ordered party pair it must hold.
+struct PreprocRequest {
+  std::size_t parties = 2;
+  std::size_t triples = 0;
+  std::size_t rots = 0;
+};
+
+class PreprocessingProvider {
+ public:
+  virtual ~PreprocessingProvider() = default;
+
+  /// Produce a batch satisfying `req`. Deterministic in (req, rng state).
+  /// Throws std::runtime_error if the offline phase aborts.
+  virtual CorrelatedRandomness generate(const PreprocRequest& req, Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+class IdealDealer final : public PreprocessingProvider {
+ public:
+  CorrelatedRandomness generate(const PreprocRequest& req, Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "ideal_dealer"; }
+};
+
+class OtDrivenProvider final : public PreprocessingProvider {
+ public:
+  /// `engine_opts` lets tests run the offline phase under fault injection;
+  /// the default is the reliable engine.
+  explicit OtDrivenProvider(sim::ExecutionOptions engine_opts = {})
+      : engine_opts_(std::move(engine_opts)) {}
+
+  CorrelatedRandomness generate(const PreprocRequest& req, Rng& rng) override;
+  [[nodiscard]] std::string_view name() const override { return "ot_driven"; }
+
+ private:
+  sim::ExecutionOptions engine_opts_;
+};
+
+/// Provider for a mode; nullptr for kInline (no offline phase).
+std::unique_ptr<PreprocessingProvider> make_provider(PreprocMode mode);
+
+/// One-call batch generation: nullptr for kInline, otherwise the mode's
+/// provider run on `rng`. This is what scenarios and fairbench call.
+std::shared_ptr<const CorrelatedRandomness> generate_batch(PreprocMode mode,
+                                                           const PreprocRequest& req,
+                                                           Rng& rng);
+
+}  // namespace fairsfe::mpc::preproc

@@ -1,0 +1,170 @@
+// CorrelatedRandomness: the offline phase's product.
+//
+// The store holds, for n parties, two kinds of correlation (DESIGN.md §10):
+//
+//   Beaver bit triples — per party p, bit vectors a_p, b_p, c_p of equal
+//   length with ⊕_p c_p = (⊕_p a_p) & (⊕_p b_p) at every index. The GMW
+//   online phase spends one triple per AND gate: broadcast d_p = x_p ⊕ a_p
+//   and e_p = y_p ⊕ b_p, reconstruct d and e, output share
+//   z_p = c_p ⊕ d·b_p ⊕ e·a_p ⊕ [p = 0]·d·e.
+//
+//   Random-OT pairs — per ordered (sender s, receiver r) pair, the sender
+//   holds uniform (m0, m1) and the receiver uniform choice c with m_c.
+//   A ROT derandomizes a chosen-input OT with two correction bits (Beaver
+//   '95), and two ROTs in opposite directions yield one two-party triple
+//   (triples_from_rots below), which is how the store's two sections relate.
+//
+// The store is immutable after the provider fills it and shared read-only
+// across every run and thread of a scenario; parties consume their own slice
+// through a TripleTape cursor, so the batch is written once and never copied.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fairsfe::mpc::preproc {
+
+/// Packed bit vector (64-bit words). The store's components are bits, and a
+/// scenario batch is runs × AND-gates of them per party per component, so the
+/// 8× over byte-per-bit storage matters at Monte-Carlo scale.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    FAIRSFE_DCHECK(i < size_, "BitVec::get out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i, bool v) {
+    FAIRSFE_DCHECK(i < size_, "BitVec::set out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// One Beaver bit triple share as handed to the online phase.
+struct BeaverTriple {
+  bool a = false;
+  bool b = false;
+  bool c = false;
+};
+
+/// One random-OT instance, both endpoints' views (the store is the trusted
+/// setup, so it holds both; each party only ever reads its own side).
+struct RotPair {
+  bool m0 = false;
+  bool m1 = false;
+  bool choice = false;
+  bool mc = false;  ///< invariant: mc == (choice ? m1 : m0)
+};
+
+class CorrelatedRandomness {
+ public:
+  /// Storage for `num_parties` parties, `num_triples` Beaver triples (shared
+  /// index space across parties) and `num_rots` ROT pairs per ordered
+  /// (sender, receiver) pair. All bits start zero; the provider fills them.
+  CorrelatedRandomness(std::size_t num_parties, std::size_t num_triples,
+                       std::size_t num_rots = 0);
+
+  [[nodiscard]] std::size_t num_parties() const { return parties_; }
+  [[nodiscard]] std::size_t num_triples() const { return triples_; }
+  [[nodiscard]] std::size_t num_rots() const { return rots_; }
+
+  // --- Beaver triple section -------------------------------------------
+  [[nodiscard]] bool triple_a(std::size_t party, std::size_t t) const {
+    return a_[party].get(t);
+  }
+  [[nodiscard]] bool triple_b(std::size_t party, std::size_t t) const {
+    return b_[party].get(t);
+  }
+  [[nodiscard]] bool triple_c(std::size_t party, std::size_t t) const {
+    return c_[party].get(t);
+  }
+  void set_triple(std::size_t party, std::size_t t, bool a, bool b, bool c);
+
+  // --- Random-OT section -----------------------------------------------
+  /// The ROT at index `t` between ordered pair (sender, receiver).
+  /// Precondition: sender != receiver.
+  [[nodiscard]] RotPair rot(std::size_t sender, std::size_t receiver,
+                            std::size_t t) const;
+  void set_rot(std::size_t sender, std::size_t receiver, std::size_t t,
+               const RotPair& r);
+
+  /// FAIRSFE_CHECK every stored correlation: ⊕c = ⊕a & ⊕b per triple and
+  /// mc = m_choice per ROT. Providers run this after filling the store, so a
+  /// buggy or aborted offline phase dies loudly instead of skewing utilities.
+  void check_consistent() const;
+
+ private:
+  [[nodiscard]] std::size_t pair_index(std::size_t sender,
+                                       std::size_t receiver) const;
+
+  std::size_t parties_ = 0;
+  std::size_t triples_ = 0;
+  std::size_t rots_ = 0;
+  std::vector<BitVec> a_, b_, c_;  ///< [party] -> triples_ bits each
+  // ROT storage: [pair_index] -> rots_ bits per component.
+  std::vector<BitVec> m0_, m1_, choice_, mc_;
+};
+
+/// A party's cursor into the store's triple section. Copyable (GmwParty must
+/// stay cloneable for adversary probes); copies share the store and advance
+/// independent cursors.
+class TripleTape {
+ public:
+  TripleTape() = default;  ///< unbound; next() is a contract violation
+  TripleTape(std::shared_ptr<const CorrelatedRandomness> store, std::size_t party)
+      : store_(std::move(store)), party_(party) {}
+
+  /// Reposition the cursor (slice binding: run i reads from offset
+  /// i × triples-per-run). Seeking past the end is caught by next(), not here,
+  /// so an exactly-consumed tape is still valid.
+  void seek(std::size_t offset) { cursor_ = offset; }
+
+  /// Consume one triple. Running out of preprocessed material is a protocol
+  /// configuration bug (the budget was undersized), never a silent fallback:
+  /// FAIRSFE_CHECK aborts the process.
+  BeaverTriple next() {
+    FAIRSFE_CHECK(store_ != nullptr, "TripleTape::next on an unbound tape");
+    FAIRSFE_CHECK(cursor_ < store_->num_triples(),
+                  "preprocessed Beaver triples exhausted — offline budget too small");
+    const std::size_t t = cursor_++;
+    return BeaverTriple{store_->triple_a(party_, t), store_->triple_b(party_, t),
+                        store_->triple_c(party_, t)};
+  }
+
+  [[nodiscard]] bool bound() const { return store_ != nullptr; }
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
+
+ private:
+  std::shared_ptr<const CorrelatedRandomness> store_;
+  std::size_t party_ = 0;
+  std::size_t cursor_ = 0;
+};
+
+/// The classic ROT → Beaver reduction for two parties (DESIGN.md §10): from
+/// one ROT in each direction, party 0 sets a_0 = choice of its received ROT
+/// and b_0 = m0 ⊕ m1 of its sent ROT (symmetrically for party 1); the ROT
+/// identity m_c ⊕ m0 = c·(m0 ⊕ m1) makes (m0, m_c) additive shares of each
+/// cross term. Consumes ROTs [0, count) of both directions of `store` and
+/// returns a fresh two-party triple store. Precondition: store has exactly 2
+/// parties and count <= store.num_rots().
+CorrelatedRandomness triples_from_rots(const CorrelatedRandomness& store,
+                                       std::size_t count);
+
+}  // namespace fairsfe::mpc::preproc

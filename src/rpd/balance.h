@@ -35,17 +35,6 @@ BalanceProfile balance_profile(
     const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
     const PayoffVector& payoff, const EstimatorOptions& opts);
 
-/// Compatibility shim for the pre-EstimatorOptions positional signature.
-inline BalanceProfile balance_profile(
-    std::size_t n,
-    const std::function<std::vector<NamedAttack>(std::size_t t)>& attacks_for_t,
-    const PayoffVector& payoff, std::size_t runs, std::uint64_t seed) {
-  EstimatorOptions opts;
-  opts.runs = runs;
-  opts.seed = seed;
-  return balance_profile(n, attacks_for_t, payoff, opts);
-}
-
 /// Definition 5 check, one-sided: does the profile sum stay within the
 /// Lemma 14 optimum (n-1)(γ10+γ11)/2 up to its statistical margin?
 bool is_utility_balanced(const BalanceProfile& profile, const PayoffVector& payoff);

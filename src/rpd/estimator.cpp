@@ -60,6 +60,10 @@ UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector
       Rng run_rng = master.fork_at("run", i);
       Rng setup_rng = run_rng.fork("setup");
       RunSetup setup = factory(setup_rng);
+      // Offline slice binding by run index — before the engine starts, and a
+      // pure function of i, so thread scheduling cannot perturb which slice
+      // of the preprocessed batch a run consumes.
+      if (setup.bind_run) setup.bind_run(i);
       if (opts.fault) setup.engine.fault = *opts.fault;
       if (opts.round_timeout >= 0) setup.engine.round_timeout = opts.round_timeout;
       const std::size_t n = setup.parties.size();

@@ -46,6 +46,13 @@ struct RunSetup {
   /// runs, where the attacker cannot tell a fake from the real value) compare
   /// result.adversary_output against the recorded y instead.
   std::function<bool(const sim::ExecutionResult&)> adversary_learned;
+  /// Offline-phase slice binding: when set, the estimator invokes
+  /// bind_run(i) right after the factory builds run i's setup, before the
+  /// engine starts. Protocols consuming a shared CorrelatedRandomness batch
+  /// use this (mpc::make_gmw_run_binder) to point each party's tape at run
+  /// i's slice — a pure function of the run index, so the assignment is
+  /// identical across thread counts. Leave empty for inline protocols.
+  std::function<void(std::size_t run_index)> bind_run;
 };
 
 /// A factory producing a fresh RunSetup from per-run randomness. Factories
@@ -74,6 +81,12 @@ struct EstimatorOptions {
   /// `ExecutionOptions::round_timeout` override; < 0 keeps the factory's
   /// value.
   int round_timeout = -1;
+  /// How runs obtain OT correlations (mpc/preproc/mode.h). The estimator core
+  /// is protocol-agnostic; scenario bodies and setup factories read this to
+  /// build parties against an offline batch (binding slices via
+  /// RunSetup::bind_run) instead of the inline hybrid. Default kInline is
+  /// bit-identical to the pre-split estimator.
+  mpc::preproc::PreprocMode preproc = mpc::preproc::PreprocMode::kInline;
 
   [[nodiscard]] EstimatorOptions with_seed(std::uint64_t s) const {
     EstimatorOptions o = *this;
@@ -88,6 +101,11 @@ struct EstimatorOptions {
   [[nodiscard]] EstimatorOptions with_fault(sim::fault::FaultPlan p) const {
     EstimatorOptions o = *this;
     o.fault = std::move(p);
+    return o;
+  }
+  [[nodiscard]] EstimatorOptions with_preproc(mpc::preproc::PreprocMode m) const {
+    EstimatorOptions o = *this;
+    o.preproc = m;
     return o;
   }
 };
@@ -117,6 +135,10 @@ struct UtilityEstimate {
   sim::fault::FaultStats fault_stats;
   /// Wall-clock duration of the estimation (metadata; not deterministic).
   double wall_seconds = 0.0;
+  /// Wall-clock cost of generating the offline CorrelatedRandomness batch
+  /// the runs consumed (metadata; 0 under kInline or when the caller
+  /// amortized a pre-generated batch across estimations).
+  double offline_seconds = 0.0;
 
   [[nodiscard]] double freq(FairnessEvent e) const {
     return event_freq[static_cast<std::size_t>(e)];
@@ -135,16 +157,6 @@ struct UtilityEstimate {
 /// opts.seed, sharded across opts.threads workers.
 UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
                                  const EstimatorOptions& opts);
-
-/// Compatibility shim for the pre-EstimatorOptions positional signature.
-inline UtilityEstimate estimate_utility(const SetupFactory& factory,
-                                        const PayoffVector& payoff, std::size_t runs,
-                                        std::uint64_t seed) {
-  EstimatorOptions opts;
-  opts.runs = runs;
-  opts.seed = seed;
-  return estimate_utility(factory, payoff, opts);
-}
 
 /// Estimate a registered scenario's canonical (first-registered) attack
 /// under the scenario's own payoff vector. `opts` supplies runs/seed/threads

@@ -51,16 +51,6 @@ ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
 ProtocolAssessment assess_protocol(const experiments::ScenarioSpec& scenario,
                                    const EstimatorOptions& opts);
 
-/// Compatibility shim for the pre-EstimatorOptions positional signature.
-inline ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
-                                          const PayoffVector& payoff, std::size_t runs,
-                                          std::uint64_t seed) {
-  EstimatorOptions opts;
-  opts.runs = runs;
-  opts.seed = seed;
-  return assess_protocol(attacks, payoff, opts);
-}
-
 /// Definition 1, empirically: is `a` at least as fair as `b`? Statistical
 /// noise is absorbed by both margins (the analogue of the negligible slack).
 bool at_least_as_fair(const ProtocolAssessment& a, const ProtocolAssessment& b);

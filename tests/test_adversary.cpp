@@ -134,14 +134,16 @@ TEST(Strategies, AbortFunctionalityProvokesE00OnUnfairBox) {
   // Gate abort before using outputs: honest parties of the *n-party*
   // protocol end with ⊥ and the adversary has nothing -> E00.
   const auto est = rpd::estimate_utility(experiments::optn_abort_phase1(3, 1),
-                                         rpd::PayoffVector::standard(), 200, 5);
+                                         rpd::PayoffVector::standard(),
+                                         rpd::EstimatorOptions{.runs = 200, .seed = 5});
   EXPECT_DOUBLE_EQ(est.freq(rpd::FairnessEvent::kE00), 1.0);
   EXPECT_DOUBLE_EQ(est.utility, rpd::PayoffVector::standard().g00);
 }
 
 TEST(Strategies, PassiveObserverLearnsOnCompletion) {
   const auto est = rpd::estimate_utility(experiments::optn_passive(3, 1),
-                                         rpd::PayoffVector::standard(), 200, 6);
+                                         rpd::PayoffVector::standard(),
+                                         rpd::EstimatorOptions{.runs = 200, .seed = 6});
   // Passive run completes: everyone learns -> E11 always.
   EXPECT_DOUBLE_EQ(est.freq(rpd::FairnessEvent::kE11), 1.0);
 }
@@ -173,7 +175,8 @@ TEST(Strategies, Lemma18DeviatorEventMix) {
   // Over many runs the deviator should see all three outcomes: gate-abort
   // E10 (it was i*), broadcast E11 (heads), tails-reveal E10.
   const auto est = rpd::estimate_utility(experiments::lemma18_deviator(4),
-                                         rpd::PayoffVector::standard(), 600, 7);
+                                         rpd::PayoffVector::standard(),
+                                         rpd::EstimatorOptions{.runs = 600, .seed = 7});
   EXPECT_GT(est.freq(rpd::FairnessEvent::kE10), 0.4);
   EXPECT_GT(est.freq(rpd::FairnessEvent::kE11), 0.2);
 }

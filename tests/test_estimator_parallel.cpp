@@ -52,11 +52,11 @@ TEST(EstimatorParallel, AutoThreadsMatchesSequential) {
   expect_bit_identical(seq, autod);
 }
 
-TEST(EstimatorParallel, MatchesLegacyPositionalShim) {
+TEST(EstimatorParallel, SingleThreadMatchesFourThreads) {
   const PayoffVector gamma = PayoffVector::standard();
-  const auto shim = estimate_utility(opt2_lock_abort(1), gamma, 128, 3);
+  const auto single = estimate_utility(opt2_lock_abort(1), gamma, opts_with(128, 3, 1));
   const auto parallel = estimate_utility(opt2_lock_abort(1), gamma, opts_with(128, 3, 4));
-  expect_bit_identical(shim, parallel);
+  expect_bit_identical(single, parallel);
 }
 
 TEST(EstimatorParallel, RunEventsAreAPrefixStableStream) {
@@ -102,10 +102,11 @@ TEST(EstimatorParallel, AssessProtocolIsThreadCountInvariant) {
     EXPECT_EQ(seq.attacks[k].name, par.attacks[k].name);
     expect_bit_identical(seq.attacks[k].estimate, par.attacks[k].estimate);
   }
-  // And both match the legacy positional seeding (seed + attack index).
-  const auto legacy = assess_protocol(family, gamma, 96, 17);
+  // And the attack-family seeding (seed + attack index) is stable under a
+  // re-built options struct.
+  const auto rebuilt = assess_protocol(family, gamma, opts_with(96, 17, 1));
   for (std::size_t k = 0; k < seq.attacks.size(); ++k) {
-    expect_bit_identical(seq.attacks[k].estimate, legacy.attacks[k].estimate);
+    expect_bit_identical(seq.attacks[k].estimate, rebuilt.attacks[k].estimate);
   }
 }
 

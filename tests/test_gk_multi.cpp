@@ -46,7 +46,8 @@ TEST(GkMulti, CoalitionBoundHoldsAcrossT) {
   std::uint64_t seed = 500;
   for (std::size_t t = 1; t < n; ++t) {
     for (const auto& attack : experiments::gk_multi_attack_family(n, t, p)) {
-      const auto est = rpd::estimate_utility(attack.factory, pf, 800, seed++);
+      const auto est = rpd::estimate_utility(
+          attack.factory, pf, rpd::EstimatorOptions{.runs = 800, .seed = seed++});
       EXPECT_LE(est.utility, 1.0 / static_cast<double>(p) + est.margin() + 0.02)
           << "t=" << t << " " << attack.name;
     }
@@ -58,7 +59,8 @@ TEST(GkMulti, LargerPIsFairer) {
   double prev = 1.0;
   for (const std::size_t p : {2u, 4u, 8u}) {
     const auto assessment = rpd::assess_protocol(
-        experiments::gk_multi_attack_family(3, 2, p), pf, 800, 700 + p);
+        experiments::gk_multi_attack_family(3, 2, p), pf,
+        rpd::EstimatorOptions{.runs = 800, .seed = 700 + p});
     EXPECT_LE(assessment.best_utility(), prev + 0.05);
     prev = assessment.best_utility();
   }

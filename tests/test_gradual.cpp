@@ -131,9 +131,11 @@ TEST(GradualRelease, KnifeEdgeUtilityProfile) {
       return s;
     };
   };
-  const auto equal = rpd::estimate_utility(factory(6, 6), gamma, 300, 1);
+  const auto equal = rpd::estimate_utility(factory(6, 6), gamma,
+                                          rpd::EstimatorOptions{.runs = 300, .seed = 1});
   EXPECT_NEAR(equal.utility, gamma.g10, 0.02);
-  const auto honest_ahead = rpd::estimate_utility(factory(4, 8), gamma, 300, 2);
+  const auto honest_ahead = rpd::estimate_utility(
+      factory(4, 8), gamma, rpd::EstimatorOptions{.runs = 300, .seed = 2});
   EXPECT_NEAR(honest_ahead.utility, gamma.g11, 0.02);
 }
 

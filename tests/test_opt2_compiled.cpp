@@ -124,8 +124,9 @@ TEST(Opt2Compiled, LockAbortMatchesHybridUtility) {
     };
   };
   for (sim::PartyId c : {0, 1}) {
-    const auto est = rpd::estimate_utility(factory(c), gamma, 800,
-                                           300 + static_cast<std::uint64_t>(c));
+    const auto est = rpd::estimate_utility(
+        factory(c), gamma,
+        rpd::EstimatorOptions{.runs = 800, .seed = 300 + static_cast<std::uint64_t>(c)});
     EXPECT_NEAR(est.utility, gamma.two_party_opt_bound(), est.margin() + 0.04)
         << "corrupt p" << c;
     EXPECT_NEAR(est.freq(rpd::FairnessEvent::kE10), 0.5, 0.07);

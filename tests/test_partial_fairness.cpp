@@ -23,7 +23,8 @@ TEST_P(GkBoundTest, NoAttackBeatsOneOverP) {
   const auto family = gk_attack_family(params);
   std::uint64_t seed = 1000 + p;
   for (const auto& attack : family) {
-    const auto est = rpd::estimate_utility(attack.factory, kPf, 1200, seed++);
+    const auto est = rpd::estimate_utility(attack.factory, kPf,
+                                           rpd::EstimatorOptions{.runs = 1200, .seed = seed++});
     EXPECT_LE(est.utility, 1.0 / static_cast<double>(p) + est.margin() + 0.02)
         << "p=" << p << " attack=" << attack.name;
   }
@@ -36,8 +37,8 @@ TEST(GkProtocol, LargerPIsFairer) {
   double prev = 1.0;
   for (const std::size_t p : {2u, 4u, 8u}) {
     const fair::GkParams params = fair::make_gk_and_params(p);
-    const auto assessment = rpd::assess_protocol(gk_attack_family(params), kPf, 1200,
-                                                 2000 + p);
+    const auto assessment = rpd::assess_protocol(gk_attack_family(params), kPf,
+                                                 rpd::EstimatorOptions{.runs = 1200, .seed = 2000 + p});
     EXPECT_LE(assessment.best_utility(), prev + 0.05) << "p=" << p;
     prev = assessment.best_utility();
   }
@@ -48,7 +49,8 @@ TEST(GkProtocol, HonestRunsAreFairUnderPfVector) {
   const fair::GkParams params = fair::make_gk_and_params(2);
   // The repeat-detector aborts late or never on tiny domains; still <= 1/p.
   const auto est =
-      rpd::estimate_utility(gk_attack(params, GkAttack::kRepeatDetector), kPf, 800, 3000);
+      rpd::estimate_utility(gk_attack(params, GkAttack::kRepeatDetector), kPf,
+      rpd::EstimatorOptions{.runs = 800, .seed = 3000});
   EXPECT_LE(est.utility, 0.5 + est.margin() + 0.02);
 }
 
@@ -58,7 +60,8 @@ TEST(GkProtocol, PolyRangeVariantBoundHolds) {
   params.sample_range = [](Rng& r) { return Bytes{static_cast<std::uint8_t>(r.bit())}; };
   std::uint64_t seed = 4000;
   for (const auto& attack : gk_attack_family(params)) {
-    const auto est = rpd::estimate_utility(attack.factory, kPf, 600, seed++);
+    const auto est = rpd::estimate_utility(attack.factory, kPf,
+                                           rpd::EstimatorOptions{.runs = 600, .seed = seed++});
     EXPECT_LE(est.utility, 1.0 / 3.0 + est.margin() + 0.02) << attack.name;
   }
 }
@@ -153,7 +156,8 @@ TEST(LeakyAnd, StillHalfSecureAsGkSubprotocol) {
   // with an abort rule. We check the plain GK bound transfers.
   const fair::GkParams params = fair::make_gk_and_params(4);
   const auto est =
-      rpd::estimate_utility(gk_attack(params, GkAttack::kMatchTarget), kPf, 1200, 7000);
+      rpd::estimate_utility(gk_attack(params, GkAttack::kMatchTarget), kPf,
+      rpd::EstimatorOptions{.runs = 1200, .seed = 7000});
   EXPECT_LE(est.utility, 0.5 + est.margin());
 }
 

@@ -25,14 +25,14 @@ rpd::EstimatorOptions smoke_opts(const ScenarioSpec& spec, std::size_t threads) 
   return o;
 }
 
-TEST(Registry, EighteenScenariosWithUniqueIds) {
+TEST(Registry, NineteenScenariosWithUniqueIds) {
   const auto specs = Registry::instance().all();
-  ASSERT_EQ(specs.size(), 18u);
+  ASSERT_EQ(specs.size(), 19u);
   std::set<std::string> ids;
   for (const auto* s : specs) ids.insert(s->id);
   EXPECT_EQ(ids.size(), specs.size()) << "duplicate scenario id registered";
-  // One registration per experiment chapter: exp01..exp18 each appear once.
-  for (int n = 1; n <= 18; ++n) {
+  // One registration per experiment chapter: exp01..exp19 each appear once.
+  for (int n = 1; n <= 19; ++n) {
     char prefix[8];
     std::snprintf(prefix, sizeof(prefix), "exp%02d_", n);
     int hits = 0;
@@ -89,7 +89,7 @@ TEST(Registry, MatchFiltersByIdGlobSubstringAndTag) {
   EXPECT_EQ(exact[0]->id, "exp18_fault_tolerance");
   // Id glob.
   const auto tens = reg.match("exp1?_*");
-  EXPECT_EQ(tens.size(), 9u);  // exp10..exp18
+  EXPECT_EQ(tens.size(), 10u);  // exp10..exp19
   // Bare substring of the id.
   const auto sub = reg.match("fault");
   ASSERT_FALSE(sub.empty());

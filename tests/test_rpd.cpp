@@ -122,8 +122,9 @@ TEST(Estimator, DeterministicGivenSeed) {
   EXPECT_EQ(a.utility, b.utility);
   EXPECT_EQ(a.event_freq, b.event_freq);
   EXPECT_EQ(a.run_events, b.run_events);
-  // The legacy positional signature is a shim over the same options.
-  const auto c = estimate_utility(echo_factory(false), g, 50, 7);
+  // The fluent with_* helpers produce the same options.
+  const auto c = estimate_utility(echo_factory(false), g,
+                                  EstimatorOptions{}.with_runs(50).with_seed(7));
   EXPECT_EQ(a.utility, c.utility);
   EXPECT_EQ(a.event_freq, c.event_freq);
 }
@@ -131,17 +132,18 @@ TEST(Estimator, DeterministicGivenSeed) {
 TEST(Estimator, PredicateOverridesControlEvents) {
   const PayoffVector g = PayoffVector::standard();
   // learned = false, honest got -> E01 -> payoff 0.
-  const auto e01 = estimate_utility(echo_factory(false), g, 50, 1);
+  const auto e01 = estimate_utility(echo_factory(false), g, EstimatorOptions{.runs = 50, .seed = 1});
   EXPECT_DOUBLE_EQ(e01.utility, 0.0);
   EXPECT_DOUBLE_EQ(e01.freq(FairnessEvent::kE01), 1.0);
   // learned = true, honest got -> E11 -> payoff γ11.
-  const auto e11 = estimate_utility(echo_factory(true), g, 50, 2);
+  const auto e11 = estimate_utility(echo_factory(true), g, EstimatorOptions{.runs = 50, .seed = 2});
   EXPECT_DOUBLE_EQ(e11.utility, g.g11);
 }
 
 TEST(Estimator, StdErrorIsZeroForConstantPayoffs) {
   const auto est =
-      estimate_utility(echo_factory(true), PayoffVector::standard(), 100, 3);
+      estimate_utility(echo_factory(true), PayoffVector::standard(),
+                       EstimatorOptions{.runs = 100, .seed = 3});
   EXPECT_DOUBLE_EQ(est.std_error, 0.0);
   EXPECT_DOUBLE_EQ(est.margin(), 0.0);
 }
@@ -151,7 +153,8 @@ TEST(FairnessRelation, BestAttackSelection) {
       {"weak", echo_factory(false)},
       {"strong", echo_factory(true)},
   };
-  const auto a = assess_protocol(attacks, PayoffVector::standard(), 50, 5);
+  const auto a = assess_protocol(attacks, PayoffVector::standard(),
+                                 EstimatorOptions{.runs = 50, .seed = 5});
   EXPECT_EQ(a.best_attack_name(), "strong");
   EXPECT_DOUBLE_EQ(a.best_utility(), 0.5);
 }
@@ -159,8 +162,10 @@ TEST(FairnessRelation, BestAttackSelection) {
 TEST(FairnessRelation, PartialOrderSemantics) {
   const std::vector<NamedAttack> weak = {{"w", echo_factory(false)}};
   const std::vector<NamedAttack> strong = {{"s", echo_factory(true)}};
-  const auto low = assess_protocol(weak, PayoffVector::standard(), 50, 6);
-  const auto high = assess_protocol(strong, PayoffVector::standard(), 50, 7);
+  const auto low = assess_protocol(weak, PayoffVector::standard(),
+                                   EstimatorOptions{.runs = 50, .seed = 6});
+  const auto high = assess_protocol(strong, PayoffVector::standard(),
+                                    EstimatorOptions{.runs = 50, .seed = 7});
   EXPECT_TRUE(at_least_as_fair(low, high));
   EXPECT_FALSE(at_least_as_fair(high, low));
   EXPECT_TRUE(at_least_as_fair(low, low));  // reflexive

@@ -16,13 +16,20 @@ using rpd::PayoffVector;
 constexpr std::size_t kRuns = 1500;
 const PayoffVector kGamma = PayoffVector::standard();  // (0.25, 0, 1, 0.5)
 
+rpd::EstimatorOptions opts(std::size_t runs, std::uint64_t seed) {
+  rpd::EstimatorOptions o;
+  o.runs = runs;
+  o.seed = seed;
+  return o;
+}
+
 // ------------------------------------------------------------------ intro
 
 TEST(IntroExample, Pi1BestAttackerGetsGamma10) {
   // Corrupting the second opener always yields E10.
   const auto est =
       rpd::estimate_utility(contract_attack(fair::ContractVariant::kPi1, 1), kGamma,
-                            kRuns, 1);
+                            opts(kRuns, 1));
   EXPECT_NEAR(est.utility, kGamma.g10, 1e-9);
   EXPECT_NEAR(est.freq(FairnessEvent::kE10), 1.0, 1e-9);
 }
@@ -30,7 +37,7 @@ TEST(IntroExample, Pi1BestAttackerGetsGamma10) {
 TEST(IntroExample, Pi1FirstOpenerOnlyGetsGamma11) {
   const auto est =
       rpd::estimate_utility(contract_attack(fair::ContractVariant::kPi1, 0), kGamma,
-                            kRuns, 2);
+                            opts(kRuns, 2));
   EXPECT_NEAR(est.utility, kGamma.g11, 1e-9);
   EXPECT_NEAR(est.freq(FairnessEvent::kE11), 1.0, 1e-9);
 }
@@ -39,8 +46,8 @@ TEST(IntroExample, Pi2HalvesTheBestAttack) {
   // Either corruption gives (γ10+γ11)/2: the coin decides who opens first.
   for (sim::PartyId c : {0, 1}) {
     const auto est = rpd::estimate_utility(
-        contract_attack(fair::ContractVariant::kPi2, c), kGamma, kRuns,
-        10 + static_cast<std::uint64_t>(c));
+        contract_attack(fair::ContractVariant::kPi2, c), kGamma,
+        opts(kRuns, 10 + static_cast<std::uint64_t>(c)));
     EXPECT_NEAR(est.utility, kGamma.two_party_opt_bound(), 4 * est.std_error + 0.02)
         << "corrupt p" << c;
     EXPECT_NEAR(est.freq(FairnessEvent::kE10), 0.5, 0.05);
@@ -53,12 +60,12 @@ TEST(IntroExample, Pi2IsFairerThanPi1) {
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi1, c);
       }),
-      kGamma, kRuns, 20);
+      kGamma, opts(kRuns, 20));
   const auto pi2 = rpd::assess_protocol(
       two_party_attack_family([](sim::PartyId c) {
         return contract_attack(fair::ContractVariant::kPi2, c);
       }),
-      kGamma, kRuns, 30);
+      kGamma, opts(kRuns, 30));
   EXPECT_TRUE(rpd::at_least_as_fair(pi2, pi1));
   EXPECT_FALSE(rpd::at_least_as_fair(pi1, pi2));
   EXPECT_LT(pi2.best_utility(), pi1.best_utility() - 0.2);
@@ -77,7 +84,7 @@ TEST(Theorem3, Opt2SfeUpperBoundHolds) {
       {"no-corruption", opt2_no_corruption()},
       {"corrupt-all", opt2_corrupt_all()},
   };
-  const auto assessment = rpd::assess_protocol(attacks, kGamma, kRuns, 40);
+  const auto assessment = rpd::assess_protocol(attacks, kGamma, opts(kRuns, 40));
   for (const auto& a : assessment.attacks) {
     EXPECT_LE(a.estimate.utility,
               kGamma.two_party_opt_bound() + a.estimate.margin() + 0.02)
@@ -87,14 +94,14 @@ TEST(Theorem3, Opt2SfeUpperBoundHolds) {
 
 TEST(Theorem3, LockAbortEventSplit) {
   // The optimal attack: î = corrupted with prob 1/2 -> E10, else E11.
-  const auto est = rpd::estimate_utility(opt2_lock_abort(0), kGamma, kRuns, 50);
+  const auto est = rpd::estimate_utility(opt2_lock_abort(0), kGamma, opts(kRuns, 50));
   EXPECT_NEAR(est.freq(FairnessEvent::kE10), 0.5, 0.05);
   EXPECT_NEAR(est.freq(FairnessEvent::kE11), 0.5, 0.05);
   EXPECT_NEAR(est.utility, kGamma.two_party_opt_bound(), 4 * est.std_error + 0.02);
 }
 
 TEST(Theorem4, AgenAchievesTheLowerBound) {
-  const auto est = rpd::estimate_utility(opt2_agen(), kGamma, kRuns, 60);
+  const auto est = rpd::estimate_utility(opt2_agen(), kGamma, opts(kRuns, 60));
   EXPECT_GE(est.utility, kGamma.two_party_opt_bound() - est.margin() - 0.02);
 }
 
@@ -110,7 +117,7 @@ TEST(Theorem3, BoundHoldsAcrossGammaVectors) {
   for (const auto& g : gammas) {
     ASSERT_TRUE(g.in_gamma_fair()) << g.to_string();
     for (sim::PartyId c : {0, 1}) {
-      const auto est = rpd::estimate_utility(opt2_lock_abort(c), g, 800, seed++);
+      const auto est = rpd::estimate_utility(opt2_lock_abort(c), g, opts(800, seed++));
       EXPECT_LE(est.utility, g.two_party_opt_bound() + est.margin() + 0.03)
           << g.to_string();
       EXPECT_GE(est.utility, g.two_party_opt_bound() - est.margin() - 0.03)
@@ -121,35 +128,35 @@ TEST(Theorem3, BoundHoldsAcrossGammaVectors) {
 
 TEST(Opt2Sfe, Phase1AbortYieldsE01) {
   // Gate abort: honest party computes with default input (still an output).
-  const auto est = rpd::estimate_utility(opt2_abort_phase1(), kGamma, 500, 80);
+  const auto est = rpd::estimate_utility(opt2_abort_phase1(), kGamma, opts(500, 80));
   EXPECT_NEAR(est.freq(FairnessEvent::kE01), 1.0, 1e-9);
   EXPECT_NEAR(est.utility, kGamma.g01, 1e-9);
 }
 
 TEST(Opt2Sfe, CorruptAllIsE11) {
-  const auto est = rpd::estimate_utility(opt2_corrupt_all(), kGamma, 300, 90);
+  const auto est = rpd::estimate_utility(opt2_corrupt_all(), kGamma, opts(300, 90));
   EXPECT_NEAR(est.freq(FairnessEvent::kE11), 1.0, 1e-9);
 }
 
 TEST(Opt2Sfe, NoCorruptionIsE01) {
-  const auto est = rpd::estimate_utility(opt2_no_corruption(), kGamma, 300, 100);
+  const auto est = rpd::estimate_utility(opt2_no_corruption(), kGamma, opts(300, 100));
   EXPECT_NEAR(est.freq(FairnessEvent::kE01), 1.0, 1e-9);
 }
 
 // ------------------------------------------------------------ dummy / ideal
 
 TEST(DummyIdeal, BestAttackIsGamma11) {
-  const auto lock = rpd::estimate_utility(dummy2_lock_abort(0), kGamma, 500, 110);
+  const auto lock = rpd::estimate_utility(dummy2_lock_abort(0), kGamma, opts(500, 110));
   EXPECT_NEAR(lock.utility, kGamma.g11, 1e-9);
-  const auto gate = rpd::estimate_utility(dummy2_abort_gate(0), kGamma, 500, 120);
+  const auto gate = rpd::estimate_utility(dummy2_abort_gate(0), kGamma, opts(500, 120));
   EXPECT_NEAR(gate.utility, kGamma.g00, 1e-9);
 }
 
 TEST(DummyIdeal, Opt2IsNotIdeallyFair) {
   // ΠOpt2SFE's best attacker beats Φ's: fairness costs something with
   // dishonest majorities (Cleve's impossibility, utility-quantified).
-  const auto opt2 = rpd::estimate_utility(opt2_lock_abort(0), kGamma, kRuns, 130);
-  const auto dummy = rpd::estimate_utility(dummy2_lock_abort(0), kGamma, 500, 140);
+  const auto opt2 = rpd::estimate_utility(opt2_lock_abort(0), kGamma, opts(kRuns, 130));
+  const auto dummy = rpd::estimate_utility(dummy2_lock_abort(0), kGamma, opts(500, 140));
   EXPECT_GT(opt2.utility, dummy.utility + 0.1);
 }
 
@@ -159,8 +166,8 @@ class Lemma11Test : public ::testing::TestWithParam<std::pair<std::size_t, std::
 
 TEST_P(Lemma11Test, TAdversaryBoundHolds) {
   const auto [n, t] = GetParam();
-  const auto est = rpd::estimate_utility(optn_lock_abort(n, t), kGamma, kRuns,
-                                         200 + 10 * n + t);
+  const auto est = rpd::estimate_utility(optn_lock_abort(n, t), kGamma,
+                                         opts(kRuns, 200 + 10 * n + t));
   const double bound = kGamma.nparty_bound(t, n);
   EXPECT_NEAR(est.utility, bound, est.margin() + 0.03) << "n=" << n << " t=" << t;
   // Event split: E10 with prob t/n.
@@ -178,7 +185,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Lemma13, MixedAIbarAchievesOptimal) {
   const std::size_t n = 4;
-  const auto est = rpd::estimate_utility(optn_a_ibar_mixed(n), kGamma, kRuns, 300);
+  const auto est = rpd::estimate_utility(optn_a_ibar_mixed(n), kGamma, opts(kRuns, 300));
   EXPECT_GE(est.utility, kGamma.nparty_opt_bound(n) - est.margin() - 0.03);
 }
 
@@ -189,7 +196,7 @@ TEST(Lemma14, OptNIsUtilityBalanced) {
   const auto profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kOptN, n, t); },
-      kGamma, 800, 400);
+      kGamma, opts(800, 400));
   EXPECT_TRUE(rpd::is_utility_balanced(profile, kGamma));
   EXPECT_NEAR(profile.sum(), kGamma.balance_bound(n), profile.sum_margin() + 0.1);
 }
@@ -199,10 +206,10 @@ TEST(Lemma14, OptNIsUtilityBalanced) {
 TEST(Lemma17, HalfGmwUtilityJumpsAtHalf) {
   const std::size_t n = 4;
   // t < n/2: coalition learns (rushing) but honest still reconstruct: γ11.
-  const auto small = rpd::estimate_utility(half_gmw_coalition(n, 1), kGamma, 500, 500);
+  const auto small = rpd::estimate_utility(half_gmw_coalition(n, 1), kGamma, opts(500, 500));
   EXPECT_NEAR(small.utility, kGamma.g11, 1e-9);
   // t >= n/2: coalition blocks honest reconstruction: γ10.
-  const auto big = rpd::estimate_utility(half_gmw_coalition(n, 2), kGamma, 500, 510);
+  const auto big = rpd::estimate_utility(half_gmw_coalition(n, 2), kGamma, opts(500, 510));
   EXPECT_NEAR(big.utility, kGamma.g10, 1e-9);
 }
 
@@ -211,7 +218,7 @@ TEST(Lemma17, HalfGmwNotUtilityBalancedForEvenN) {
   const auto profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kHalfGmw, n, t); },
-      kGamma, 500, 520);
+      kGamma, opts(500, 520));
   EXPECT_GT(profile.sum(), kGamma.balance_bound(n) + 0.2);
   EXPECT_FALSE(rpd::is_utility_balanced(profile, kGamma));
 }
@@ -221,7 +228,7 @@ TEST(Lemma17, HalfGmwMeetsBalanceBoundForOddN) {
   const auto profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kHalfGmw, n, t); },
-      kGamma, 500, 530);
+      kGamma, opts(500, 530));
   EXPECT_NEAR(profile.sum(), kGamma.balance_bound(n), profile.sum_margin() + 0.1);
 }
 
@@ -229,7 +236,7 @@ TEST(Lemma17, HalfGmwMeetsBalanceBoundForOddN) {
 
 TEST(Lemma18, DeviatorBeatsTheBalancedShare) {
   const std::size_t n = 4;
-  const auto est = rpd::estimate_utility(lemma18_deviator(n), kGamma, kRuns, 600);
+  const auto est = rpd::estimate_utility(lemma18_deviator(n), kGamma, opts(kRuns, 600));
   // u(A1) = γ10/n + (n-1)/n * (γ10+γ11)/2.
   const double expect = kGamma.g10 / n +
                         (static_cast<double>(n - 1) / n) * (kGamma.g10 + kGamma.g11) / 2;
@@ -240,7 +247,7 @@ TEST(Lemma18, DeviatorBeatsTheBalancedShare) {
 
 TEST(Lemma18, StillOptimallyFairForNMinus1) {
   const std::size_t n = 4;
-  const auto est = rpd::estimate_utility(lemma18_lock_abort(n, n - 1), kGamma, kRuns, 610);
+  const auto est = rpd::estimate_utility(lemma18_lock_abort(n, n - 1), kGamma, opts(kRuns, 610));
   EXPECT_NEAR(est.utility, kGamma.nparty_opt_bound(n), est.margin() + 0.03);
 }
 
@@ -249,7 +256,7 @@ TEST(Lemma18, NotUtilityBalanced) {
   const auto profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kLemma18, n, t); },
-      kGamma, 800, 620);
+      kGamma, opts(800, 620));
   EXPECT_FALSE(rpd::is_utility_balanced(profile, kGamma));
 }
 
@@ -259,7 +266,7 @@ TEST(MixedProtocol, OddNCoalitionBreaksOptimality) {
   // Against Π′ with odd n, a ⌈n/2⌉ coalition earns γ10 — strictly more than
   // the optimal-protocol bound ((n-1)γ10+γ11)/n.
   const std::size_t n = 5;
-  const auto est = rpd::estimate_utility(mixed_best_attack(n, 3), kGamma, 500, 700);
+  const auto est = rpd::estimate_utility(mixed_best_attack(n, 3), kGamma, opts(500, 700));
   EXPECT_NEAR(est.utility, kGamma.g10, 1e-9);
   EXPECT_GT(est.utility, kGamma.nparty_opt_bound(n) + 0.05);
 }
@@ -271,11 +278,11 @@ TEST(Theorem6, BalancedProtocolCostFunctionNotDominated) {
   const auto opt_profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kOptN, n, t); },
-      kGamma, 800, 800);
+      kGamma, opts(800, 800));
   const auto gmw_profile = rpd::balance_profile(
       n,
       [n](std::size_t t) { return nparty_attack_family(NPartyProtocol::kHalfGmw, n, t); },
-      kGamma, 500, 810);
+      kGamma, opts(500, 810));
   const auto c_opt = rpd::cost_from_profile(opt_profile, kGamma);
   const auto c_gmw = rpd::cost_from_profile(gmw_profile, kGamma);
   // Π½GMW's cost cannot strictly dominate the balanced protocol's
