@@ -41,6 +41,7 @@ void print_usage() {
   std::printf(
       "usage: fairbench [--list] [--filter <glob|substring|tag>] [runs] [--runs N]\n"
       "                 [--threads N] [--json out.json] [--baseline old.json]\n"
+      "                 [--lanes {1,64}] [--target-ci H]\n"
       "\n"
       "  --list       print the scenario table and exit\n"
       "  --filter     select scenarios by id glob, id substring, or tag glob\n"
@@ -52,7 +53,13 @@ void print_usage() {
       "               scripts/bench_diff.py (run from the repo root)\n"
       "  --preproc    correlated-randomness phase split: inline (default),\n"
       "               offline_ideal (trusted dealer), offline_ot (real OT\n"
-      "               rounds run up front); one offline batch per scenario\n");
+      "               rounds run up front); one offline batch per scenario\n"
+      "  --lanes      execution lane width: 1 = scalar engine (default), 64 =\n"
+      "               bit-sliced (64 runs per machine word) for scenarios that\n"
+      "               register a sliced path; estimates are bit-identical\n"
+      "  --target-ci  stop each estimation once its 95%% CI half-width\n"
+      "               (1.96 * std_error) reaches H instead of always doing\n"
+      "               the full run count; deterministic given (seed, H)\n");
 }
 
 void list_scenarios(const std::vector<const experiments::ScenarioSpec*>& specs) {

@@ -18,6 +18,13 @@
 //       cases, inline OT-hybrid runs/sec vs the online phase consuming a
 //       pre-dealt CorrelatedRandomness batch, plus the offline batch cost
 //       for both providers. --json writes BENCH_preproc.json.
+//   perf_protocols --bitslice [--json <path>] [runs] [--threads N]
+//     — bit-sliced transposed execution (DESIGN.md §11): estimator
+//       throughput with the scalar engine vs 64 runs per machine word on
+//       honest GMW runs, demanding bit-identical estimates and a >= 10x
+//       speedup on gmw_millionaires_16, plus Beaver-path and 4-party rows
+//       and the zero-variance sequential-stopping trajectory. --json writes
+//       BENCH_bitslice.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -589,6 +596,161 @@ int run_preproc(int argc, char** argv) {
   return speedup_ok ? 0 : 1;
 }
 
+// --bitslice mode: scalar engine vs bit-sliced transposed execution
+// (DESIGN.md §11) on honest GMW runs. Every row is a full Monte-Carlo
+// estimation through rpd::estimate_utility, so the measured speedup is the
+// end-to-end one an experiment sees, and bit-identity is demanded on the
+// estimates themselves (utility, std_error, event_freq, per-run events).
+int run_bitslice(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t iters = args.runs_or(8192);
+  const std::string json_path = args.json_path;
+  const rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+
+  std::printf("\n=== P02-bitslice: 64 Monte-Carlo runs per machine word ===\n");
+  std::printf("%zu honest GMW runs per configuration; [sliced] packs 64 runs into the\n"
+              "lanes of each wire word (one circuit walk per batch), [scalar] drives the\n"
+              "engine one run at a time. Estimates must agree bit-for-bit.\n\n",
+              iters);
+  std::printf("%-36s %12s %10s\n", "configuration", "runs/sec", "runs");
+  std::printf("%-36s %12s %10s\n", "-------------", "--------", "----");
+
+  struct SliceRow {
+    std::string name;
+    std::size_t runs;
+    double wall_seconds;
+    [[nodiscard]] double runs_per_sec() const {
+      return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;
+    }
+  };
+  struct SliceCheck {
+    bool ok;
+    std::string what;
+  };
+  std::vector<SliceRow> rows;
+  std::vector<SliceCheck> checks;
+
+  auto measure = [&](const std::string& name, const rpd::EstimationTarget& target,
+                     std::size_t lanes, const rpd::EstimatorOptions& base) {
+    rpd::EstimatorOptions opts = base;
+    opts.lanes = lanes;
+    const auto est = rpd::estimate_utility(target, gamma, opts);
+    rows.push_back({name, est.runs, est.wall_seconds});
+    std::printf("%-36s %12.0f %10zu\n", name.c_str(), est.runs_per_sec(), est.runs);
+    return est;
+  };
+  auto record = [&](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
+    checks.push_back({ok, what});
+  };
+  auto identical = [](const rpd::UtilityEstimate& a, const rpd::UtilityEstimate& b) {
+    return a.utility == b.utility && a.std_error == b.std_error &&
+           a.event_freq == b.event_freq && a.run_events == b.run_events;
+  };
+
+  rpd::EstimatorOptions base;
+  base.runs = iters;
+  base.seed = 42;
+  base.threads = args.threads;
+
+  double speedup = 0.0;
+  {
+    auto mill = std::make_shared<const mpc::GmwConfig>(
+        mpc::GmwConfig::public_output(circuit::make_millionaires_circuit(16)));
+    const GmwHonestPair pair = gmw_honest_pair(mill);
+    const rpd::EstimationTarget target{pair.factory, pair.sliced, pair.parties};
+    const auto scalar = measure("gmw_millionaires_16 [scalar]", target, 1, base);
+    const auto sliced = measure("gmw_millionaires_16 [sliced]", target, 64, base);
+    record(identical(scalar, sliced),
+           "gmw_millionaires_16: sliced estimate bit-identical to scalar");
+    speedup = rows[rows.size() - 2].runs_per_sec() > 0
+                  ? rows.back().runs_per_sec() / rows[rows.size() - 2].runs_per_sec()
+                  : 0.0;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "gmw_millionaires_16: sliced >= 10x scalar runs/sec (measured %.1fx)",
+                  speedup);
+    record(speedup >= 10.0, buf);
+
+    // Zero-variance honest runs: the stopping rule fires at the earliest
+    // legal point (two lane batches), a deterministic trajectory worth
+    // keeping on record.
+    rpd::EstimatorOptions stop_opts = base;
+    stop_opts.target_ci = 0.05;
+    const auto stop = measure("gmw_millionaires_16 [sliced stop]", target, 64, stop_opts);
+    record(iters < 2 * 64 || (stop.stopped_early && stop.runs == 2 * 64),
+           "sequential stop after two lane batches on zero-variance runs");
+  }
+
+  {
+    // Beaver path: one ideal-dealer batch sized for every run's slice; the
+    // sliced AND layers read 64 triples per word-op from the same offsets
+    // the scalar tapes seek to.
+    auto mill = mpc::GmwConfig::public_output(circuit::make_millionaires_circuit(16));
+    mpc::preproc::PreprocRequest req;
+    req.parties = 2;
+    req.triples = iters * mill.triples_per_run();
+    Rng dealer_rng(1);
+    auto batch = mpc::preproc::generate_batch(mpc::preproc::PreprocMode::kOfflineIdeal,
+                                              req, dealer_rng);
+    auto online = mpc::GmwConfig::for_circuit(mill.circuit)
+                      .with_plan(mill.plan)
+                      .with_preproc(mpc::preproc::PreprocMode::kOfflineIdeal, batch)
+                      .build_shared();
+    const GmwHonestPair pair = gmw_honest_pair(online);
+    const rpd::EstimationTarget target{pair.factory, pair.sliced, pair.parties};
+    const auto scalar = measure("gmw_millionaires_16_beaver [scalar]", target, 1, base);
+    const auto sliced = measure("gmw_millionaires_16_beaver [sliced]", target, 64, base);
+    record(identical(scalar, sliced),
+           "beaver online phase: sliced estimate bit-identical to scalar");
+  }
+
+  {
+    auto max4 = std::make_shared<const mpc::GmwConfig>(
+        mpc::GmwConfig::public_output(circuit::make_max_circuit(4, 8)));
+    const GmwHonestPair pair = gmw_honest_pair(max4);
+    const rpd::EstimationTarget target{pair.factory, pair.sliced, pair.parties};
+    rpd::EstimatorOptions small = base;
+    small.runs = std::max<std::size_t>(256, iters / 8);
+    const auto scalar = measure("gmw_max_4party_8bit [scalar]", target, 1, small);
+    const auto sliced = measure("gmw_max_4party_8bit [sliced]", target, 64, small);
+    record(identical(scalar, sliced),
+           "gmw_max_4party_8bit: sliced estimate bit-identical to scalar");
+  }
+
+  bool all_ok = true;
+  for (const SliceCheck& c : checks) all_ok = all_ok && c.ok;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"P02-bitslice\",\n"
+                    "  \"claim\": \"bit-sliced transposed execution: 64 runs per machine "
+                    "word, bit-identical estimates\",\n"
+                    "  \"iters\": %zu,\n  \"speedup_millionaires_16\": %.3g,\n  \"rows\": [",
+                 iters, speedup);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"runs\": %zu, \"wall_seconds\": %.6g, "
+                   "\"runs_per_sec\": %.6g}",
+                   i == 0 ? "" : ",", rows[i].name.c_str(), rows[i].runs,
+                   rows[i].wall_seconds, rows[i].runs_per_sec());
+    }
+    std::fprintf(f, "\n  ],\n  \"checks\": [");
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"ok\": %s, \"what\": \"%s\"}", i == 0 ? "" : ",",
+                   checks[i].ok ? "true" : "false", checks[i].what.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace fairsfe
 
@@ -602,6 +764,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--preproc") == 0) {
       return fairsfe::run_preproc(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--bitslice") == 0) {
+      return fairsfe::run_bitslice(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

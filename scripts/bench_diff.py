@@ -35,10 +35,24 @@ NUMERIC_KEYS = [
     "bytes_copy_avoided",
     "utility",
     "std_error",
+    "ci_halfwidth",
+    "valid_runs",
+    "stopped_at",
+    "lanes",
 ]
 # Keys eligible for --fail-above gating. Statistical estimates are excluded:
-# a seed or run-count change moves them without any code regressing.
-GATED_KEYS = set(NUMERIC_KEYS) - {"utility", "std_error"}
+# a seed or run-count change moves them without any code regressing. The
+# sliced-execution trajectory keys (lanes, valid_runs, stopped_at,
+# ci_halfwidth) are configuration/estimate descriptors, not performance, so
+# they are diffed but never gated either.
+GATED_KEYS = set(NUMERIC_KEYS) - {
+    "utility",
+    "std_error",
+    "ci_halfwidth",
+    "valid_runs",
+    "stopped_at",
+    "lanes",
+}
 
 
 def load_rows(path):

@@ -28,6 +28,11 @@
 #     split against BENCH_preproc.json — and its built-in >= 3x
 #     online-vs-inline check on gmw_max_4party_8bit fails the perf step
 #     itself if the online Beaver path ever degenerates to inline speed.
+#   * perf_protocols --bitslice does the same for the bit-sliced execution
+#     path against BENCH_bitslice.json — its built-in checks (sliced
+#     bit-identical to scalar, >= 10x runs/sec on gmw_millionaires_16,
+#     deterministic sequential stop) fail the perf step itself if the
+#     64-runs-per-word path ever degenerates to scalar speed.
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
@@ -70,6 +75,13 @@ if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
     python3 scripts/bench_diff.py --fail-above 35 \
         BENCH_preproc.json BENCH_preproc.ci.json ||
       echo "preproc perf regression (non-gating)"
+  fi
+  ./build-perf/bench/perf_protocols --bitslice --json BENCH_bitslice.ci.json ||
+    echo "bitslice check failed (sliced != scalar, speedup < 10x, or stop drift)"
+  if [[ -f BENCH_bitslice.json && -f BENCH_bitslice.ci.json ]]; then
+    python3 scripts/bench_diff.py --fail-above 35 \
+        BENCH_bitslice.json BENCH_bitslice.ci.json ||
+      echo "bitslice perf regression (non-gating)"
   fi
 else
   echo "perf smoke skipped (Release build unavailable)"

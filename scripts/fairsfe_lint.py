@@ -44,6 +44,15 @@ of that contract machine-checked:
                             mpc::make_ot_functionality() so PreprocMode stays
                             a config switch. tests/ are exempt (they unit-test
                             the hub itself).
+  lane-word-shares          Raw lane-word arithmetic (LaneWord,
+                            transpose64x64, transpose_to/from_words) outside
+                            src/util, src/circuit and src/mpc. The bit-sliced
+                            representation (DESIGN.md §11) keeps its
+                            masked-lane and rng-draw-order contracts inside
+                            that boundary; estimator/scenario/bench code must
+                            consume the typed SlicedBatchFn / SlicedGmwRunner
+                            surface instead of slicing shares by hand. tests/
+                            are exempt (they unit-test the transpose).
 
 Escape hatch: a finding is suppressed by `// LINT-ALLOW(rule): reason` on the
 same line or on a comment line directly above it. The reason is mandatory
@@ -227,6 +236,32 @@ class DirectOtAccessRule(RegexRule):
                        for d in self.EXEMPT)
 
 
+class LaneWordSharesRule(RegexRule):
+    """Everywhere EXCEPT the layers that own the bit-sliced representation —
+    src/util (the transpose boundary), src/circuit (the sliced reference
+    evaluator), src/mpc (the sliced GMW runner) — and tests/. Hand-rolled
+    lane-word share arithmetic elsewhere would bypass the masked-lane and
+    rng-draw-order contracts that keep sliced and scalar runs bit-identical
+    (DESIGN.md §11); such code must go through the SlicedBatchFn /
+    SlicedGmwRunner surface. An exclusion list, like direct-ot-access, so the
+    rule follows new scan roots automatically."""
+
+    EXEMPT = ("src/util", "src/circuit", "src/mpc", "tests")
+
+    def __init__(self):
+        super().__init__(
+            "lane-word-shares", None,
+            "raw lane-word share arithmetic outside src/util|circuit|mpc: use "
+            "the SlicedBatchFn / SlicedGmwRunner surface (mpc/gmw_sliced.h) so "
+            "lane masking and draw order stay inside the audited boundary",
+            [r"\bLaneWord\b", r"\btranspose64x64\b",
+             r"\btranspose_(?:to|from)_words\b"])
+
+    def in_scope(self, relpath):
+        return not any(relpath == d or relpath.startswith(d + "/")
+                       for d in self.EXEMPT)
+
+
 class BareAssertRule(RegexRule):
     def __init__(self):
         super().__init__(
@@ -333,6 +368,7 @@ RULES = [
     UninitializedPodMemberRule(),
     BareAssertRule(),
     DirectOtAccessRule(),
+    LaneWordSharesRule(),
 ]
 
 RULE_NAMES = {r.name for r in RULES} | {"unused-allow", "allow-missing-reason"}

@@ -1,0 +1,16 @@
+// lane-word-shares is scoped to everything OUTSIDE src/util, src/circuit and
+// src/mpc: this fixture lints as src/circuit/lane_word_ok.cc, where the
+// bit-sliced representation is the implementation domain (the sliced
+// reference evaluator walks gate lists over lane words), so none of the
+// lines below is a finding.
+
+fairsfe::util::LaneWord eval_one_layer(fairsfe::util::LaneWord a,
+                                       fairsfe::util::LaneWord b) {
+  return a & b;
+}
+
+void repack(std::uint64_t* block, const std::vector<std::vector<bool>>& rows) {
+  fairsfe::util::transpose64x64(block);
+  auto words = fairsfe::util::transpose_to_words(rows);
+  (void)fairsfe::util::transpose_from_words(words, 7);
+}

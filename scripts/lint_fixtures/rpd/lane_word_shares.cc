@@ -1,0 +1,28 @@
+// lane-word-shares: outside src/util, src/circuit and src/mpc, raw lane-word
+// arithmetic on shares bypasses the masked-lane and rng-draw-order contracts
+// of the bit-sliced execution path (DESIGN.md §11) — estimator/scenario/bench
+// code must consume the SlicedBatchFn / SlicedGmwRunner surface instead.
+// Lints as src/rpd/lane_word_shares.cc, so the rule is in scope.
+
+void bad_hand_rolled_lane_math() {
+  fairsfe::util::LaneWord x = 0;  // EXPECT(lane-word-shares)
+  fairsfe::util::LaneWord y = ~x;  // EXPECT(lane-word-shares)
+  (void)(x & y);
+}
+
+void bad_direct_transpose(std::uint64_t* block) {
+  fairsfe::util::transpose64x64(block);  // EXPECT(lane-word-shares)
+}
+
+void bad_packing(const std::vector<std::vector<bool>>& rows) {
+  auto words = fairsfe::util::transpose_to_words(rows);  // EXPECT(lane-word-shares)
+  auto back = fairsfe::util::transpose_from_words(words, 5);  // EXPECT(lane-word-shares)
+  (void)back;
+}
+
+void good_typed_surface(const fairsfe::rpd::EstimationTarget& target) {
+  // Consuming the sliced hook through the estimator is the supported path;
+  // the lane width constant is configuration, not share arithmetic.
+  (void)fairsfe::util::kLaneWidth;
+  (void)target.sliced;
+}

@@ -1,0 +1,43 @@
+#include "circuit/sliced.h"
+
+#include "util/check.h"
+
+namespace fairsfe::circuit {
+
+std::vector<util::LaneWord> eval_sliced(
+    const Circuit& c, const std::vector<std::vector<util::LaneWord>>& input_words) {
+  FAIRSFE_CHECK(input_words.size() == c.num_parties(),
+                "eval_sliced: one input word vector per party");
+  for (std::size_t p = 0; p < input_words.size(); ++p) {
+    FAIRSFE_CHECK(input_words[p].size() == c.input_width(p),
+                  "eval_sliced: input word count does not match the input width");
+  }
+  std::vector<util::LaneWord> val(c.num_wires(), 0);
+  const auto& gates = c.gates();
+  for (std::size_t w = 0; w < gates.size(); ++w) {
+    const Gate& g = gates[w];
+    switch (g.type) {
+      case GateType::kInput:
+        val[w] = input_words[g.party][g.input_index];
+        break;
+      case GateType::kConst:
+        val[w] = g.const_value ? ~util::LaneWord{0} : 0;
+        break;
+      case GateType::kXor:
+        val[w] = val[g.a] ^ val[g.b];
+        break;
+      case GateType::kAnd:
+        val[w] = val[g.a] & val[g.b];
+        break;
+      case GateType::kNot:
+        val[w] = ~val[g.a];
+        break;
+    }
+  }
+  std::vector<util::LaneWord> out;
+  out.reserve(c.outputs().size());
+  for (const Wire w : c.outputs()) out.push_back(val[w]);
+  return out;
+}
+
+}  // namespace fairsfe::circuit

@@ -1,0 +1,26 @@
+// Bit-sliced plaintext circuit evaluation: 64 independent runs per pass.
+//
+// The sliced execution path (DESIGN.md §11) carries one Monte-Carlo run per
+// bit of a LaneWord. This is the reference evaluator over that
+// representation: one walk of the gate list advances up to kLaneWidth
+// evaluations at once, with lane l of every wire word holding run l's value
+// of that wire. Used as the correctness cross-check for the sliced GMW share
+// arithmetic (mpc/gmw_sliced.h) and by the transpose round-trip tests —
+// the sliced analogue of Circuit::eval.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "util/bitmat.h"
+
+namespace fairsfe::circuit {
+
+/// Evaluate up to kLaneWidth runs at once. `input_words[p][k]` packs the runs'
+/// bit k of party p's input (lane l = run l); the returned vector packs the
+/// circuit outputs the same way, one LaneWord per output wire. Lanes beyond
+/// the populated ones evaluate the all-zero inputs and can be ignored.
+std::vector<util::LaneWord> eval_sliced(
+    const Circuit& c, const std::vector<std::vector<util::LaneWord>>& input_words);
+
+}  // namespace fairsfe::circuit

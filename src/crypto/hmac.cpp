@@ -4,7 +4,7 @@
 
 namespace fairsfe {
 
-Bytes hmac_sha256(ByteView key, ByteView msg) {
+HmacSha256::HmacSha256(ByteView key) {
   Bytes k(key.begin(), key.end());
   if (k.size() > Sha256::kBlockSize) k = sha256(k);
   k.resize(Sha256::kBlockSize, 0x00);
@@ -14,8 +14,19 @@ Bytes hmac_sha256(ByteView key, ByteView msg) {
     ipad[i] = k[i] ^ 0x36;
     opad[i] = k[i] ^ 0x5c;
   }
-  const Bytes inner = Sha256().update(ipad).update(msg).finish();
-  return Sha256().update(opad).update(inner).finish();
+  inner_.update(ipad);
+  outer_.update(opad);
+}
+
+Bytes HmacSha256::mac(ByteView msg) const {
+  Sha256 inner = inner_;  // resume from the ipad midstate
+  const Bytes digest = inner.update(msg).finish();
+  Sha256 outer = outer_;
+  return outer.update(digest).finish();
+}
+
+Bytes hmac_sha256(ByteView key, ByteView msg) {
+  return HmacSha256(key).mac(msg);
 }
 
 bool hmac_verify(ByteView key, ByteView msg, ByteView tag) {

@@ -26,9 +26,10 @@ Rng Rng::fork(std::string_view label) {
 }
 
 Rng Rng::fork_at(std::string_view label, std::uint64_t index) const {
+  if (!hmac_) hmac_ = std::make_shared<const HmacSha256>(key_);
   Writer w;
   w.str(label).u64(index);
-  return Rng(hmac_sha256(key_, w.bytes()));
+  return Rng(hmac_->mac(w.bytes()));
 }
 
 std::uint64_t Rng::u64() {

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string_view>
 
 #include "crypto/bytes.h"
 #include "crypto/chacha20.h"
+#include "crypto/hmac.h"
 
 namespace fairsfe {
 
@@ -53,6 +55,13 @@ class Rng {
   Bytes key_;
   ChaCha20 stream_;
   std::uint64_t fork_counter_ = 0;
+  /// HMAC key schedule (ipad/opad midstates), built on the first fork and
+  /// reused for every later one — forking is the estimator's hot path (four
+  /// derivations per Monte-Carlo run; 256 per bit-sliced batch). Lazy so
+  /// leaf streams that only draw bytes never pay for it, shared so the
+  /// fork-counter-free fork_at() stays const. Pure key-derived cache: it
+  /// never changes any derived stream.
+  mutable std::shared_ptr<const HmacSha256> hmac_;
 };
 
 }  // namespace fairsfe

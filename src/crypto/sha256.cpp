@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define FAIRSFE_SHA_NI 1
+#endif
+
 namespace fairsfe {
 
 namespace {
@@ -23,6 +28,154 @@ inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
 
+#ifdef FAIRSFE_SHA_NI
+
+// One compression using the SHA extension (sha256rnds2/sha256msg1/
+// sha256msg2). Bit-identical to the portable loop — the hash itself is
+// unchanged, only the block pass — and gated at runtime on cpuid, so the
+// portable path below stays the behavioural reference everywhere else.
+// Forking an Rng costs four compressions (two with the HMAC key schedule
+// cached), and the estimator derives four streams per Monte-Carlo run, so
+// this is the hottest primitive in the whole simulator.
+__attribute__((target("sha,sse4.1,ssse3"))) void process_block_hw(
+    std::uint32_t* state, const std::uint8_t* data) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  const auto k = [](std::uint64_t hi, std::uint64_t lo) {
+    return _mm_set_epi64x(static_cast<long long>(hi), static_cast<long long>(lo));
+  };
+
+  // state[] is {a,b,c,d,e,f,g,h}; the instruction wants (ABEF, CDGH) pairs.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  const __m128i* blk = reinterpret_cast<const __m128i*>(data);
+  __m128i msg;
+
+  // Rounds 0-3
+  __m128i msg0 = _mm_shuffle_epi8(_mm_loadu_si128(blk + 0), kShuffle);
+  msg = _mm_add_epi32(msg0, k(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7
+  __m128i msg1 = _mm_shuffle_epi8(_mm_loadu_si128(blk + 1), kShuffle);
+  msg = _mm_add_epi32(msg1, k(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11
+  __m128i msg2 = _mm_shuffle_epi8(_mm_loadu_si128(blk + 2), kShuffle);
+  msg = _mm_add_epi32(msg2, k(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15
+  __m128i msg3 = _mm_shuffle_epi8(_mm_loadu_si128(blk + 3), kShuffle);
+  msg = _mm_add_epi32(msg3, k(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-47: the schedule registers rotate through the same four-round
+  // step — feed msgN to the round function, extend msgN+1 with msg2/msg1 ops.
+  const __m128i kMid[8] = {
+      k(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL),
+      k(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL),
+      k(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL),
+      k(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL),
+      k(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL),
+      k(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL),
+      k(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL),
+      k(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL),
+  };
+  for (int step = 0; step < 8; ++step) {
+    msg = _mm_add_epi32(msg0, kMid[step]);
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+    // Rotate (msg0, msg1, msg2, msg3) <- (msg1, msg2, msg3, msg0).
+    const __m128i rot = msg0;
+    msg0 = msg1;
+    msg1 = msg2;
+    msg2 = msg3;
+    msg3 = rot;
+  }
+
+  // Rounds 48-51
+  msg = _mm_add_epi32(msg0, k(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  // Last schedule-extension helper: msg3 still needs its sigma0 partials
+  // (the rotation loop above only applies sha256msg1 through W56..59).
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-55
+  msg = _mm_add_epi32(msg1, k(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59
+  msg = _mm_add_epi32(msg2, k(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63
+  msg = _mm_add_epi32(msg3, k(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Back to {a..d}, {e..h} memory order.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+bool sha_ni_available() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") &&
+         __builtin_cpu_supports("ssse3");
+}
+
+#endif  // FAIRSFE_SHA_NI
+
 }  // namespace
 
 Sha256::Sha256()
@@ -31,6 +184,15 @@ Sha256::Sha256()
       buf_{} {}
 
 void Sha256::process_block(const std::uint8_t* block) {
+#ifdef FAIRSFE_SHA_NI
+  // Function-local so the cpuid probe cannot race static initialization in
+  // other translation units (scenario registration hashes at startup).
+  static const bool have_sha_ni = sha_ni_available();
+  if (have_sha_ni) {
+    process_block_hw(state_.data(), block);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

@@ -104,6 +104,14 @@ struct ScenarioSpec {
   /// sweeps, and what the registry smoke test estimates. Non-empty for every
   /// registered scenario.
   std::vector<rpd::NamedAttack> attacks;
+  /// Optional bit-sliced fast path over the canonical attack's run-index
+  /// space (DESIGN.md §11). Only honest-execution scenarios whose per-run
+  /// results are bit-identical to attacks.front() may set this; the
+  /// ScenarioSpec estimate_utility overload forwards it so
+  /// `fairbench --lanes 64` advances 64 runs per machine word.
+  rpd::SlicedBatchFn sliced;
+  /// Party count for classifying sliced results (required with `sliced`).
+  std::size_t sliced_parties = 0;
   /// Full paper-vs-measured table body (the former exp* main()).
   std::function<void(ScenarioContext&)> run;
 

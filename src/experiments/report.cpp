@@ -27,6 +27,12 @@ Args parse_args(int argc, char** argv) {
       a.filter = argv[++i];
     } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
       a.baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v > 0) a.lanes = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--target-ci") == 0 && i + 1 < argc) {
+      const double v = std::strtod(argv[++i], nullptr);
+      if (v > 0.0) a.target_ci = v;
     } else if (std::strcmp(argv[i], "--preproc") == 0) {
       // Only a recognized mode word is consumed: perf_protocols uses a bare
       // `--preproc` as its mode selector, so `--preproc --json x` must not
@@ -60,6 +66,8 @@ Reporter::Reporter(const Args& args, std::size_t default_runs)
     : runs_(args.runs_or(default_runs)),
       threads_(args.threads),
       preproc_(args.preproc),
+      lanes_(args.lanes),
+      target_ci_(args.target_ci),
       json_path_(args.json_path) {}
 
 void Reporter::offline_batch(const std::string& provider, std::size_t triples,
@@ -97,8 +105,13 @@ void Reporter::row(const std::string& name, const rpd::UtilityEstimate& est,
   std::printf("%-28s %9.4f %8.4f   %5.2f %5.2f %5.2f %5.2f   %s\n", name.c_str(),
               est.utility, est.margin(), est.event_freq[0], est.event_freq[1],
               est.event_freq[2], est.event_freq[3], paper.c_str());
+  if (est.stopped_early) {
+    std::printf("  (sequential stop: %zu of %zu runs, ci_halfwidth %.5f)\n", est.runs,
+                est.requested_runs, est.ci_halfwidth());
+  }
   rows_.push_back(Row{name, est.utility, est.std_error, est.margin(), est.event_freq,
-                      est.runs, est.wall_seconds, est.runs_per_sec(), paper});
+                      est.runs, est.wall_seconds, est.runs_per_sec(), est.lanes,
+                      est.valid_runs, est.runs, est.ci_halfwidth(), paper});
 }
 
 void Reporter::check(bool ok, const std::string& what) {
@@ -175,10 +188,12 @@ std::string Reporter::json_object() const {
             "%s\n    {\"name\": \"%s\", \"utility\": %.17g, \"std_error\": %.17g, "
             "\"margin\": %.17g, \"event_freq\": [%.17g, %.17g, %.17g, %.17g], "
             "\"runs\": %zu, \"wall_seconds\": %.6g, \"runs_per_sec\": %.6g, "
-            "\"paper\": \"%s\"}",
+            "\"lanes\": %zu, \"valid_runs\": %zu, \"stopped_at\": %zu, "
+            "\"ci_halfwidth\": %.17g, \"paper\": \"%s\"}",
             i == 0 ? "" : ",", json_escape(r.name).c_str(), r.utility, r.std_error,
             r.margin, r.event_freq[0], r.event_freq[1], r.event_freq[2],
-            r.event_freq[3], r.runs, r.wall_seconds, r.runs_per_sec,
+            r.event_freq[3], r.runs, r.wall_seconds, r.runs_per_sec, r.lanes,
+            r.valid_runs, r.stopped_at, r.ci_halfwidth,
             json_escape(r.paper).c_str());
   }
   appendf(out, "\n  ],\n  \"checks\": [");

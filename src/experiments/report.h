@@ -18,13 +18,17 @@
 // CLI accepted by every harness (see bench::parse_args):
 //   fairbench [--list] [--filter <glob>] [runs] [--runs N] [--threads N]
 //             [--json out.json] [--baseline old.json] [--preproc <mode>]
+//             [--lanes {1,64}] [--target-ci <halfwidth>]
 // where [runs] / --runs overrides the Monte-Carlo runs per point, --threads
 // feeds rpd::EstimatorOptions::threads (0 = one per hardware thread), --json
 // selects the machine-readable sink, and --preproc selects the
 // correlated-randomness phase split (inline | offline_ideal | offline_ot;
 // see mpc/preproc/mode.h). The mode flows into every EstimatorOptions the
 // Reporter hands out, and fairbench amortizes one offline batch per scenario
-// that declares a PreprocBudget.
+// that declares a PreprocBudget. --lanes 64 selects the bit-sliced execution
+// path for scenarios that register one (others fall back to the scalar
+// engine, bit-identically), and --target-ci enables CI-driven sequential
+// stopping at the given 95% half-width (rpd::EstimatorOptions::target_ci).
 //
 // JSON schema (stable; fairbench emits one object per scenario, an array
 // when several scenarios run):
@@ -34,6 +38,11 @@
 //     "rows": [{"name": str, "utility": num, "std_error": num, "margin": num,
 //               "event_freq": [num, num, num, num],   // E00, E01, E10, E11
 //               "runs": int, "wall_seconds": num, "runs_per_sec": num,
+//               "lanes": int,          // 1 scalar, 64 bit-sliced
+//               "valid_runs": int,     // runs minus round-cap exclusions
+//               "stopped_at": int,     // runs performed (< requested when
+//                                      //   sequential stopping halted early)
+//               "ci_halfwidth": num,   // 1.96 * std_error
 //               "paper": str}],
 //     "checks": [{"ok": bool, "what": str}],
 //     "deviations": int
@@ -73,6 +82,10 @@ struct Args {
   std::string baseline_path;  ///< fairbench --baseline, fed to bench_diff.py
   /// --preproc <mode>: correlated-randomness phase split for every scenario.
   mpc::preproc::PreprocMode preproc = mpc::preproc::PreprocMode::kInline;
+  /// --lanes {1,64}: execution lane width (rpd::EstimatorOptions::lanes).
+  std::size_t lanes = 1;
+  /// --target-ci <halfwidth>: sequential-stopping 95% CI half-width; 0 = off.
+  double target_ci = 0.0;
   std::vector<std::string> passthrough;  ///< unrecognized argv entries
 
   [[nodiscard]] std::size_t runs_or(std::size_t default_runs) const {
@@ -98,16 +111,20 @@ class Reporter {
   [[nodiscard]] std::size_t runs() const { return runs_; }
   [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] mpc::preproc::PreprocMode preproc() const { return preproc_; }
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] double target_ci() const { return target_ci_; }
 
   /// EstimatorOptions for one utility point: the harness's runs/threads/
-  /// preproc mode plus the call site's seed. Callers needing a different run
-  /// count adjust the returned struct.
+  /// preproc/lanes/target-ci settings plus the call site's seed. Callers
+  /// needing a different run count adjust the returned struct.
   [[nodiscard]] rpd::EstimatorOptions opts(std::uint64_t seed) const {
     rpd::EstimatorOptions o;
     o.runs = runs_;
     o.seed = seed;
     o.threads = threads_;
     o.preproc = preproc_;
+    o.lanes = lanes_;
+    o.target_ci = target_ci_;
     return o;
   }
 
@@ -148,6 +165,8 @@ class Reporter {
     std::array<double, 4> event_freq;
     std::size_t runs;
     double wall_seconds, runs_per_sec;
+    std::size_t lanes, valid_runs, stopped_at;
+    double ci_halfwidth;
     std::string paper;
   };
   struct Check {
@@ -166,6 +185,8 @@ class Reporter {
   std::size_t runs_;
   std::size_t threads_ = 1;
   mpc::preproc::PreprocMode preproc_ = mpc::preproc::PreprocMode::kInline;
+  std::size_t lanes_ = 1;
+  double target_ci_ = 0.0;
   std::vector<OfflineBatch> offline_;
   std::string json_path_;
   std::string experiment_, claim_, gamma_;

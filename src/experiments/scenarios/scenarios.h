@@ -28,5 +28,6 @@ void register_exp16(Registry& r);
 void register_exp17(Registry& r);
 void register_exp18(Registry& r);
 void register_exp19(Registry& r);
+void register_exp20(Registry& r);
 
 }  // namespace fairsfe::experiments

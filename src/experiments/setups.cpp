@@ -553,6 +553,60 @@ std::vector<rpd::NamedAttack> gk_attack_family(const fair::GkParams& params) {
   };
 }
 
+GmwHonestPair gmw_honest_pair(std::shared_ptr<const mpc::GmwConfig> cfg,
+                              mpc::CrashScheduleFn crashes) {
+  GmwHonestPair pair;
+  pair.parties = cfg->circuit.num_parties();
+  // ONE input drawer shared by both paths: the scalar factory and the sliced
+  // runner must consume the setup stream identically for bit-identity.
+  mpc::SlicedGmwRunner::InputsFn draw = [cfg](Rng& rng) {
+    std::vector<std::vector<bool>> inputs;
+    for (std::size_t p = 0; p < cfg->circuit.num_parties(); ++p) {
+      const std::size_t width = cfg->circuit.input_width(p);
+      const Bytes x = rng.bytes((width + 7) / 8);
+      inputs.push_back(circuit::bytes_to_bits(x, width));
+    }
+    return inputs;
+  };
+  pair.factory = [cfg, draw, crashes](Rng& rng) {
+    rpd::RunSetup s;
+    const auto inputs = draw(rng);
+    s.parties = mpc::make_gmw_parties(cfg, inputs, rng);
+    s.functionality = mpc::make_gmw_functionality(*cfg);
+    // The tape binder needs the unwrapped GmwParty pointers, so build it
+    // before any crash wrapping.
+    auto tape_bind = mpc::make_gmw_run_binder(s.parties);
+    if (!crashes) {
+      s.bind_run = std::move(tape_bind);
+    } else {
+      std::vector<mpc::CrashAtParty*> wrapped;
+      wrapped.reserve(s.parties.size());
+      for (auto& p : s.parties) {
+        auto w = std::make_unique<mpc::CrashAtParty>(std::move(p));
+        wrapped.push_back(w.get());
+        p = std::move(w);
+      }
+      // Raw pointers stay valid: bind_run fires before the engine starts and
+      // the wrappers are heap-stable under vector moves.
+      s.bind_run = [tape_bind = std::move(tape_bind), wrapped, crashes,
+                    cfg](std::size_t i) {
+        if (tape_bind) tape_bind(i);
+        if (const auto cp = crashes(i)) {
+          wrapped[cp->party]->set_crash_round(mpc::crash_round_of(*cfg, cp->layer));
+        }
+      };
+    }
+    s.engine.max_rounds = 256;
+    return s;
+  };
+  auto runner = std::make_shared<mpc::SlicedGmwRunner>(cfg, draw, crashes);
+  pair.sliced = [runner](std::size_t lo, std::size_t count, std::uint64_t seed,
+                         std::span<sim::ExecutionResult> out) {
+    runner->run_batch(lo, count, seed, out);
+  };
+  return pair;
+}
+
 // The manifest that populates Registry::instance(): every scenario
 // translation unit under scenarios/ hooks in here (see
 // scenarios/scenarios.h for the E19 recipe). An explicit call list — rather
@@ -579,6 +633,7 @@ void register_builtin_scenarios(Registry& r) {
   register_exp17(r);
   register_exp18(r);
   register_exp19(r);
+  register_exp20(r);
 }
 
 }  // namespace fairsfe::experiments

@@ -13,6 +13,7 @@
 #include "fair/contract.h"
 #include "fair/gk.h"
 #include "fair/mixed.h"
+#include "mpc/gmw_sliced.h"
 #include "rpd/fairness_relation.h"
 
 namespace fairsfe::experiments {
@@ -102,6 +103,24 @@ rpd::SetupFactory gk_multi_attack(std::size_t n, std::size_t t, std::size_t p,
                                   GkAttack attack);
 std::vector<rpd::NamedAttack> gk_multi_attack_family(std::size_t n, std::size_t t,
                                                      std::size_t p);
+
+// ------------------------------------------------------- bit-sliced twins
+
+/// Scalar + bit-sliced twin pair over honest GMW runs of one circuit,
+/// optionally with a deterministic per-run crash schedule (DESIGN.md §11).
+/// Both members derive identical per-run randomness from the estimator's
+/// (seed, run index) contract, so their estimates agree bit-for-bit:
+/// `factory` drives the real engine (crashes via mpc::CrashAtParty, peers
+/// abort to all-⊥), `sliced` the word-parallel runner (crashes via lane
+/// masking). Wire them into an rpd::EstimationTarget or a ScenarioSpec's
+/// attacks.front() + sliced slots.
+struct GmwHonestPair {
+  rpd::SetupFactory factory;
+  rpd::SlicedBatchFn sliced;
+  std::size_t parties = 0;
+};
+GmwHonestPair gmw_honest_pair(std::shared_ptr<const mpc::GmwConfig> cfg,
+                              mpc::CrashScheduleFn crashes = nullptr);
 
 // ---------------------------------------------------------- misc helpers
 

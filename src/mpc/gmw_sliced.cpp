@@ -1,0 +1,331 @@
+#include "mpc/gmw_sliced.h"
+
+#include <array>
+
+#include "circuit/sliced.h"
+#include "util/check.h"
+
+namespace fairsfe::mpc {
+
+using circuit::Gate;
+using circuit::GateType;
+using util::kLaneWidth;
+using util::LaneWord;
+
+int crash_round_of(const GmwConfig& cfg, std::size_t layer) {
+  // AND layer L's traffic goes out at round 1 + 2L inline (each layer is an
+  // OT round trip) and 1 + L offline (one broadcast per layer); layer ==
+  // num_and_layers() addresses the output-share round after the last layer.
+  const bool offline = preproc::is_offline(cfg.preproc_mode);
+  return static_cast<int>(1 + (offline ? layer : 2 * layer));
+}
+
+CrashAtParty::CrashAtParty(std::unique_ptr<sim::IParty> inner)
+    : PartyBase(inner->id()), inner_(std::move(inner)) {}
+
+CrashAtParty::CrashAtParty(const CrashAtParty& other)
+    : PartyBase(other),
+      inner_(other.inner_ ? other.inner_->clone() : nullptr),
+      crash_round_(other.crash_round_),
+      crashed_(other.crashed_) {}
+
+std::vector<sim::Message> CrashAtParty::on_round(int round, sim::MsgView in) {
+  if (!crashed_ && crash_round_ >= 0 && round >= crash_round_) {
+    crashed_ = true;
+    finish_bot();
+    return {};
+  }
+  std::vector<sim::Message> out = inner_->on_round(round, in);
+  if (inner_->done()) {
+    if (auto y = inner_->output()) {
+      finish(std::move(*y));
+    } else {
+      finish_bot();
+    }
+  }
+  return out;
+}
+
+void CrashAtParty::on_abort() {
+  if (done_) return;
+  if (inner_ && !inner_->done()) inner_->on_abort();
+  if (inner_ && inner_->done() && inner_->output()) {
+    finish(*inner_->output());
+  } else {
+    finish_bot();
+  }
+}
+
+namespace {
+
+// Burst-read `draws` sequential rng bits from every lane and transpose them:
+// word t's lane l is the t-th bit lane l's rng would produce. Rng::bit()
+// consumes exactly one keystream byte (its LSB), so one fill(draws) per lane
+// observes the same stream as `draws` sequential bit() calls — the scalar
+// GmwParty's draw pattern, read as one burst.
+std::vector<LaneWord> draw_lane_bits(std::vector<Rng>& lanes, std::size_t draws) {
+  std::vector<LaneWord> words(draws, 0);
+  if (draws == 0) return words;
+  Bytes buf(draws);
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    lanes[l].fill(buf);
+    const LaneWord bit = LaneWord{1} << l;
+    for (std::size_t t = 0; t < draws; ++t) {
+      if (buf[t] & 1) words[t] |= bit;
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+SlicedGmwRunner::SlicedGmwRunner(std::shared_ptr<const GmwConfig> cfg,
+                                 InputsFn draw_inputs, CrashScheduleFn crashes)
+    : cfg_(std::move(cfg)),
+      draw_inputs_(std::move(draw_inputs)),
+      crashes_(std::move(crashes)) {
+  FAIRSFE_CHECK(cfg_ != nullptr, "SlicedGmwRunner: null config");
+  FAIRSFE_CHECK(draw_inputs_ != nullptr, "SlicedGmwRunner: null input drawer");
+  const auto& c = cfg_->circuit;
+  FAIRSFE_CHECK(c.num_parties() >= 2 && c.num_parties() <= kLaneWidth,
+                "SlicedGmwRunner: party count out of range");
+  plan_ = cfg_->plan;
+  if (!plan_) {
+    plan_ = std::make_shared<const circuit::CompiledCircuit>(
+        circuit::CompiledCircuit::build(c));
+  }
+  FAIRSFE_CHECK(plan_->num_and_gates() == c.and_count(),
+                "compiled plan does not match the circuit's AND gates");
+  offline_ = preproc::is_offline(cfg_->preproc_mode);
+  if (offline_) {
+    FAIRSFE_CHECK(cfg_->preproc != nullptr,
+                  "SlicedGmwRunner: offline preproc mode without a store");
+    FAIRSFE_CHECK(cfg_->preproc->num_parties() == c.num_parties(),
+                  "SlicedGmwRunner: preproc store sized for a different party count");
+  }
+}
+
+void SlicedGmwRunner::run_batch(std::size_t lo, std::size_t count, std::uint64_t seed,
+                                std::span<sim::ExecutionResult> out) const {
+  FAIRSFE_CHECK(count >= 1 && count <= kLaneWidth,
+                "SlicedGmwRunner: batch must fit the lane width");
+  FAIRSFE_CHECK(out.size() >= count, "SlicedGmwRunner: output span too small");
+  const auto& c = cfg_->circuit;
+  const std::size_t n = c.num_parties();
+  const std::size_t layers = plan_->num_and_layers();
+  const std::size_t and_gates = plan_->num_and_gates();
+  const auto& gates = c.gates();
+
+  // Per-lane setup, mirroring the estimator + scalar factory draw order:
+  // run_rng = Rng(seed).fork_at("run", i), setup = run_rng.fork("setup"),
+  // inputs drawn from setup, then one fork("gmw-party") per party in order.
+  const Rng master(seed);
+  std::vector<std::vector<std::vector<bool>>> lane_inputs;  // [lane][party][bit]
+  lane_inputs.reserve(count);
+  std::vector<std::vector<Rng>> party_rng(n);  // [party][lane]
+  for (std::size_t p = 0; p < n; ++p) party_rng[p].reserve(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    Rng run_rng = master.fork_at("run", lo + l);
+    Rng setup_rng = run_rng.fork("setup");
+    lane_inputs.push_back(draw_inputs_(setup_rng));
+    FAIRSFE_CHECK(lane_inputs.back().size() == n,
+                  "SlicedGmwRunner: input drawer returned wrong party count");
+    for (std::size_t p = 0; p < n; ++p) {
+      FAIRSFE_CHECK(lane_inputs.back()[p].size() == c.input_width(p),
+                    "SlicedGmwRunner: input drawer returned wrong input width");
+      party_rng[p].push_back(setup_rng.fork("gmw-party"));
+    }
+  }
+
+  // Each party's full bit-draw tape for one run, read as one burst per lane
+  // and transposed into lane words. The scalar order is: input masks
+  // (k-outer, j-inner), then — inline only — one OT mask per (gate, peer) in
+  // (g-outer, j-inner) layer-walk order; Beaver layers draw nothing.
+  std::vector<std::vector<LaneWord>> rdraw(n);
+  std::vector<std::size_t> cursor(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t draws =
+        (c.input_width(p) + (offline_ ? 0 : and_gates)) * (n - 1);
+    rdraw[p] = draw_lane_bits(party_rng[p], draws);
+  }
+
+  // Transpose the per-run input bits into per-bit lane words.
+  std::vector<std::vector<LaneWord>> in_word(n);
+  {
+    std::vector<std::vector<bool>> rows(count);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t l = 0; l < count; ++l) rows[l] = lane_inputs[l][p];
+      in_word[p] = util::transpose_to_words(rows);
+    }
+  }
+
+  // Input sharing (the scalar round 0): party p splits bit k by drawing one
+  // mask per peer in j order; peer j's share is the mask, p keeps the fold.
+  std::vector<std::vector<LaneWord>> share(n, std::vector<LaneWord>(c.num_wires(), 0));
+  std::vector<std::vector<LaneWord>> and_word(n,
+                                              std::vector<LaneWord>(c.num_wires(), 0));
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto wires = plan_->inputs_of(p);
+    for (std::size_t k = 0; k < wires.size(); ++k) {
+      LaneWord acc = in_word[p][k];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == p) continue;
+        const LaneWord r = rdraw[p][cursor[p]++];
+        share[j][wires[k]] = r;
+        acc ^= r;
+      }
+      share[p][wires[k]] = acc;
+    }
+  }
+
+  // GmwParty::propagate, word-wide for all parties at once.
+  auto propagate = [&](std::size_t step) {
+    for (const std::uint32_t w : plan_->resolve_step(step)) {
+      const Gate& g = gates[w];
+      switch (g.type) {
+        case GateType::kConst:
+          // Only party 0 contributes the constant (all lanes alike).
+          share[0][w] = g.const_value ? ~LaneWord{0} : 0;
+          for (std::size_t p = 1; p < n; ++p) share[p][w] = 0;
+          break;
+        case GateType::kXor:
+          for (std::size_t p = 0; p < n; ++p) {
+            share[p][w] = share[p][g.a] ^ share[p][g.b];
+          }
+          break;
+        case GateType::kNot:
+          share[0][w] = ~share[0][g.a];
+          for (std::size_t p = 1; p < n; ++p) share[p][w] = share[p][g.a];
+          break;
+        case GateType::kAnd:
+          for (std::size_t p = 0; p < n; ++p) share[p][w] = and_word[p][w];
+          break;
+        case GateType::kInput:
+          break;  // excluded from the schedule
+      }
+    }
+  };
+  propagate(0);
+
+  // Crash-divergent lanes leave the active set at their crash layer; the
+  // words still carry their (discarded) bits, so lane-mates never notice.
+  LaneWord active =
+      count == kLaneWidth ? ~LaneWord{0} : (LaneWord{1} << count) - 1;
+  std::vector<std::size_t> crash_at(count, layers + 1);  // layers + 1 = never
+  if (crashes_) {
+    for (std::size_t l = 0; l < count; ++l) {
+      if (const auto cp = crashes_(lo + l)) {
+        FAIRSFE_CHECK(cp->party < n && cp->layer <= layers,
+                      "SlicedGmwRunner: crash plan out of range");
+        crash_at[l] = cp->layer;
+      }
+    }
+  }
+
+  if (offline_ && and_gates > 0) {
+    FAIRSFE_CHECK((lo + count) * and_gates <= cfg_->preproc->num_triples(),
+                  "preprocessed Beaver triples exhausted — offline budget too small");
+  }
+
+  std::vector<LaneWord> x_word(n), y_word(n), z_word(n);
+  std::vector<LaneWord> ta(n), tb(n), tc(n);
+  std::size_t ordinal = 0;  // AND-gate ordinal within one run (= tape order)
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    for (std::size_t l = 0; l < count; ++l) {
+      if (crash_at[l] == layer) active &= ~(LaneWord{1} << l);
+    }
+    for (const std::uint32_t g : plan_->and_layer(layer)) {
+      for (std::size_t p = 0; p < n; ++p) {
+        x_word[p] = share[p][gates[g].a];
+        y_word[p] = share[p][gates[g].b];
+      }
+      if (!offline_) {
+        // Inline OT algebra: z_s starts x_s & y_s; as sender to j, s draws
+        // mask r and folds it in; receiver j folds r ⊕ (x_s & y_j) — the
+        // 1-of-2 OT result — so ⊕_p z_p telescopes to x & y.
+        for (std::size_t p = 0; p < n; ++p) z_word[p] = x_word[p] & y_word[p];
+        for (std::size_t s = 0; s < n; ++s) {
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j == s) continue;
+            const LaneWord r = rdraw[s][cursor[s]++];
+            z_word[s] ^= r;
+            z_word[j] ^= r ^ (x_word[s] & y_word[j]);
+          }
+        }
+      } else {
+        // Beaver path: 64 triples per word-op. Lane l's triple for this gate
+        // sits at index (lo + l)·triples_per_run + ordinal — exactly where
+        // the scalar tape (bind_preproc_slice) would read it.
+        const preproc::CorrelatedRandomness& store = *cfg_->preproc;
+        for (std::size_t p = 0; p < n; ++p) {
+          ta[p] = tb[p] = tc[p] = 0;
+          for (std::size_t l = 0; l < count; ++l) {
+            const std::size_t t = (lo + l) * and_gates + ordinal;
+            const LaneWord bit = LaneWord{1} << l;
+            if (store.triple_a(p, t)) ta[p] |= bit;
+            if (store.triple_b(p, t)) tb[p] |= bit;
+            if (store.triple_c(p, t)) tc[p] |= bit;
+          }
+        }
+        LaneWord d = 0;
+        LaneWord e = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+          d ^= x_word[p] ^ ta[p];
+          e ^= y_word[p] ^ tb[p];
+        }
+        // z_p = c_p ⊕ d·b_p ⊕ e·a_p ⊕ [p = 0]·d·e.
+        for (std::size_t p = 0; p < n; ++p) {
+          z_word[p] = tc[p] ^ (d & tb[p]) ^ (e & ta[p]);
+        }
+        z_word[0] ^= d & e;
+      }
+      for (std::size_t p = 0; p < n; ++p) and_word[p][g] = z_word[p];
+      ++ordinal;
+    }
+    propagate(layer + 1);
+  }
+  for (std::size_t l = 0; l < count; ++l) {
+    if (crash_at[l] == layers) active &= ~(LaneWord{1} << l);
+  }
+
+  // Open the outputs: the reconstructed wire value is the XOR over all
+  // parties' shares (every party broadcasts its output-wire shares).
+  const auto& outs = c.outputs();
+  std::vector<LaneWord> recon(outs.size(), 0);
+  for (std::size_t oi = 0; oi < outs.size(); ++oi) {
+    for (std::size_t p = 0; p < n; ++p) recon[oi] ^= share[p][outs[oi]];
+  }
+#if FAIRSFE_DCHECKS_ENABLED
+  {
+    const auto ref = circuit::eval_sliced(c, in_word);
+    for (std::size_t oi = 0; oi < outs.size(); ++oi) {
+      FAIRSFE_DCHECK(((recon[oi] ^ ref[oi]) & active) == 0,
+                     "sliced GMW reconstruction disagrees with plaintext eval");
+    }
+  }
+#endif
+
+  const int full_rounds = static_cast<int>(2 + (offline_ ? layers : 2 * layers));
+  for (std::size_t l = 0; l < count; ++l) {
+    sim::ExecutionResult r;
+    r.outputs.resize(n);
+    if (((active >> l) & 1) != 0) {
+      for (std::size_t p = 0; p < n; ++p) {
+        std::vector<bool> bits;
+        bits.reserve(cfg_->output_map[p].size());
+        for (const std::size_t oi : cfg_->output_map[p]) {
+          bits.push_back(((recon[oi] >> l) & 1) != 0);
+        }
+        r.outputs[p] = circuit::bits_to_bytes(bits);
+      }
+      r.rounds = full_rounds;
+    } else {
+      // All parties end ⊥: a crashed lane's peers observe the missing layer
+      // message and abort (the scalar twin is CrashAtParty).
+      r.rounds = crash_round_of(*cfg_, crash_at[l]) + 2;
+    }
+    out[l] = std::move(r);
+  }
+}
+
+}  // namespace fairsfe::mpc

@@ -1,0 +1,111 @@
+// Bit-sliced GMW execution: 64 Monte-Carlo runs per machine word.
+//
+// Honest GMW runs under the utility estimator are structurally identical —
+// they differ only in the input bits and share randomness derived from
+// Rng(seed).fork_at("run", i). SlicedGmwRunner exploits that: it packs 64
+// runs into the lanes of LaneWords (util/bitmat.h) and advances all of them
+// with ONE walk over the cached CompiledCircuit plan, evaluating XOR/NOT
+// layers as single word ops and AND layers on whole words — either with the
+// inline OT algebra (every per-(gate, peer) mask drawn as a burst from the
+// same per-party rng streams the scalar GmwParty would consume) or with
+// Beaver triples from the PR-6 preprocessing store, 64 triples per word-op.
+//
+// The contract that makes it useful (DESIGN.md §11): for every run index i,
+// the lane reproduces the scalar execution's observable result bit-for-bit —
+// same inputs, same share randomness, same outputs — because it derives the
+// identical rng streams (fork_at("run", i) → fork("setup") → input draws →
+// one fork("gmw-party") per party) and consumes each party's bit draws in
+// the scalar order (input masks k-outer/j-inner, OT masks g-outer/j-inner,
+// Beaver layers drawing nothing). Estimates from the sliced path are
+// therefore bit-identical to the scalar engine's, not statistically close.
+//
+// Crash-divergent runs are masked out of the lane set rather than forcing a
+// scalar fallback: a lane whose run crashes before AND layer L is removed
+// from the active mask at L and every party of that lane outputs ⊥ (in the
+// synchronous model a missing layer message aborts all peers), while its 63
+// lane-mates are unaffected — their streams are independent by fork_at.
+// CrashAtParty is the scalar twin of that semantics, used by the
+// sliced-vs-scalar equivalence tests and scenario checks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpc/gmw.h"
+#include "sim/engine.h"
+#include "util/bitmat.h"
+
+namespace fairsfe::mpc {
+
+/// A scheduled crash: the party stops sending right before AND layer `layer`
+/// (layer == num_and_layers() means right before the output exchange).
+struct CrashPlan {
+  std::size_t party = 0;
+  std::size_t layer = 0;
+};
+
+/// Deterministic crash schedule over run indices: pure function of the run
+/// index (never of scheduling), so sliced and scalar paths agree exactly.
+using CrashScheduleFn = std::function<std::optional<CrashPlan>(std::size_t run_index)>;
+
+/// The engine round at which a party crashing "before AND layer `layer`"
+/// falls silent: the round that layer's traffic (OT requests inline, the
+/// Beaver broadcast offline) would have been sent.
+int crash_round_of(const GmwConfig& cfg, std::size_t layer);
+
+/// Scalar crash twin: delegates to the wrapped party until `crash_round`,
+/// then falls permanently silent with output ⊥. Peers observe the missing
+/// layer message and abort, so the whole run ends all-⊥ — exactly the
+/// masked-lane semantics of SlicedGmwRunner. A negative crash round (the
+/// default) never fires; RunSetup::bind_run sets it per run index.
+class CrashAtParty final : public sim::PartyBase<CrashAtParty> {
+ public:
+  explicit CrashAtParty(std::unique_ptr<sim::IParty> inner);
+  CrashAtParty(const CrashAtParty& other);
+  CrashAtParty& operator=(const CrashAtParty&) = delete;
+
+  void set_crash_round(int round) { crash_round_ = round; }
+
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
+  void on_abort() override;
+
+ private:
+  std::unique_ptr<sim::IParty> inner_;
+  int crash_round_ = -1;
+  bool crashed_ = false;
+};
+
+/// Evaluates batches of up to kLaneWidth honest GMW runs bit-sliced. The
+/// runner is immutable and shared read-only across estimator worker threads.
+class SlicedGmwRunner {
+ public:
+  /// Draws one run's inputs from the setup rng — must be the SAME callable
+  /// (or at least the same draw sequence) the scalar factory uses, so both
+  /// paths consume the setup stream identically.
+  using InputsFn = std::function<std::vector<std::vector<bool>>(Rng&)>;
+
+  SlicedGmwRunner(std::shared_ptr<const GmwConfig> cfg, InputsFn draw_inputs,
+                  CrashScheduleFn crashes = nullptr);
+
+  /// Evaluate runs [lo, lo+count) — count <= kLaneWidth — against master
+  /// `seed` (run lo+l's randomness is Rng(seed).fork_at("run", lo+l), exactly
+  /// the estimator's derivation) and write run lo+l's ExecutionResult to
+  /// out[l]. Crashed lanes yield all-⊥ outputs; surviving lanes carry every
+  /// party's opened output bytes.
+  void run_batch(std::size_t lo, std::size_t count, std::uint64_t seed,
+                 std::span<sim::ExecutionResult> out) const;
+
+  [[nodiscard]] std::size_t num_parties() const { return cfg_->circuit.num_parties(); }
+
+ private:
+  std::shared_ptr<const GmwConfig> cfg_;
+  std::shared_ptr<const circuit::CompiledCircuit> plan_;
+  InputsFn draw_inputs_;
+  CrashScheduleFn crashes_;
+  bool offline_ = false;
+};
+
+}  // namespace fairsfe::mpc

@@ -13,11 +13,19 @@
 // runs are accumulated in fixed-size index shards merged in index order, so
 // the returned estimate is bit-identical for every `threads` setting
 // (including the per-run event classifications in `run_events`).
+//
+// Two execution strategies share that contract: the scalar engine (one
+// simulated execution per run) and the bit-sliced path (64 runs advanced per
+// machine word through EstimationTarget::sliced; DESIGN.md §11). CI-driven
+// sequential stopping (EstimatorOptions::target_ci) halts either path at a
+// deterministic, thread-invariant lane-width batch boundary.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +69,30 @@ struct RunSetup {
 /// (Every factory in src/experiments satisfies this by construction.)
 using SetupFactory = std::function<RunSetup(Rng&)>;
 
+/// Bit-sliced batch executor (DESIGN.md §11): evaluate runs [lo, lo+count)
+/// against master `seed` — run lo+l's randomness derived exactly as the
+/// scalar path's Rng(seed).fork_at("run", lo+l) — and write run lo+l's
+/// ExecutionResult to out[l]. `count` never exceeds one machine word of
+/// lanes (64). Implementations must be const-callable from concurrent
+/// estimator workers and bit-identical to the scalar engine per run index
+/// (mpc::SlicedGmwRunner::run_batch is the canonical one).
+using SlicedBatchFn = std::function<void(std::size_t lo, std::size_t count,
+                                         std::uint64_t seed,
+                                         std::span<sim::ExecutionResult> out)>;
+
+/// What to estimate: the scalar per-run factory plus, optionally, a sliced
+/// batch executor over the same run-index space. When `sliced` is set and the
+/// options ask for lanes = 64 (and no fault-plan override forces the real
+/// engine), the estimator advances 64 runs per machine word; otherwise it
+/// falls back to the scalar factory. Both paths classify runs with the
+/// default predicates, so a target with a sliced hook must be an
+/// honest-execution setup whose events are determined by the run outputs.
+struct EstimationTarget {
+  SetupFactory factory;              ///< scalar path (may be null if sliced-only)
+  SlicedBatchFn sliced;              ///< optional bit-sliced fast path
+  std::size_t sliced_parties = 0;    ///< party count for sliced classification
+};
+
 /// How to run an estimation. Replaces the old positional
 /// (factory, payoff, runs, seed) signatures across the library.
 struct EstimatorOptions {
@@ -72,7 +104,11 @@ struct EstimatorOptions {
   std::size_t threads = 1;
   /// Optional progress sink, invoked as progress(done_runs, total_runs) after
   /// each completed shard. Calls are serialized (an internal mutex) but may
-  /// come from worker threads; `done_runs` is monotone and ends at total.
+  /// come from worker threads; `done_runs` is monotone and the FINAL call
+  /// always has done == total. Under sequential stopping (target_ci) the
+  /// estimation may halt before the requested run count: earlier calls report
+  /// total = requested runs, and one last call reports (stopped, stopped) so
+  /// sinks keyed on done == total terminate instead of hanging at 98%.
   std::function<void(std::size_t done, std::size_t total)> progress;
   /// Fault-plan override: when set, it replaces each run's
   /// `setup.engine.fault` after the factory builds it, so one factory can be
@@ -87,7 +123,31 @@ struct EstimatorOptions {
   /// RunSetup::bind_run) instead of the inline hybrid. Default kInline is
   /// bit-identical to the pre-split estimator.
   mpc::preproc::PreprocMode preproc = mpc::preproc::PreprocMode::kInline;
+  /// Lane width: 1 = scalar engine per run (the default), 64 = bit-sliced
+  /// execution (one machine word advances 64 runs) when the target provides a
+  /// sliced hook. Any other value is a contract violation. Lanes NEVER change
+  /// the estimate: sliced and scalar are bit-identical per run index, so this
+  /// only selects the execution strategy.
+  std::size_t lanes = 1;
+  /// Sequential stopping (CI-driven): when > 0, stop after the first
+  /// lane-width batch whose cumulative 95% CI half-width (1.96 standard
+  /// errors, >= 2 batches, >= 2 valid runs) is <= target_ci, instead of
+  /// always performing `runs` executions. The stop point is a pure function
+  /// of (seed, target_ci): batches are merged in index order and batches
+  /// beyond the stop point are discarded, so the estimate is bit-identical
+  /// for every `threads` setting. 0 disables stopping.
+  double target_ci = 0.0;
 
+  [[nodiscard]] EstimatorOptions with_lanes(std::size_t l) const {
+    EstimatorOptions o = *this;
+    o.lanes = l;
+    return o;
+  }
+  [[nodiscard]] EstimatorOptions with_target_ci(double ci) const {
+    EstimatorOptions o = *this;
+    o.target_ci = ci;
+    return o;
+  }
   [[nodiscard]] EstimatorOptions with_seed(std::uint64_t s) const {
     EstimatorOptions o = *this;
     o.seed = s;
@@ -114,7 +174,15 @@ struct UtilityEstimate {
   double utility = 0.0;       ///< empirical mean payoff (over valid runs)
   double std_error = 0.0;     ///< standard error of the mean
   std::array<double, 4> event_freq{};  ///< empirical Pr[E_ij] over valid runs
-  std::size_t runs = 0;       ///< executions requested (= run_events.size())
+  /// Executions performed (= run_events.size()). Equal to requested_runs
+  /// unless sequential stopping halted early.
+  std::size_t runs = 0;
+  /// Executions requested (EstimatorOptions::runs).
+  std::size_t requested_runs = 0;
+  /// True iff sequential stopping (target_ci) halted before requested_runs.
+  bool stopped_early = false;
+  /// Lane width the estimation actually used: 1 (scalar) or 64 (sliced).
+  std::size_t lanes = 1;
   /// Executions that terminated on their own. A run that hits
   /// ExecutionOptions::max_rounds is a hard per-run error — the protocol
   /// never reached a verdict — so it is excluded from utility / std_error /
@@ -147,6 +215,8 @@ struct UtilityEstimate {
   [[nodiscard]] bool clean() const { return round_cap_hits == 0; }
   /// Conservative high-probability half-width (3 standard errors).
   [[nodiscard]] double margin() const { return 3.0 * std_error; }
+  /// 95% CI half-width (1.96 standard errors) — the sequential-stopping gauge.
+  [[nodiscard]] double ci_halfwidth() const { return 1.96 * std_error; }
   /// Monte-Carlo throughput of this estimation.
   [[nodiscard]] double runs_per_sec() const {
     return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
@@ -156,6 +226,12 @@ struct UtilityEstimate {
 /// Estimate u_A(Π, A) over opts.runs independent executions seeded from
 /// opts.seed, sharded across opts.threads workers.
 UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
+                                 const EstimatorOptions& opts);
+
+/// Same, with an optional bit-sliced fast path and CI-driven sequential
+/// stopping (see EstimationTarget and EstimatorOptions::lanes / target_ci).
+UtilityEstimate estimate_utility(const EstimationTarget& target,
+                                 const PayoffVector& payoff,
                                  const EstimatorOptions& opts);
 
 /// Estimate a registered scenario's canonical (first-registered) attack

@@ -1,0 +1,69 @@
+#include "util/bitmat.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.h"
+
+namespace fairsfe::util {
+
+void transpose64x64(std::uint64_t* m) {
+  // Recursive block swap (Hacker's Delight 7-3), adapted to the LSB-first
+  // convention used here (element (r, c) = bit c of m[r]; the book's variant
+  // numbers columns from the MSB and would compute the anti-transpose): for
+  // j = 32, 16, ..., 1 swap the upper-right j×j sub-block of every 2j×2j
+  // block — top rows (bit j of the row index clear), HIGH bit groups — with
+  // the lower-left one (bottom rows, low bit groups).
+  std::uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (std::size_t j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+std::vector<LaneWord> transpose_to_words(const std::vector<std::vector<bool>>& rows) {
+  FAIRSFE_CHECK(rows.size() <= kLaneWidth, "transpose_to_words: more rows than lanes");
+  const std::size_t bits = rows.empty() ? 0 : rows.front().size();
+  for (const auto& r : rows) {
+    FAIRSFE_CHECK(r.size() == bits, "transpose_to_words: ragged rows");
+  }
+  std::vector<LaneWord> out(bits, 0);
+  std::array<std::uint64_t, kLaneWidth> block{};
+  for (std::size_t base = 0; base < bits; base += kLaneWidth) {
+    const std::size_t chunk = std::min(kLaneWidth, bits - base);
+    block.fill(0);
+    for (std::size_t l = 0; l < rows.size(); ++l) {
+      const std::vector<bool>& row = rows[l];
+      for (std::size_t k = 0; k < chunk; ++k) {
+        if (row[base + k]) block[l] |= std::uint64_t{1} << k;
+      }
+    }
+    transpose64x64(block.data());
+    for (std::size_t k = 0; k < chunk; ++k) out[base + k] = block[k];
+  }
+  return out;
+}
+
+std::vector<std::vector<bool>> transpose_from_words(std::span<const LaneWord> words,
+                                                    std::size_t rows) {
+  FAIRSFE_CHECK(rows <= kLaneWidth, "transpose_from_words: more rows than lanes");
+  std::vector<std::vector<bool>> out(rows, std::vector<bool>(words.size(), false));
+  std::array<std::uint64_t, kLaneWidth> block{};
+  for (std::size_t base = 0; base < words.size(); base += kLaneWidth) {
+    const std::size_t chunk = std::min(kLaneWidth, words.size() - base);
+    block.fill(0);
+    for (std::size_t k = 0; k < chunk; ++k) block[k] = words[base + k];
+    transpose64x64(block.data());
+    for (std::size_t l = 0; l < rows; ++l) {
+      for (std::size_t k = 0; k < chunk; ++k) {
+        out[l][base + k] = ((block[l] >> k) & 1) != 0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fairsfe::util

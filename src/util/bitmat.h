@@ -1,0 +1,40 @@
+// Bit-matrix transpose and lane packing for bit-sliced execution.
+//
+// The sliced execution path (DESIGN.md §11) evaluates one Monte-Carlo run per
+// bit of a machine word: lane l of a LaneWord holds run l's value of some
+// protocol bit, so a single XOR/AND over words advances kLaneWidth runs at
+// once. The boundary between the per-run world (bit vectors indexed by run)
+// and the per-bit world (words indexed by wire/draw position) is a bit-matrix
+// transpose: transpose_to_words turns "64 rows of B bits" into "B words of 64
+// lanes" on the way in, transpose_from_words inverts it on the way out. The
+// 64×64 block kernel is the classic recursive block-swap (Hacker's Delight
+// 7-3), O(64·log 64) word ops per block instead of 64² bit moves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fairsfe::util {
+
+/// One Monte-Carlo run per bit: the sliced path's word type.
+using LaneWord = std::uint64_t;
+
+/// Runs advanced per pass over the compiled plan (== bits per LaneWord).
+inline constexpr std::size_t kLaneWidth = 64;
+
+/// In-place transpose of a 64×64 bit matrix: bit c of m[r] moves to bit r of
+/// m[c]. `m` must point at 64 words.
+void transpose64x64(std::uint64_t* m);
+
+/// Pack per-run bit rows into per-position lane words: given up to kLaneWidth
+/// rows of equal length B, returns B words with bit l of word k == rows[l][k].
+/// Lanes beyond rows.size() are zero.
+std::vector<LaneWord> transpose_to_words(const std::vector<std::vector<bool>>& rows);
+
+/// Inverse of transpose_to_words: unpack `words` into `rows` per-run bit
+/// vectors (rows <= kLaneWidth), rows[l][k] == bit l of words[k].
+std::vector<std::vector<bool>> transpose_from_words(std::span<const LaneWord> words,
+                                                    std::size_t rows);
+
+}  // namespace fairsfe::util

@@ -25,14 +25,14 @@ rpd::EstimatorOptions smoke_opts(const ScenarioSpec& spec, std::size_t threads) 
   return o;
 }
 
-TEST(Registry, NineteenScenariosWithUniqueIds) {
+TEST(Registry, TwentyScenariosWithUniqueIds) {
   const auto specs = Registry::instance().all();
-  ASSERT_EQ(specs.size(), 19u);
+  ASSERT_EQ(specs.size(), 20u);
   std::set<std::string> ids;
   for (const auto* s : specs) ids.insert(s->id);
   EXPECT_EQ(ids.size(), specs.size()) << "duplicate scenario id registered";
-  // One registration per experiment chapter: exp01..exp19 each appear once.
-  for (int n = 1; n <= 19; ++n) {
+  // One registration per experiment chapter: exp01..exp20 each appear once.
+  for (int n = 1; n <= 20; ++n) {
     char prefix[8];
     std::snprintf(prefix, sizeof(prefix), "exp%02d_", n);
     int hits = 0;
