@@ -2,7 +2,10 @@
 //
 // Replaces the 18 one-binary-per-experiment exp* harnesses: the scenario
 // table lives in experiments::Registry (src/experiments/scenarios/), and
-// this binary only selects, runs, and reports.
+// this binary only selects, runs, and reports. The per-scenario work itself
+// lives in service::run_scenario — the same function fairbenchd serves over
+// a socket, which is what makes daemon answers bit-identical to one-shot
+// runs.
 //
 //   fairbench --list                       enumerate registered scenarios
 //   fairbench --filter exp05 [runs]        run a selection (glob / substring
@@ -10,6 +13,7 @@
 //   fairbench --filter opt2 --json out.json --runs 500 --threads 0
 //   fairbench --filter exp18 --json new.json --baseline BENCH_fault.json
 //   fairbench --filter gmw --preproc offline_ideal
+//   fairbench --filter exp01 --transport tcp --seed 7
 //
 // JSON: one scenario selected -> a single object, byte-compatible with the
 // files the old exp* binaries wrote (BENCH_*.json); several -> an array of
@@ -22,16 +26,19 @@
 // all of the scenario's runs (runs × triples_per_run) and hands it to the
 // body via ScenarioContext, so the whole Monte-Carlo sweep amortizes a
 // single offline phase. Utilities and verdicts are invariant under the mode.
-#include <chrono>
+//
+// SIGINT/SIGTERM: the run stops at the next scenario boundary — the scenario
+// in flight finishes, the JSON collected so far is flushed intact, and the
+// process exits 0 (a Ctrl-C never truncates --json output mid-array).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
-#include "crypto/rng.h"
 #include "experiments/registry.h"
 #include "experiments/report.h"
-#include "mpc/preproc/provider.h"
+#include "service/runner.h"
+#include "service/signals.h"
 
 using namespace fairsfe;
 
@@ -42,6 +49,7 @@ void print_usage() {
       "usage: fairbench [--list] [--filter <glob|substring|tag>] [runs] [--runs N]\n"
       "                 [--threads N] [--json out.json] [--baseline old.json]\n"
       "                 [--lanes {1,64}] [--target-ci H]\n"
+      "                 [--transport {inproc,tcp}] [--seed S] [--quiet]\n"
       "\n"
       "  --list       print the scenario table and exit\n"
       "  --filter     select scenarios by id glob, id substring, or tag glob\n"
@@ -59,7 +67,14 @@ void print_usage() {
       "               register a sliced path; estimates are bit-identical\n"
       "  --target-ci  stop each estimation once its 95%% CI half-width\n"
       "               (1.96 * std_error) reaches H instead of always doing\n"
-      "               the full run count; deterministic given (seed, H)\n");
+      "               the full run count; deterministic given (seed, H)\n"
+      "  --transport  delivery-leg transport: inproc (native, default) or tcp\n"
+      "               (framed messages over real loopback sockets); estimates\n"
+      "               are bit-identical across transports\n"
+      "  --seed       replay the whole run under one master seed (overrides\n"
+      "               every per-point seed; what fairbenchd's \"seed\" field\n"
+      "               maps to)\n"
+      "  --quiet      suppress the stdout tables (JSON output only)\n");
 }
 
 void list_scenarios(const std::vector<const experiments::ScenarioSpec*>& specs) {
@@ -133,48 +148,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  service::install_stop_handlers();
+
   std::vector<std::string> objects;
   int deviations = 0;
+  bool interrupted = false;
   for (const experiments::ScenarioSpec* spec : selected) {
-    // The driver owns the JSON sink (single object vs array), so each
-    // per-scenario Reporter runs without one.
-    bench::Args local = args;
-    local.json_path.clear();
-    bench::Reporter rep(local, spec->default_runs);
-    rep.begin(*spec);
-    experiments::ScenarioContext ctx{*spec, rep};
-    ctx.preproc = args.preproc;
-    if (mpc::preproc::is_offline(args.preproc) && spec->preproc) {
-      // One amortized offline phase for the scenario's whole Monte-Carlo
-      // sweep. Seeded from base_seed so the batch — like every run — is a
-      // pure function of the registered spec.
-      const experiments::PreprocBudget& budget = *spec->preproc;
-      mpc::preproc::PreprocRequest req;
-      req.parties = budget.parties;
-      req.triples = rep.runs() * budget.triples_per_run;
-      req.rots = rep.runs() * budget.rots_per_run;
-      Rng batch_rng(spec->base_seed);
-      const auto t0 = std::chrono::steady_clock::now();
-      ctx.batch = mpc::preproc::generate_batch(args.preproc, req, batch_rng);
-      const auto t1 = std::chrono::steady_clock::now();
-      ctx.offline_seconds = std::chrono::duration<double>(t1 - t0).count();
-      rep.offline_batch(std::string(mpc::preproc::to_string(args.preproc)),
-                        req.triples, ctx.offline_seconds);
+    if (service::stop_requested()) {
+      // Graceful drain: the scenarios already run are reported in full; the
+      // rest are skipped, never half-measured.
+      interrupted = true;
+      break;
     }
-    spec->run(ctx);
-    rep.finish();
-    deviations += rep.deviations();
-    if (!args.json_path.empty()) objects.push_back(rep.json_object());
+    const service::ScenarioRunResult res = service::run_scenario(*spec, args);
+    deviations += res.deviations;
+    if (!args.json_path.empty()) objects.push_back(res.json);
   }
 
-  if (selected.size() > 1) {
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "fairbench: interrupted — %zu of %zu scenario(s) completed, "
+                 "flushing report\n",
+                 objects.empty() ? std::size_t{0} : objects.size(),
+                 selected.size());
+  }
+  if (selected.size() > 1 && !args.quiet) {
     std::printf("\n=== fairbench: %zu scenarios, %d deviation%s total ===\n",
                 selected.size(), deviations, deviations == 1 ? "" : "s");
   }
-  if (!args.json_path.empty()) {
+  if (!args.json_path.empty() && !objects.empty()) {
     if (const int rc = write_json(args.json_path, objects); rc != 0) return rc;
   }
-  if (!args.baseline_path.empty()) {
+  if (!args.baseline_path.empty() && !interrupted) {
     const std::string cmd =
         "python3 scripts/bench_diff.py " + args.baseline_path + " " + args.json_path;
     std::printf("\n$ %s\n", cmd.c_str());

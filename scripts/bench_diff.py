@@ -22,11 +22,16 @@ import argparse
 import json
 import sys
 
-# Higher is better for throughput; lower is better for cost counters.
-HIGHER_IS_BETTER = {"runs_per_sec"}
+# Higher is better for throughput; lower is better for cost counters and
+# latencies.
+HIGHER_IS_BETTER = {"runs_per_sec", "requests_per_sec"}
 # wall_seconds is omitted: it scales with the iteration count, not the work.
 NUMERIC_KEYS = [
     "runs_per_sec",
+    "requests_per_sec",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
     "rounds",
     "messages",
     "messages_per_round",

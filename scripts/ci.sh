@@ -9,10 +9,15 @@
 # 2. TSan gate for the parallel Monte-Carlo estimation engine: build the tsan
 # preset and run the tier1 ctest label — the scheduling-independence suites
 # (estimator, thread pool, RNG forking, hot-path goldens, fault injection)
-# plus the scenario-registry suite — under ThreadSanitizer, so data races in
-# the estimator/thread-pool/plan-cache/fault layer fail the build rather
-# than silently perturbing estimates. The tier labels are assigned in
+# plus the scenario-registry, wire-codec/transport/mesh, and fairbenchd
+# daemon suites — under ThreadSanitizer, so data races in the estimator/
+# thread-pool/plan-cache/fault/daemon layer fail the build rather than
+# silently perturbing estimates. The tier labels are assigned in
 # tests/CMakeLists.txt.
+#
+# 3. Daemon smoke (gating): start the Release fairbenchd on a unix socket,
+#    drive a request mix through scripts/loadtest.py --smoke, and assert the
+#    daemon drains and exits 0 on SIGTERM — the graceful-shutdown contract.
 #
 # Afterwards, a non-gating perf + experiment smoke against a Release build:
 #   * `fairbench --list` must enumerate the registered scenario table (a
@@ -33,6 +38,10 @@
 #     bit-identical to scalar, >= 10x runs/sec on gmw_millionaires_16,
 #     deterministic sequential stop) fail the perf step itself if the
 #     64-runs-per-word path ever degenerates to scalar speed.
+#   * scripts/loadtest.py replays the full fairbenchd request mix, writes
+#     BENCH_service.ci.json, and scripts/bench_diff.py prints the latency/
+#     throughput delta against the committed BENCH_service.json (50%
+#     threshold — service latency is the noisiest counter CI measures).
 #
 # Usage: scripts/ci.sh [extra ctest -R regex]
 set -euo pipefail
@@ -55,12 +64,23 @@ fi
 # --- non-gating perf + experiment smoke --------------------------------------
 if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
    cmake --build build-perf -j "$(nproc)" --target perf_protocols \
-         --target fairbench >/dev/null 2>&1; then
+         --target fairbench --target fairbenchd >/dev/null 2>&1; then
   SCENARIOS=$(./build-perf/fairbench --list | tail -1)
   echo "fairbench --list: ${SCENARIOS}"
   case "${SCENARIOS}" in
     0\ scenarios*) echo "registry is empty — scenario TUs dropped?"; exit 1 ;;
   esac
+
+  # --- gating daemon smoke ----------------------------------------------------
+  # Spawn fairbenchd on a unix socket, drive a small concurrent request mix,
+  # SIGTERM it, and require a clean drain (exit 0) with every request
+  # answered — loadtest.py exits non-zero on any error event, missing
+  # answer, or unclean shutdown. Small mix: this gates correctness of the
+  # service path, not its throughput (that is the non-gating diff below).
+  python3 scripts/loadtest.py --daemon build-perf/fairbenchd \
+      --requests 8 --connections 2 --runs 32
+  echo "daemon smoke passed"
+
   ./build-perf/fairbench --filter smoke --runs 32 ||
     echo "experiment smoke deviation (non-gating; 32 runs is noisy)"
   ./build-perf/bench/perf_protocols --profile --json BENCH_hotpath.ci.json 500 || true
@@ -82,6 +102,14 @@ if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
     python3 scripts/bench_diff.py --fail-above 35 \
         BENCH_bitslice.json BENCH_bitslice.ci.json ||
       echo "bitslice perf regression (non-gating)"
+  fi
+  python3 scripts/loadtest.py --daemon build-perf/fairbenchd \
+      --out BENCH_service.ci.json ||
+    echo "service loadtest failed (non-gating at full mix)"
+  if [[ -f BENCH_service.json && -f BENCH_service.ci.json ]]; then
+    python3 scripts/bench_diff.py --fail-above 50 \
+        BENCH_service.json BENCH_service.ci.json ||
+      echo "service latency regression (non-gating)"
   fi
 else
   echo "perf smoke skipped (Release build unavailable)"

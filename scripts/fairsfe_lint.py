@@ -53,6 +53,14 @@ of that contract machine-checked:
                             consume the typed SlicedBatchFn / SlicedGmwRunner
                             surface instead of slicing shares by hand. tests/
                             are exempt (they unit-test the transpose).
+  raw-socket-access         POSIX socket API (<sys/socket.h>-family includes,
+                            socket/bind/listen/accept/connect calls) outside
+                            src/net. The process's entire network surface must
+                            stay auditable from src/net/socket.cpp (its header
+                            comment enumerates every raw call site); everything
+                            above it — transports, mesh, daemon, benches,
+                            tests — talks net::Stream / net::*Listener /
+                            net::tcp_connect*.
 
 Escape hatch: a finding is suppressed by `// LINT-ALLOW(rule): reason` on the
 same line or on a comment line directly above it. The reason is mandatory
@@ -262,6 +270,45 @@ class LaneWordSharesRule(RegexRule):
                        for d in self.EXEMPT)
 
 
+class RawSocketAccessRule(RegexRule):
+    """Everywhere EXCEPT src/net — the one directory allowed to touch the
+    POSIX socket API. Auditing the process's network surface must mean
+    auditing src/net/socket.cpp (its header comment enumerates every raw call
+    site); a stray socket()/bind()/connect()/accept()/listen() or a
+    <sys/socket.h>-family include elsewhere silently widens that surface.
+    Everything above src/net speaks net::Stream / net::*Listener /
+    net::tcp_connect*. An exclusion list, like direct-ot-access, so the rule
+    follows new scan roots automatically."""
+
+    EXEMPT = ("src/net",)
+
+    def __init__(self):
+        super().__init__(
+            "raw-socket-access", None,
+            "raw socket API outside src/net: use net::Stream / "
+            "net::TcpListener / net::UnixListener / net::tcp_connect* "
+            "(src/net/socket.h) so the process's network surface stays "
+            "auditable in one place",
+            [
+                r"#\s*include\s*<sys/socket\.h>",
+                r"#\s*include\s*<sys/un\.h>",
+                r"#\s*include\s*<netinet/[\w.]+>",
+                r"#\s*include\s*<arpa/inet\.h>",
+                r"#\s*include\s*<netdb\.h>",
+                # The call sites. The lookbehind excludes word chars (so
+                # tcp_connect/unix_connect wrappers don't match), member
+                # access `.`/`->` (SeqTracker::accept() callers, listener
+                # methods), and a preceding `:` (so `net::...`/`std::bind`
+                # qualified names only match when the `::`-prefixed
+                # alternative matches from a clean position).
+                r"(?<![\w.>:])(?:::\s*)?(?:socket|bind|listen|accept|connect)\s*\(",
+            ])
+
+    def in_scope(self, relpath):
+        return not any(relpath == d or relpath.startswith(d + "/")
+                       for d in self.EXEMPT)
+
+
 class BareAssertRule(RegexRule):
     def __init__(self):
         super().__init__(
@@ -369,6 +416,7 @@ RULES = [
     BareAssertRule(),
     DirectOtAccessRule(),
     LaneWordSharesRule(),
+    RawSocketAccessRule(),
 ]
 
 RULE_NAMES = {r.name for r in RULES} | {"unused-allow", "allow-missing-reason"}

@@ -1,0 +1,16 @@
+// raw-socket-access is scoped to everything OUTSIDE src/net: this fixture
+// lints as src/net/raw_socket_ok.cc, the implementation domain where the
+// wrappers themselves make the raw calls, so no line below is a finding.
+
+#include <sys/socket.h>
+#include <netinet/tcp.h>
+
+int wrapper_implementation() {
+  int fd = ::socket(2, 1, 0);
+  sockaddr addr{};
+  bind(fd, &addr, sizeof(addr));
+  listen(fd, 64);
+  int c = ::accept(fd, nullptr, nullptr);
+  ::connect(c, &addr, sizeof(addr));
+  return c;
+}

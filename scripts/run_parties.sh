@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Launch an n-party GMW auction with every party in its own OS process,
+# exchanging rounds over the real TCP mesh (bench/fairparty.cpp).
+#
+#   scripts/run_parties.sh [n] [bits] [base_port]
+#
+# Bids are derived deterministically from the party index; the script
+# computes the expected maximum and passes --expect, so a wrong protocol
+# output (or a broken mesh) fails the script. Exit 0 iff every party
+# completed and agreed on the winning bid.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-3}"
+BITS="${2:-8}"
+BASE_PORT="${3:-9400}"
+SEED="${SEED:-7}"
+BIN="${FAIRPARTY:-build/fairparty}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "run_parties: $BIN not built (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+# Deterministic bids and their maximum.
+expect=0
+bids=()
+for ((i = 0; i < N; ++i)); do
+  bid=$(( (100 + 37 * i + 13 * SEED) % (1 << BITS) ))
+  bids+=("$bid")
+  (( bid > expect )) && expect=$bid || true
+done
+echo "run_parties: n=$N bits=$BITS bids=${bids[*]} expect=$expect"
+
+pids=()
+for ((i = 0; i < N; ++i)); do
+  "$BIN" --party "$i" --parties "$N" --bid "${bids[$i]}" --bits "$BITS" \
+         --base-port "$BASE_PORT" --seed "$SEED" --expect "$expect" &
+  pids+=($!)
+done
+
+rc=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || rc=1
+done
+if [[ $rc -ne 0 ]]; then
+  echo "run_parties: FAIL — at least one party aborted or disagreed" >&2
+  exit 1
+fi
+echo "run_parties: PASS — all $N parties agree the winning bid is $expect"

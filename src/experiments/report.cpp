@@ -42,6 +42,17 @@ Args parse_args(int argc, char** argv) {
       } else {
         a.passthrough.emplace_back(argv[i]);
       }
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      // Like --preproc: only a recognized transport word is consumed.
+      if (i + 1 < argc && sim::parse_transport_kind(argv[i + 1])) {
+        a.transport = *sim::parse_transport_kind(argv[++i]);
+      } else {
+        a.passthrough.emplace_back(argv[i]);
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      a.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      a.quiet = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       a.list = true;
     } else if (argv[i][0] != '-') {
@@ -68,20 +79,25 @@ Reporter::Reporter(const Args& args, std::size_t default_runs)
       preproc_(args.preproc),
       lanes_(args.lanes),
       target_ci_(args.target_ci),
+      transport_(args.transport),
+      seed_override_(args.seed),
+      quiet_(args.quiet),
       json_path_(args.json_path) {}
 
 void Reporter::offline_batch(const std::string& provider, std::size_t triples,
                              double seconds) {
-  std::printf("offline batch [%s]: %zu triples in %.4fs (%.0f triples/s)\n",
-              provider.c_str(), triples, seconds,
-              seconds > 0 ? static_cast<double>(triples) / seconds : 0.0);
+  if (!quiet_) {
+    std::printf("offline batch [%s]: %zu triples in %.4fs (%.0f triples/s)\n",
+                provider.c_str(), triples, seconds,
+                seconds > 0 ? static_cast<double>(triples) / seconds : 0.0);
+  }
   offline_.push_back(OfflineBatch{provider, triples, seconds});
 }
 
 void Reporter::title(const std::string& id, const std::string& claim) {
   experiment_ = id;
   claim_ = claim;
-  std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
+  if (!quiet_) std::printf("\n=== %s ===\n%s\n\n", id.c_str(), claim.c_str());
 }
 
 void Reporter::begin(const experiments::ScenarioSpec& spec) {
@@ -90,10 +106,11 @@ void Reporter::begin(const experiments::ScenarioSpec& spec) {
 
 void Reporter::gamma(const rpd::PayoffVector& g) {
   gamma_ = g.to_string();
-  std::printf("gamma = %s, runs/point = %zu\n\n", gamma_.c_str(), runs_);
+  if (!quiet_) std::printf("gamma = %s, runs/point = %zu\n\n", gamma_.c_str(), runs_);
 }
 
 void Reporter::row_header() {
+  if (quiet_) return;
   std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "configuration", "utility",
               "(+/-3SE)", "E00", "E01", "E10", "E11", "paper");
   std::printf("%-28s %9s %8s   %5s %5s %5s %5s   %s\n", "-------------", "-------",
@@ -102,28 +119,33 @@ void Reporter::row_header() {
 
 void Reporter::row(const std::string& name, const rpd::UtilityEstimate& est,
                    const std::string& paper) {
-  std::printf("%-28s %9.4f %8.4f   %5.2f %5.2f %5.2f %5.2f   %s\n", name.c_str(),
-              est.utility, est.margin(), est.event_freq[0], est.event_freq[1],
-              est.event_freq[2], est.event_freq[3], paper.c_str());
-  if (est.stopped_early) {
-    std::printf("  (sequential stop: %zu of %zu runs, ci_halfwidth %.5f)\n", est.runs,
-                est.requested_runs, est.ci_halfwidth());
+  if (!quiet_) {
+    std::printf("%-28s %9.4f %8.4f   %5.2f %5.2f %5.2f %5.2f   %s\n", name.c_str(),
+                est.utility, est.margin(), est.event_freq[0], est.event_freq[1],
+                est.event_freq[2], est.event_freq[3], paper.c_str());
+    if (est.stopped_early) {
+      std::printf("  (sequential stop: %zu of %zu runs, ci_halfwidth %.5f)\n",
+                  est.runs, est.requested_runs, est.ci_halfwidth());
+    }
   }
   rows_.push_back(Row{name, est.utility, est.std_error, est.margin(), est.event_freq,
                       est.runs, est.wall_seconds, est.runs_per_sec(), est.lanes,
                       est.valid_runs, est.runs, est.ci_halfwidth(), paper});
+  if (row_sink_) row_sink_(rows_.size() - 1, name);
 }
 
 void Reporter::check(bool ok, const std::string& what) {
-  std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
+  if (!quiet_) std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
   checks_.push_back(Check{ok, what});
   if (!ok) failures_++;
 }
 
 int Reporter::finish() {
-  std::printf("\n%s (%d deviation%s)\n",
-              failures_ == 0 ? "ALL CHECKS PASSED" : "DEVIATIONS", failures_,
-              failures_ == 1 ? "" : "s");
+  if (!quiet_) {
+    std::printf("\n%s (%d deviation%s)\n",
+                failures_ == 0 ? "ALL CHECKS PASSED" : "DEVIATIONS", failures_,
+                failures_ == 1 ? "" : "s");
+  }
   if (!json_path_.empty()) write_json();
   return 0;
 }
@@ -216,6 +238,11 @@ std::string Reporter::json_object() const {
     }
     appendf(out, "%s]}", offline_.empty() ? "" : "\n  ");
   }
+  // Same byte-stability pattern: the key appears only off the default path.
+  if (transport_ != sim::TransportKind::kInProc) {
+    appendf(out, ",\n  \"transport\": \"%s\"",
+            std::string(sim::to_string(transport_)).c_str());
+  }
   appendf(out, "\n}");
   return out;
 }
@@ -230,7 +257,7 @@ void Reporter::write_json() {
   std::fwrite(obj.data(), 1, obj.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
-  std::printf("json report written to %s\n", json_path_.c_str());
+  if (!quiet_) std::printf("json report written to %s\n", json_path_.c_str());
 }
 
 }  // namespace fairsfe::bench

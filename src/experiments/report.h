@@ -19,6 +19,7 @@
 //   fairbench [--list] [--filter <glob>] [runs] [--runs N] [--threads N]
 //             [--json out.json] [--baseline old.json] [--preproc <mode>]
 //             [--lanes {1,64}] [--target-ci <halfwidth>]
+//             [--transport {inproc,tcp}] [--seed S] [--quiet]
 // where [runs] / --runs overrides the Monte-Carlo runs per point, --threads
 // feeds rpd::EstimatorOptions::threads (0 = one per hardware thread), --json
 // selects the machine-readable sink, and --preproc selects the
@@ -52,14 +53,20 @@
 //     "preproc": {"mode": str,
 //                 "offline": [{"provider": str, "triples": int,
 //                              "seconds": num}]}
+// and, when a transport other than inproc is active, a "transport" key
+// (string). Both sections are conditional so the schema — and every
+// historical BENCH_*.json — stays byte-stable under the defaults.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mpc/preproc/mode.h"
 #include "rpd/estimator.h"
+#include "sim/transport.h"
 
 namespace fairsfe::experiments {
 struct ScenarioSpec;
@@ -86,6 +93,19 @@ struct Args {
   std::size_t lanes = 1;
   /// --target-ci <halfwidth>: sequential-stopping 95% CI half-width; 0 = off.
   double target_ci = 0.0;
+  /// --transport {inproc,tcp}: delivery-leg transport for every estimation
+  /// (rpd::EstimatorOptions::transport). Estimates are bit-identical across
+  /// transports; tcp additionally exercises the framed wire path.
+  sim::TransportKind transport = sim::TransportKind::kInProc;
+  /// --seed S: replay the whole scenario under one master seed — overrides
+  /// the seed of EVERY EstimatorOptions the Reporter hands out (scenario
+  /// bodies hard-code per-point seeds; this replaces them all uniformly).
+  /// This is how a fairbenchd request's "seed" field and a one-shot
+  /// `fairbench --seed S` are guaranteed to measure the same thing.
+  std::optional<std::uint64_t> seed;
+  /// --quiet: suppress the stdout table (fairbenchd serves the JSON object
+  /// over the socket; its stdout is a log, not a report channel).
+  bool quiet = false;
   std::vector<std::string> passthrough;  ///< unrecognized argv entries
 
   [[nodiscard]] std::size_t runs_or(std::size_t default_runs) const {
@@ -119,13 +139,29 @@ class Reporter {
   /// needing a different run count adjust the returned struct.
   [[nodiscard]] rpd::EstimatorOptions opts(std::uint64_t seed) const {
     rpd::EstimatorOptions o;
+    // A harness-level --seed replays the whole scenario under one master
+    // seed, overriding every per-point seed the body hard-codes (Args::seed).
     o.runs = runs_;
-    o.seed = seed;
+    o.seed = seed_override_.value_or(seed);
     o.threads = threads_;
     o.preproc = preproc_;
     o.lanes = lanes_;
     o.target_ci = target_ci_;
+    o.transport = transport_;
     return o;
+  }
+
+  [[nodiscard]] sim::TransportKind transport() const { return transport_; }
+  /// The scenario's effective batch/base seed: the --seed override when one
+  /// is set, otherwise `fallback` (normally the spec's base_seed).
+  [[nodiscard]] std::uint64_t base_seed_or(std::uint64_t fallback) const {
+    return seed_override_.value_or(fallback);
+  }
+
+  /// Streaming sink invoked after each row() with (row_index, name) — the
+  /// fairbenchd progress channel. Unset by default (no overhead).
+  void set_row_sink(std::function<void(std::size_t, const std::string&)> sink) {
+    row_sink_ = std::move(sink);
   }
 
   /// Record (and print) the cost of one offline correlated-randomness batch.
@@ -187,6 +223,10 @@ class Reporter {
   mpc::preproc::PreprocMode preproc_ = mpc::preproc::PreprocMode::kInline;
   std::size_t lanes_ = 1;
   double target_ci_ = 0.0;
+  sim::TransportKind transport_ = sim::TransportKind::kInProc;
+  std::optional<std::uint64_t> seed_override_;
+  bool quiet_ = false;
+  std::function<void(std::size_t, const std::string&)> row_sink_;
   std::vector<OfflineBatch> offline_;
   std::string json_path_;
   std::string experiment_, claim_, gamma_;

@@ -1,0 +1,212 @@
+#include "net/tcp_transport.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fairsfe::net {
+
+namespace {
+
+/// Channel id for control frames (RoundMark/Hello/Bye): outside the PartyId
+/// range, so control traffic has its own sequence stream.
+constexpr std::int32_t kControlChannel = -9;
+
+const Bytes kHelloMagic = {'f', 's', 'f', 'e', '1'};
+
+Frame control_frame(FrameKind kind, int round) {
+  Frame f;
+  f.kind = kind;
+  f.round = static_cast<std::uint32_t>(round);
+  f.from = kControlChannel;
+  f.to = kControlChannel;
+  f.rcpt = kControlChannel;
+  return f;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport() {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  port_ = listener.port();
+  relay_ = std::thread([this, l = std::make_shared<TcpListener>(std::move(listener))] {
+    relay_main(l->accept());
+  });
+  auto conn = tcp_connect_retry("127.0.0.1", port_);
+  stats_.reconnects += static_cast<std::uint64_t>(conn.retries);
+  engine_side_ = std::move(conn.stream);
+
+  // Handshake: the relay must echo the hello (magic included) before any
+  // round traffic flows.
+  Frame hello = control_frame(FrameKind::kHello, 0);
+  hello.seq = send_seq_.next(kControlChannel, kControlChannel);
+  hello.payload = kHelloMagic;
+  engine_side_.write_all(encode_frame(hello));
+  Frame echo;
+  std::uint8_t chunk[512];
+  for (;;) {
+    const auto st = reader_.poll(echo);
+    if (st == FrameReader::Status::kFrame) break;
+    if (st == FrameReader::Status::kBad) {
+      throw std::runtime_error("TcpTransport: malformed hello echo");
+    }
+    const std::size_t n = engine_side_.read_some(chunk);
+    if (n == 0) throw std::runtime_error("TcpTransport: relay closed during hello");
+    reader_.feed(ByteView(chunk, n));
+  }
+  if (echo.kind != FrameKind::kHello || echo.payload != kHelloMagic ||
+      !recv_seq_.accept(kControlChannel, kControlChannel, echo.seq)) {
+    throw std::runtime_error("TcpTransport: bad hello echo");
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  try {
+    if (engine_side_.valid()) {
+      Frame bye = control_frame(FrameKind::kBye, 0);
+      bye.seq = send_seq_.next(kControlChannel, kControlChannel);
+      engine_side_.write_all(encode_frame(bye));
+      engine_side_.shutdown_write();
+    }
+  } catch (...) {
+    // Relay already gone: nothing to tear down gracefully.
+  }
+  if (relay_.joinable()) relay_.join();
+}
+
+void TcpTransport::ship(sim::PartyId rcpt, const sim::Message& m, int round) {
+  // Buffered, not written: the round's batch goes out in collect(), keeping
+  // the engine/relay phase alternation deadlock-free by construction.
+  outbox_.push_back(Pending{round, rcpt, m});
+}
+
+std::vector<sim::Delivery> TcpTransport::collect(int round) {
+  Bytes wire;
+  std::size_t sent = 0;
+  for (Pending& p : outbox_) {
+    // Legs of other rounds are stale (a finished execution's final round):
+    // discarded, exactly as the in-process engine drops its last round buffer.
+    if (p.round != round) continue;
+    Frame f;
+    f.kind = FrameKind::kMsg;
+    f.round = static_cast<std::uint32_t>(round);
+    f.from = p.msg.from;
+    f.to = p.msg.to;
+    f.rcpt = p.rcpt;
+    f.payload = std::move(p.msg.payload);
+    f.seq = send_seq_.next(f.from, f.rcpt);
+    const Bytes enc = encode_frame(f);
+    wire.insert(wire.end(), enc.begin(), enc.end());
+    ++sent;
+  }
+  outbox_.clear();
+  Frame mark = control_frame(FrameKind::kRoundMark, round);
+  mark.seq = send_seq_.next(kControlChannel, kControlChannel);
+  const Bytes enc = encode_frame(mark);
+  wire.insert(wire.end(), enc.begin(), enc.end());
+
+  engine_side_.write_all(wire);
+  stats_.frames += sent;
+  stats_.wire_bytes += wire.size();
+  stats_.rounds += 1;
+
+  // Read the relay's echo of the whole round, fail-closed on anything that
+  // is not byte-for-byte a well-formed, in-sequence rendition of what was
+  // shipped.
+  std::vector<sim::Delivery> out;
+  out.reserve(sent);
+  std::uint8_t chunk[4096];
+  for (;;) {
+    Frame f;
+    const auto st = reader_.poll(f);
+    if (st == FrameReader::Status::kNeedMore) {
+      const std::size_t n = engine_side_.read_some(chunk);
+      if (n == 0) {
+        throw std::runtime_error("TcpTransport: relay closed mid-round");
+      }
+      reader_.feed(ByteView(chunk, n));
+      continue;
+    }
+    if (st == FrameReader::Status::kBad) {
+      throw std::runtime_error("TcpTransport: malformed frame on the wire");
+    }
+    if (f.round != static_cast<std::uint32_t>(round)) {
+      throw std::runtime_error("TcpTransport: frame for round " +
+                               std::to_string(f.round) + " inside round " +
+                               std::to_string(round));
+    }
+    if (f.kind == FrameKind::kRoundMark) {
+      if (!recv_seq_.accept(kControlChannel, kControlChannel, f.seq)) {
+        throw std::runtime_error("TcpTransport: round mark out of sequence");
+      }
+      break;
+    }
+    if (f.kind != FrameKind::kMsg) {
+      throw std::runtime_error("TcpTransport: unexpected control frame mid-round");
+    }
+    if (!recv_seq_.accept(f.from, f.rcpt, f.seq)) {
+      throw std::runtime_error("TcpTransport: duplicate or out-of-order frame");
+    }
+    out.push_back(sim::Delivery{
+        f.rcpt, sim::Message{f.from, f.to, std::move(f.payload)}});
+  }
+  if (out.size() != sent) {
+    throw std::runtime_error("TcpTransport: round echoed " +
+                             std::to_string(out.size()) + " legs, shipped " +
+                             std::to_string(sent));
+  }
+  return out;
+}
+
+void TcpTransport::relay_main(Stream conn) {
+  // Dumb wire reflector: no knowledge of the simulation, just framing. It
+  // buffers a round's frames and flushes them on the RoundMark, which is what
+  // makes the engine's write-whole-round-then-read pattern deadlock-free.
+  try {
+    FrameReader rd;
+    Bytes batch;
+    std::uint8_t chunk[4096];
+    for (;;) {
+      Frame f;
+      const auto st = rd.poll(f);
+      if (st == FrameReader::Status::kBad) return;  // poisoned stream: hang up
+      if (st == FrameReader::Status::kNeedMore) {
+        const std::size_t n = conn.read_some(chunk);
+        if (n == 0) return;  // engine side gone
+        rd.feed(ByteView(chunk, n));
+        continue;
+      }
+      switch (f.kind) {
+        case FrameKind::kHello:
+          conn.write_all(encode_frame(f));
+          break;
+        case FrameKind::kBye:
+          return;
+        case FrameKind::kMsg: {
+          const Bytes enc = encode_frame(f);
+          batch.insert(batch.end(), enc.begin(), enc.end());
+          break;
+        }
+        case FrameKind::kRoundMark: {
+          const Bytes enc = encode_frame(f);
+          batch.insert(batch.end(), enc.begin(), enc.end());
+          conn.write_all(batch);
+          batch.clear();
+          break;
+        }
+      }
+    }
+  } catch (...) {
+    // I/O error: drop the connection; the engine side fails closed on EOF.
+  }
+}
+
+sim::Transport* thread_local_transport(sim::TransportKind kind) {
+  if (kind == sim::TransportKind::kInProc) return nullptr;
+  thread_local std::unique_ptr<TcpTransport> transport;
+  if (!transport) transport = std::make_unique<TcpTransport>();
+  return transport.get();
+}
+
+}  // namespace fairsfe::net

@@ -1,0 +1,80 @@
+// sim::Transport over a real TCP socket pair.
+//
+// Topology: the transport owns a loopback listener plus a relay thread. The
+// engine side ships delivery legs during round r; collect(r) encodes each
+// leg as a wire frame (per-channel seq, FNV checksum), writes the batch plus
+// a RoundMark through the kernel TCP stack, and reads the relay's echo back,
+// re-framing, decoding, and seq-validating every leg before it reaches a
+// mailbox. Phases strictly alternate — the engine writes a whole round, the
+// relay buffers until the RoundMark and only then echoes — so neither side
+// ever blocks on a peer that is also writing.
+//
+// Determinism: TCP preserves byte order on one stream, the relay preserves
+// frame order within a round, and collect() returns legs in ship order —
+// the exact order the in-process engine appends mailbox indices. Executions
+// over this transport are therefore bit-identical to InProc runs (pinned by
+// tests/test_net.cpp and the exp scenarios under --transport tcp).
+//
+// Legs shipped for a round that is never collected (the final round of an
+// execution: its mailboxes have no consumer) are discarded at the next
+// collect or at destruction — they never touch the wire, mirroring the
+// in-process engine, whose final round buffer is simply dropped.
+//
+// One instance serves many sequential executions but is not thread-safe;
+// the estimator keeps one per worker thread (see rpd/estimator.cpp).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "sim/transport.h"
+
+namespace fairsfe::net {
+
+class TcpTransport final : public sim::Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  [[nodiscard]] sim::TransportKind kind() const override {
+    return sim::TransportKind::kTcp;
+  }
+  void ship(sim::PartyId rcpt, const sim::Message& m, int round) override;
+  [[nodiscard]] std::vector<sim::Delivery> collect(int round) override;
+  [[nodiscard]] sim::TransportStats stats() const override { return stats_; }
+
+  /// The loopback port the relay listens on (tests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  struct Pending {
+    int round;
+    sim::PartyId rcpt;
+    sim::Message msg;
+  };
+
+  void relay_main(Stream conn);
+
+  std::vector<Pending> outbox_;
+  Stream engine_side_;
+  std::thread relay_;
+  std::uint16_t port_ = 0;
+  SeqTracker send_seq_;
+  SeqTracker recv_seq_;
+  FrameReader reader_;
+  sim::TransportStats stats_;
+};
+
+/// Per-worker-thread transport of the requested kind, constructed lazily and
+/// reused across every execution that worker runs (TCP handshakes are paid
+/// once per thread, not once per Monte-Carlo run). Returns nullptr for
+/// kInProc — the engine's native path needs no transport object.
+sim::Transport* thread_local_transport(sim::TransportKind kind);
+
+}  // namespace fairsfe::net

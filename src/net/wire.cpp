@@ -1,0 +1,114 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace fairsfe::net {
+
+std::uint32_t fnv1a(ByteView data) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+namespace {
+
+bool kind_valid(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(FrameKind::kMsg) &&
+         k <= static_cast<std::uint8_t>(FrameKind::kBye);
+}
+
+}  // namespace
+
+Bytes encode_frame(const Frame& f) {
+  Writer body;
+  body.u8(static_cast<std::uint8_t>(f.kind))
+      .u32(f.seq)
+      .u32(f.round)
+      .u32(static_cast<std::uint32_t>(f.from))
+      .u32(static_cast<std::uint32_t>(f.to))
+      .u32(static_cast<std::uint32_t>(f.rcpt))
+      .blob(f.payload);
+  body.u32(fnv1a(body.bytes()));
+
+  Writer out;
+  out.u32(static_cast<std::uint32_t>(body.bytes().size()));
+  out.raw(body.bytes());
+  return out.take();
+}
+
+std::optional<Frame> decode_frame_body(ByteView body) {
+  if (body.size() > kMaxFrameBody || body.size() < 4) return std::nullopt;
+  // The checksum covers every byte before it.
+  const ByteView covered = body.subspan(0, body.size() - 4);
+  Reader tail(body.subspan(body.size() - 4));
+  const auto checksum = tail.u32();
+  if (!checksum || *checksum != fnv1a(covered)) return std::nullopt;
+
+  Reader r(covered);
+  const auto kind = r.u8();
+  const auto seq = r.u32();
+  const auto round = r.u32();
+  const auto from = r.u32();
+  const auto to = r.u32();
+  const auto rcpt = r.u32();
+  auto payload = r.blob();
+  if (!kind || !seq || !round || !from || !to || !rcpt || !payload) {
+    return std::nullopt;
+  }
+  if (!r.at_end()) return std::nullopt;  // trailing bytes: not a valid frame
+  if (!kind_valid(*kind)) return std::nullopt;
+
+  Frame f;
+  f.kind = static_cast<FrameKind>(*kind);
+  f.seq = *seq;
+  f.round = *round;
+  f.from = static_cast<std::int32_t>(*from);
+  f.to = static_cast<std::int32_t>(*to);
+  f.rcpt = static_cast<std::int32_t>(*rcpt);
+  f.payload = std::move(*payload);
+  return f;
+}
+
+FrameReader::Status FrameReader::poll(Frame& out) {
+  if (poisoned_) return Status::kBad;
+  // Compact lazily: drop consumed bytes once they dominate the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return Status::kNeedMore;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, 4);  // canonical encoding is LE; so is every supported target
+  if (len > kMaxFrameBody || len < 4) {
+    // A hostile length prefix is rejected *before* any allocation or read of
+    // that size — fail closed, do not buffer toward it.
+    poisoned_ = true;
+    return Status::kBad;
+  }
+  if (avail < 4u + len) return Status::kNeedMore;
+  auto frame = decode_frame_body(ByteView(buf_.data() + pos_ + 4, len));
+  if (!frame) {
+    poisoned_ = true;
+    return Status::kBad;
+  }
+  pos_ += 4u + len;
+  out = std::move(*frame);
+  return Status::kFrame;
+}
+
+bool SeqTracker::accept(std::int32_t from, std::int32_t to, std::uint32_t seq) {
+  std::uint32_t& last = last_[{from, to}];
+  if (seq != last + 1) return false;
+  last = seq;
+  return true;
+}
+
+std::uint32_t SeqTracker::next(std::int32_t from, std::int32_t to) {
+  return ++last_[{from, to}];
+}
+
+}  // namespace fairsfe::net

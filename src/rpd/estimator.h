@@ -32,6 +32,7 @@
 #include "rpd/events.h"
 #include "rpd/payoff.h"
 #include "sim/engine.h"
+#include "sim/transport.h"
 
 namespace fairsfe::experiments {
 struct ScenarioSpec;
@@ -137,7 +138,20 @@ struct EstimatorOptions {
   /// beyond the stop point are discarded, so the estimate is bit-identical
   /// for every `threads` setting. 0 disables stopping.
   double target_ci = 0.0;
+  /// Delivery-leg transport for every run's engine (sim/transport.h).
+  /// kInProc (the default) is the native zero-copy path, bit-identical to
+  /// the pre-transport estimator. kTcp routes every mailbox leg through a
+  /// per-worker-thread net::TcpTransport — real kernel sockets, framed wire
+  /// codec — and forces the scalar engine (the sliced path does no message
+  /// routing). Transports NEVER change the estimate: mailbox order is
+  /// preserved, so utilities are bit-identical across transports.
+  sim::TransportKind transport = sim::TransportKind::kInProc;
 
+  [[nodiscard]] EstimatorOptions with_transport(sim::TransportKind t) const {
+    EstimatorOptions o = *this;
+    o.transport = t;
+    return o;
+  }
   [[nodiscard]] EstimatorOptions with_lanes(std::size_t l) const {
     EstimatorOptions o = *this;
     o.lanes = l;

@@ -1,0 +1,30 @@
+#include "service/signals.h"
+
+#include <csignal>
+
+namespace fairsfe::service {
+
+namespace {
+
+// async-signal-safe: the handler does a single atomic store.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int /*signum*/) {
+  g_stop = 1;
+  // Restore default disposition: a second Ctrl-C kills a stuck drain.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+}  // namespace
+
+void install_stop_handlers() {
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+}
+
+bool stop_requested() { return g_stop != 0; }
+
+void request_stop() { g_stop = 1; }
+
+}  // namespace fairsfe::service

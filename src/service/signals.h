@@ -1,0 +1,24 @@
+// Cooperative SIGINT/SIGTERM handling shared by fairbench and fairbenchd.
+//
+// The handler only sets a flag; drivers poll stop_requested() at safe
+// boundaries (between scenarios for fairbench, in the accept loop for
+// fairbenchd), finish the work already in flight, flush their output, and
+// exit 0 — a Ctrl-C never truncates a --json report mid-array or drops an
+// in-flight daemon response.
+#pragma once
+
+namespace fairsfe::service {
+
+/// Install the SIGINT/SIGTERM flag handlers. Idempotent. A second signal
+/// after the first is left at the default disposition, so a stuck drain can
+/// still be killed the ordinary way.
+void install_stop_handlers();
+
+/// True once SIGINT or SIGTERM has been observed (or request_stop() called).
+[[nodiscard]] bool stop_requested();
+
+/// Programmatic stop (the daemon's `shutdown` verb shares the drain path
+/// with the signal handlers).
+void request_stop();
+
+}  // namespace fairsfe::service

@@ -1,9 +1,12 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/fault/injector.h"
+#include "sim/transport.h"
 #include "util/check.h"
 
 namespace fairsfe::sim {
@@ -34,6 +37,12 @@ struct RoundBuf {
   std::vector<Message> msgs;
   std::vector<std::vector<std::uint32_t>> mail;  // index = PartyId
   std::vector<std::uint32_t> func_mail;          // kFunc-addressed traffic
+  /// Count of locally-sent messages in `msgs`. Under a remote transport the
+  /// buffer additionally holds wire copies appended when the next round
+  /// collects its deliveries; all() (the adversary's tap) spans only the
+  /// originals, so the adversary's view is identical to the in-process run.
+  /// Sentinel "everything" while the round is still routing.
+  std::size_t originals = std::numeric_limits<std::size_t>::max();
 
   explicit RoundBuf(std::size_t n) : mail(n) {}
 
@@ -41,6 +50,7 @@ struct RoundBuf {
     msgs.clear();
     for (auto& box : mail) box.clear();
     func_mail.clear();
+    originals = std::numeric_limits<std::size_t>::max();
   }
 
   [[nodiscard]] MsgView mailbox(PartyId pid) const {
@@ -57,7 +67,9 @@ struct RoundBuf {
   [[nodiscard]] MsgView func_mailbox() const {
     return MsgView(msgs.data(), func_mail.data(), func_mail.size());
   }
-  [[nodiscard]] MsgView all() const { return MsgView(msgs.data(), msgs.size()); }
+  [[nodiscard]] MsgView all() const {
+    return MsgView(msgs.data(), std::min(originals, msgs.size()));
+  }
 };
 
 }  // namespace
@@ -210,6 +222,31 @@ ExecutionResult Engine::run() {
   RoundBuf* cur = &buf_b;
 
   RoutingStats& stats = result.stats;
+
+  // The delivery-leg transport seam. nullptr (the default, and any kInProc
+  // transport) keeps the native direct-mailbox path; a remote transport has
+  // every leg shipped during round r and read back at round r+1.
+  Transport* const remote =
+      (cfg_.transport != nullptr &&
+       cfg_.transport->kind() != TransportKind::kInProc)
+          ? cfg_.transport
+          : nullptr;
+
+  // Commit one delivery leg: the terminal act of routing, appending the
+  // message index to the recipient's mailbox (rcpt == kFunc selects the
+  // hybrid slot). Under a remote transport the leg is shipped instead and
+  // the mailbox filled when the next round collects — in ship order, so
+  // mailbox contents are bit-identical either way.
+  const auto commit = [&](RoundBuf& buf, PartyId rcpt, std::uint32_t idx) {
+    if (remote != nullptr) {
+      remote->ship(rcpt, buf.msgs[idx], ctx_->round());
+    } else if (rcpt == kFunc) {
+      buf.func_mail.push_back(idx);
+    } else {
+      buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+    }
+  };
+
   // Route one message: move it into the round buffer exactly once, then fan
   // out by index. Broadcast bodies are shared, never duplicated.
   //
@@ -234,25 +271,26 @@ ExecutionResult Engine::run() {
     }
     const PartyId from = m.from;
     const PartyId to = m.to;
+    buf.msgs.push_back(std::move(m));
 
     if (!injector) {
       if (to == kBroadcast) {
-        for (auto& box : buf.mail) box.push_back(idx);
+        for (PartyId rcpt = 0; rcpt < n; ++rcpt) commit(buf, rcpt, idx);
       } else if (to == kFunc) {
-        buf.func_mail.push_back(idx);
+        commit(buf, kFunc, idx);
       } else if (to >= 0 && to < n) {
-        buf.mail[static_cast<std::size_t>(to)].push_back(idx);
+        commit(buf, to, idx);
       }
-      buf.msgs.push_back(std::move(m));
       return;
     }
 
-    buf.msgs.push_back(std::move(m));
     // Per-recipient fate of one delivery leg (messages collected at round r
-    // are consumed at round r+1, hence the crash check against r+1).
+    // are consumed at round r+1, hence the crash check against r+1). Fates
+    // are drawn *before* the surviving leg is committed/shipped: faults are
+    // the modeled network, the transport underneath is reliable.
     const auto route_leg = [&](PartyId rcpt) {
       if (rcpt == from || ctx_->is_corrupted(rcpt)) {
-        buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+        commit(buf, rcpt, idx);
         return;
       }
       if (injector->is_crashed(rcpt, r + 1)) {
@@ -263,7 +301,7 @@ ExecutionResult Engine::run() {
       const Fate f = injector->fate(from, rcpt, r, fstats);
       switch (f.kind) {
         case Fate::kDeliver:
-          buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+          commit(buf, rcpt, idx);
           break;
         case Fate::kDrop:
           break;
@@ -274,7 +312,7 @@ ExecutionResult Engine::run() {
                              r + f.delay_rounds);
           break;
         case Fate::kDuplicate:
-          buf.mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+          commit(buf, rcpt, idx);
           injector->schedule(Message{from, rcpt, buf.msgs[idx].payload}, r + 1);
           break;
         case Fate::kCorrupt: {
@@ -282,7 +320,7 @@ ExecutionResult Engine::run() {
           fault::corrupt_in_flight(garbled.payload, injector->rng());
           const auto gidx = static_cast<std::uint32_t>(buf.msgs.size());
           buf.msgs.push_back(std::move(garbled));
-          buf.mail[static_cast<std::size_t>(rcpt)].push_back(gidx);
+          commit(buf, rcpt, gidx);
           break;
         }
         case Fate::kReorder:
@@ -295,17 +333,17 @@ ExecutionResult Engine::run() {
       for (PartyId rcpt = 0; rcpt < n; ++rcpt) route_leg(rcpt);
     } else if (to == kFunc) {
       if (!cfg_.fault.affect_func_channel) {
-        buf.func_mail.push_back(idx);
+        commit(buf, kFunc, idx);
       } else {
         using Fate = fault::FaultInjector::Fate;
         const Fate f = injector->fate(from, kFunc, r, fstats);
         // The hybrid slot has no mailbox history: only drop applies; every
         // other fate degrades to plain delivery.
-        if (f.kind != Fate::kDrop) buf.func_mail.push_back(idx);
+        if (f.kind != Fate::kDrop) commit(buf, kFunc, idx);
       }
     } else if (to >= 0 && to < n) {
       if (from == kFunc && !cfg_.fault.affect_func_channel) {
-        buf.mail[static_cast<std::size_t>(to)].push_back(idx);
+        commit(buf, to, idx);
       } else {
         route_leg(to);
       }
@@ -316,6 +354,24 @@ ExecutionResult Engine::run() {
   for (; r < cfg_.max_rounds; ++r) {
     ctx_->set_round(r);
     cur->clear();
+
+    // Remote transport: round r-1's shipped legs come off the wire now,
+    // filling the mailboxes the parties are about to consume. Wire copies
+    // land beyond `originals`, so prev->all() (the adversary's tap) still
+    // spans exactly the locally-sent messages. Must run before anything
+    // ships round-r legs (take_due below does).
+    if (remote != nullptr && r > 0) {
+      prev->originals = prev->msgs.size();
+      for (Delivery& leg : remote->collect(r - 1)) {
+        const auto idx = static_cast<std::uint32_t>(prev->msgs.size());
+        if (leg.rcpt == kFunc) {
+          prev->func_mail.push_back(idx);
+        } else {
+          prev->mail[static_cast<std::size_t>(leg.rcpt)].push_back(idx);
+        }
+        prev->msgs.push_back(std::move(leg.msg));
+      }
+    }
 
     if (injector) {
       injector->tick(r, fstats);
@@ -328,8 +384,9 @@ ExecutionResult Engine::run() {
           continue;
         }
         const auto idx = static_cast<std::uint32_t>(cur->msgs.size());
-        cur->mail[static_cast<std::size_t>(m.to)].push_back(idx);
+        const PartyId rcpt = m.to;
         cur->msgs.push_back(std::move(m));
+        commit(*cur, rcpt, idx);
         fstats.injected += 1;
       }
     }
@@ -391,7 +448,7 @@ ExecutionResult Engine::run() {
       for (const auto& [rcpt, idx] : reorder_tail) {
         FAIRSFE_DCHECK(idx < cur->msgs.size(),
                        "reordered delivery must reference this round's buffer");
-        cur->mail[static_cast<std::size_t>(rcpt)].push_back(idx);
+        commit(*cur, rcpt, idx);
       }
       reorder_tail.clear();
     }

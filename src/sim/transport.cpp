@@ -1,0 +1,38 @@
+#include "sim/transport.h"
+
+#include <algorithm>
+
+namespace fairsfe::sim {
+
+std::string_view to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kInProc:
+      return "inproc";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+std::optional<TransportKind> parse_transport_kind(std::string_view s) {
+  if (s == "inproc") return TransportKind::kInProc;
+  if (s == "tcp") return TransportKind::kTcp;
+  return std::nullopt;
+}
+
+void InProcTransport::ship(PartyId rcpt, const Message& m, int round) {
+  queue_.push_back(Pending{round, Delivery{rcpt, m}});
+}
+
+std::vector<Delivery> InProcTransport::collect(int round) {
+  std::vector<Delivery> out;
+  for (Pending& p : queue_) {
+    if (p.round == round) out.push_back(std::move(p.leg));
+  }
+  // Anything not collected (stale rounds from a previous execution's
+  // uncollected tail) is discarded together with the collected legs.
+  queue_.clear();
+  return out;
+}
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,114 @@
+// The transport seam of the execution engine.
+//
+// The engine routes one round's messages into per-party mailboxes (see
+// engine.cpp's RoundBuf). A Transport abstracts the *delivery leg commit*:
+// instead of appending an index into the recipient's mailbox directly, the
+// engine may hand the leg to a transport during round r and read every leg
+// back — in ship order — when round r's mailboxes are consumed at round r+1.
+//
+// Two implementations:
+//
+//   InProcTransport — the engine's native behavior. When the installed
+//   transport reports kind() == kInProc (or no transport is installed at
+//   all), the engine keeps its direct zero-copy mailbox path: payloads are
+//   moved exactly once into the round buffer and mailboxes are index lists,
+//   byte-identical to the pre-transport engine (BENCH goldens pin this).
+//   The class is also a working standalone queue transport — ship/collect
+//   reproduce the engine's delivery order — used as the reference
+//   implementation in tests/test_net.cpp.
+//
+//   net::TcpTransport (src/net/tcp_transport.h) — every delivery leg is
+//   encoded through the framed wire codec (src/net/wire.h), written to a
+//   real kernel TCP socket, relayed, read back, decoded, and sequence- and
+//   checksum-verified before it reaches a mailbox. Arrival order on one TCP
+//   stream equals ship order, so executions are bit-identical to the
+//   in-process path; the codec's per-channel sequence numbers make
+//   duplication or loss on the wire fail closed.
+//
+// Fault injection (sim/fault/) happens ABOVE the transport: the injector
+// draws each leg's fate from its deterministic rng stream first, and only
+// surviving legs are shipped. A TCP run therefore replays the exact same
+// fault schedule as the in-process run — the wire is reliable, the modeled
+// network is not.
+//
+// Lifetime: the engine borrows the transport (ExecutionOptions::transport is
+// non-owning); one transport instance may be reused across many sequential
+// executions (the estimator reuses one per worker thread), but never
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace fairsfe::sim {
+
+enum class TransportKind {
+  kInProc,  ///< native zero-copy mailbox path (the default)
+  kTcp,     ///< framed messages over real TCP sockets (src/net)
+};
+
+[[nodiscard]] std::string_view to_string(TransportKind k);
+[[nodiscard]] std::optional<TransportKind> parse_transport_kind(std::string_view s);
+
+/// One delivery leg: the mailbox owner (a PartyId, or kFunc for the hybrid
+/// functionality slot) plus the message as the recipient sees it. A
+/// broadcast fans out into one Delivery per recipient; the message keeps
+/// to == kBroadcast so consumers observe the original addressing.
+struct Delivery {
+  PartyId rcpt = 0;
+  Message msg;
+};
+
+/// Wire-cost counters, cumulative over the transport's lifetime. All zero
+/// for InProcTransport (nothing is serialized on the native path).
+struct TransportStats {
+  std::uint64_t frames = 0;       ///< message frames shipped
+  std::uint64_t wire_bytes = 0;   ///< encoded bytes written to the wire
+  std::uint64_t rounds = 0;       ///< collect() calls (round barriers)
+  std::uint64_t reconnects = 0;   ///< connect attempts beyond the first
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+
+  /// Ship one delivery leg of round `round`. Legs shipped during round r are
+  /// returned, in ship order, by collect(r). The message is borrowed for the
+  /// duration of the call.
+  virtual void ship(PartyId rcpt, const Message& m, int round) = 0;
+
+  /// Round barrier: finish round `round`'s sends and return every leg
+  /// shipped for it, in ship order. Must be called exactly once per round
+  /// that shipped at least one leg (calling it for an empty round is
+  /// allowed and returns an empty vector). Implementations fail closed —
+  /// a malformed, duplicated, or out-of-sequence frame throws.
+  [[nodiscard]] virtual std::vector<Delivery> collect(int round) = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const { return {}; }
+};
+
+/// Reference in-memory transport: a FIFO whose collect() drains exactly the
+/// legs shipped for that round. The engine never routes through it — a
+/// kInProc transport selects the native direct-mailbox path — but tests use
+/// it as the ordering oracle for the TCP implementation.
+class InProcTransport final : public Transport {
+ public:
+  [[nodiscard]] TransportKind kind() const override { return TransportKind::kInProc; }
+  void ship(PartyId rcpt, const Message& m, int round) override;
+  [[nodiscard]] std::vector<Delivery> collect(int round) override;
+
+ private:
+  struct Pending {
+    int round;
+    Delivery leg;
+  };
+  std::vector<Pending> queue_;
+};
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,425 @@
+// Network subsystem tests (ISSUE 8): the wire codec fails closed under
+// malformed input (truncation, oversized length prefixes, corruption,
+// duplicated sequence numbers), the TCP transport reproduces the in-process
+// delivery order bit-for-bit, and the multi-process mesh merges a lockstep
+// round into the engine's canonical mailbox order.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "net/mesh.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+#include "sim/engine.h"
+#include "sim/transport.h"
+
+namespace fairsfe::net {
+namespace {
+
+Frame sample_frame() {
+  Frame f;
+  f.kind = FrameKind::kMsg;
+  f.seq = 7;
+  f.round = 3;
+  f.from = 1;
+  f.to = sim::kBroadcast;  // negative ids must survive the u32 encoding
+  f.rcpt = 2;
+  f.payload = bytes_of("share:deadbeef");
+  return f;
+}
+
+ByteView body_of(const Bytes& encoded) {
+  return ByteView(encoded).subspan(4);  // skip the u32 length prefix
+}
+
+TEST(Wire, FrameRoundTripsThroughCodec) {
+  const Frame f = sample_frame();
+  const Bytes enc = encode_frame(f);
+  const auto dec = decode_frame_body(body_of(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->kind, f.kind);
+  EXPECT_EQ(dec->seq, f.seq);
+  EXPECT_EQ(dec->round, f.round);
+  EXPECT_EQ(dec->from, f.from);
+  EXPECT_EQ(dec->to, f.to);
+  EXPECT_EQ(dec->rcpt, f.rcpt);
+  EXPECT_EQ(dec->payload, f.payload);
+}
+
+TEST(Wire, EveryTruncationFailsClosed) {
+  const Bytes enc = encode_frame(sample_frame());
+  const ByteView body = body_of(enc);
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_FALSE(decode_frame_body(body.first(len)).has_value())
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Wire, TrailingBytesFailClosed) {
+  Bytes enc = encode_frame(sample_frame());
+  enc.push_back(0x00);
+  EXPECT_FALSE(decode_frame_body(body_of(enc)).has_value());
+}
+
+TEST(Wire, BadKindFailsClosed) {
+  const Bytes enc = encode_frame(sample_frame());
+  for (const std::uint8_t kind : {0, 5, 42, 255}) {
+    Bytes mutated(body_of(enc).begin(), body_of(enc).end());
+    mutated[0] = kind;
+    EXPECT_FALSE(decode_frame_body(mutated).has_value()) << int(kind);
+  }
+}
+
+TEST(Wire, EverySingleBitFlipFailsTheChecksum) {
+  // Deterministic exhaustive corruption: any one-bit perturbation of the
+  // body — header fields, payload bytes, the checksum itself — must yield
+  // "malformed", never a silently different frame.
+  const Bytes enc = encode_frame(sample_frame());
+  const ByteView body = body_of(enc);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated(body.begin(), body.end());
+      mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+      EXPECT_FALSE(decode_frame_body(mutated).has_value())
+          << "byte " << i << " bit " << bit << " decoded";
+    }
+  }
+}
+
+TEST(Wire, RandomCorruptionFuzzFailsClosed) {
+  // Multi-byte corruption driven by the repo's deterministic Rng: splice
+  // random garbage into random offsets of valid bodies. Every mutation must
+  // decode to nullopt (FNV-1a makes a colliding mutation astronomically
+  // unlikely, and for this fixed seed the outcome is reproducible).
+  Rng rng(0x5eed);
+  for (int trial = 0; trial < 200; ++trial) {
+    Frame f = sample_frame();
+    f.seq = static_cast<std::uint32_t>(rng.u64());
+    f.payload.resize(rng.u64() % 64);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.u64());
+    const Bytes enc = encode_frame(f);
+    Bytes body(body_of(enc).begin(), body_of(enc).end());
+    const std::size_t edits = 1 + rng.u64() % 4;
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.u64() % body.size();
+      const auto val = static_cast<std::uint8_t>(rng.u64());
+      if (body[pos] == val) {
+        body[pos] = static_cast<std::uint8_t>(val ^ 0x01);
+      } else {
+        body[pos] = val;
+      }
+    }
+    EXPECT_FALSE(decode_frame_body(body).has_value()) << "trial " << trial;
+  }
+}
+
+TEST(Wire, OversizedLengthPrefixPoisonsBeforeAllocating) {
+  // A hostile 4 GiB length prefix must be rejected from the prefix alone:
+  // kBad after four bytes, no attempt to buffer the announced body.
+  FrameReader r;
+  const Bytes prefix = {0xff, 0xff, 0xff, 0xff};
+  r.feed(prefix);
+  Frame out;
+  EXPECT_EQ(r.poll(out), FrameReader::Status::kBad);
+  EXPECT_LE(r.buffered(), prefix.size());
+}
+
+TEST(Wire, ReaderPoisonsPermanently) {
+  FrameReader r;
+  Bytes garbage = encode_frame(sample_frame());
+  garbage[4] ^= 0x01;  // corrupt the kind byte -> framing error
+  r.feed(garbage);
+  Frame out;
+  EXPECT_EQ(r.poll(out), FrameReader::Status::kBad);
+  // A valid frame after the error must NOT resynchronize the stream.
+  r.feed(encode_frame(sample_frame()));
+  EXPECT_EQ(r.poll(out), FrameReader::Status::kBad);
+}
+
+TEST(Wire, ReaderReassemblesOneByteChunks) {
+  // Three frames drip-fed one byte at a time come out whole and in order.
+  std::vector<Frame> sent;
+  Bytes stream;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    Frame f = sample_frame();
+    f.seq = i;
+    f.payload = bytes_of("chunk" + std::to_string(i));
+    sent.push_back(f);
+    const Bytes enc = encode_frame(f);
+    stream.insert(stream.end(), enc.begin(), enc.end());
+  }
+  FrameReader r;
+  std::vector<Frame> got;
+  for (const std::uint8_t b : stream) {
+    r.feed(ByteView(&b, 1));
+    Frame out;
+    while (r.poll(out) == FrameReader::Status::kFrame) got.push_back(out);
+  }
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i].seq, sent[i].seq);
+    EXPECT_EQ(got[i].payload, sent[i].payload);
+  }
+}
+
+TEST(Wire, SeqTrackerRejectsDuplicatesGapsAndReordering) {
+  SeqTracker t;
+  EXPECT_TRUE(t.accept(0, 1, 1));
+  EXPECT_FALSE(t.accept(0, 1, 1));  // duplicate
+  EXPECT_TRUE(t.accept(0, 1, 2));
+  EXPECT_FALSE(t.accept(0, 1, 4));  // gap (a dropped frame)
+  EXPECT_FALSE(t.accept(0, 1, 2));  // replay
+  EXPECT_TRUE(t.accept(0, 1, 3));
+  // Channels are independent, including the reverse direction.
+  EXPECT_TRUE(t.accept(1, 0, 1));
+  EXPECT_FALSE(t.accept(1, 0, 3));
+  // First frame on a channel must be exactly 1.
+  EXPECT_FALSE(t.accept(2, 0, 2));
+}
+
+TEST(Wire, SeqTrackerNextMatchesAccept) {
+  SeqTracker sender;
+  SeqTracker receiver;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(receiver.accept(0, 1, sender.next(0, 1)));
+  }
+  EXPECT_EQ(sender.next(0, 1), 6u);
+}
+
+// --- Transport --------------------------------------------------------------
+
+using sim::Delivery;
+using sim::InProcTransport;
+using sim::Message;
+
+/// Ship a deterministic pseudo-random delivery schedule into `t` and return
+/// collect()'s answer per round. The same seed must produce the same legs on
+/// every transport, making any two implementations directly comparable.
+std::vector<std::vector<Delivery>> drive_schedule(sim::Transport& t,
+                                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Delivery>> collected;
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t legs = rng.u64() % 6;  // rounds may ship nothing
+    for (std::size_t i = 0; i < legs; ++i) {
+      Message m;
+      m.from = static_cast<sim::PartyId>(rng.u64() % 3);
+      m.to = (rng.u64() % 4 == 0) ? sim::kBroadcast
+                                  : static_cast<sim::PartyId>(rng.u64() % 3);
+      m.payload.resize(rng.u64() % 32);
+      for (auto& b : m.payload) b = static_cast<std::uint8_t>(rng.u64());
+      const auto rcpt = static_cast<sim::PartyId>(rng.u64() % 3);
+      t.ship(rcpt, m, round);
+    }
+    collected.push_back(t.collect(round));
+  }
+  return collected;
+}
+
+void expect_same_deliveries(const std::vector<std::vector<Delivery>>& a,
+                            const std::vector<std::vector<Delivery>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size()) << "round " << r;
+    for (std::size_t i = 0; i < a[r].size(); ++i) {
+      EXPECT_EQ(a[r][i].rcpt, b[r][i].rcpt) << r << "/" << i;
+      EXPECT_EQ(a[r][i].msg.from, b[r][i].msg.from) << r << "/" << i;
+      EXPECT_EQ(a[r][i].msg.to, b[r][i].msg.to) << r << "/" << i;
+      EXPECT_EQ(a[r][i].msg.payload, b[r][i].msg.payload) << r << "/" << i;
+    }
+  }
+}
+
+TEST(Transport, InProcCollectReturnsShipOrderPerRound) {
+  InProcTransport t;
+  Message a{0, 1, bytes_of("a")};
+  Message b{1, sim::kBroadcast, bytes_of("b")};
+  t.ship(1, a, 0);
+  t.ship(2, b, 0);
+  const auto r0 = t.collect(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0].rcpt, 1);
+  EXPECT_EQ(r0[0].msg.payload, bytes_of("a"));
+  EXPECT_EQ(r0[1].rcpt, 2);
+  EXPECT_EQ(r0[1].msg.to, sim::kBroadcast);
+  t.ship(0, a, 1);
+  const auto r1 = t.collect(1);
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].rcpt, 0);
+  EXPECT_TRUE(t.collect(2).empty());  // empty rounds are legal
+  // A leg shipped for a round that is never collected (the final round of an
+  // execution) is discarded at the next collect, not delivered late.
+  t.ship(1, a, 3);
+  EXPECT_TRUE(t.collect(4).empty());
+  EXPECT_TRUE(t.collect(3).empty());
+}
+
+TEST(Transport, TcpReproducesInProcDeliveryOrder) {
+  // The ordering oracle: the same ship schedule through a real kernel TCP
+  // socket pair must come back exactly as the reference FIFO returns it.
+  InProcTransport ref;
+  TcpTransport tcp;
+  const auto expected = drive_schedule(ref, 0xfeedface);
+  const auto actual = drive_schedule(tcp, 0xfeedface);
+  expect_same_deliveries(expected, actual);
+  const sim::TransportStats st = tcp.stats();
+  EXPECT_GT(st.frames, 0u);
+  EXPECT_GT(st.wire_bytes, 0u);
+  EXPECT_EQ(st.rounds, 5u);
+  EXPECT_EQ(ref.stats().wire_bytes, 0u);  // nothing serialized in-process
+}
+
+TEST(Transport, TcpInstanceServesSequentialExecutions) {
+  // One transport per worker thread is reused across Monte-Carlo runs; seq
+  // streams and framing must survive a second independent schedule.
+  TcpTransport tcp;
+  InProcTransport ref1;
+  expect_same_deliveries(drive_schedule(ref1, 11), drive_schedule(tcp, 11));
+  InProcTransport ref2;
+  expect_same_deliveries(drive_schedule(ref2, 22), drive_schedule(tcp, 22));
+}
+
+// Pingpong party: broadcasts in round 0, then echoes received payload sizes
+// point-to-point around a ring; output is a digest of everything seen.
+class PingPong final : public sim::PartyBase<PingPong> {
+ public:
+  PingPong(sim::PartyId id, int n) : PartyBase(id), n_(n) {}
+
+  std::vector<Message> on_round(int round, sim::MsgView in) override {
+    for (const Message& m : in) {
+      log_ += std::to_string(round) + ":" + std::to_string(m.from) + ":" +
+              std::to_string(m.payload.size()) + ";";
+    }
+    std::vector<Message> out;
+    if (round == 0) {
+      out.push_back(Message{id_, sim::kBroadcast,
+                            Bytes(static_cast<std::size_t>(id_) + 1, 0xab)});
+    } else if (round < 4) {
+      out.push_back(Message{id_, (id_ + 1) % n_, bytes_of(log_)});
+    }
+    if (round >= 4) finish(bytes_of(log_));
+    return out;
+  }
+
+  void on_abort() override { finish_bot(); }
+
+ private:
+  int n_;
+  std::string log_;
+};
+
+TEST(Transport, EngineExecutionBitIdenticalAcrossTransports) {
+  // The same protocol, the same rng, once over the native mailbox path and
+  // once with every delivery leg round-tripped through TCP: outputs and the
+  // full transcript must match bit for bit.
+  const auto run_with = [](sim::Transport* transport) {
+    std::vector<std::unique_ptr<sim::IParty>> parties;
+    for (int i = 0; i < 3; ++i) parties.push_back(std::make_unique<PingPong>(i, 3));
+    sim::ExecutionOptions cfg;
+    cfg.record_transcript = true;
+    cfg.transport = transport;
+    return run_honest(std::move(parties), Rng(99), cfg);
+  };
+  const sim::ExecutionResult native = run_with(nullptr);
+  TcpTransport tcp;
+  const sim::ExecutionResult remote = run_with(&tcp);
+  ASSERT_EQ(native.outputs.size(), remote.outputs.size());
+  for (std::size_t i = 0; i < native.outputs.size(); ++i) {
+    EXPECT_EQ(native.outputs[i], remote.outputs[i]) << "party " << i;
+  }
+  EXPECT_EQ(native.rounds, remote.rounds);
+  EXPECT_EQ(native.transcript_lines(), remote.transcript_lines());
+  EXPECT_GT(tcp.stats().frames, 0u);  // the remote run really used the wire
+}
+
+// --- Mesh -------------------------------------------------------------------
+
+TEST(Mesh, ThreeProcessLockstepMatchesEngineMailboxOrder) {
+  constexpr std::uint16_t kBase = 24310;
+  constexpr int kParties = 3;
+  struct NodeLog {
+    std::vector<std::vector<Message>> inboxes;
+    std::vector<bool> done_flags;
+  };
+  std::vector<NodeLog> logs(kParties);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kParties; ++i) {
+    threads.emplace_back([i, &logs] {
+      MeshConfig cfg;
+      cfg.self = i;
+      cfg.parties = kParties;
+      cfg.base_port = kBase;
+      MeshNode node(cfg);
+      node.connect();
+      for (int round = 0; round < 3; ++round) {
+        std::vector<Message> out;
+        if (round < 2) {
+          out.push_back(Message{i, sim::kBroadcast,
+                                bytes_of("b" + std::to_string(i))});
+          out.push_back(Message{i, (i + 1) % kParties,
+                                bytes_of("p" + std::to_string(i))});
+        }
+        // Round 1: only party 0 claims done -> all_done must stay false.
+        const bool self_done = (round == 2) || (round == 1 && i == 0);
+        const auto res = node.exchange(round, out, self_done);
+        logs[i].inboxes.push_back(res.inbox);
+        logs[i].done_flags.push_back(res.all_done);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kParties; ++i) {
+    // Canonical mailbox order: concatenated by sender pid, each sender's
+    // legs in emission order (broadcast first, then its p2p if addressed to
+    // us), own broadcasts included.
+    const auto& inbox = logs[i].inboxes[0];
+    std::vector<std::pair<int, std::string>> got;
+    for (const Message& m : inbox) {
+      got.emplace_back(m.from, std::string(m.payload.begin(), m.payload.end()));
+      if (m.to != sim::kBroadcast) {
+        EXPECT_EQ(m.to, i);
+      }
+    }
+    std::vector<std::pair<int, std::string>> want;
+    for (int s = 0; s < kParties; ++s) {
+      want.emplace_back(s, "b" + std::to_string(s));
+      if ((s + 1) % kParties == i) want.emplace_back(s, "p" + std::to_string(s));
+    }
+    EXPECT_EQ(got, want) << "party " << i << " round 0";
+    EXPECT_EQ(logs[i].inboxes[2].size(), 0u) << "round 2 ships nothing";
+    EXPECT_FALSE(logs[i].done_flags[0]);
+    EXPECT_FALSE(logs[i].done_flags[1]) << "one done bit must not finish all";
+    EXPECT_TRUE(logs[i].done_flags[2]);
+  }
+}
+
+TEST(Mesh, BogusHelloFailsClosed) {
+  // A dialer that presents the wrong magic must abort the handshake: the
+  // accepting node's connect() throws instead of admitting the peer.
+  MeshConfig cfg;
+  cfg.self = 0;
+  cfg.parties = 2;
+  cfg.base_port = 24330;
+  MeshNode node(cfg);
+  std::thread attacker([&node] {
+    Stream s = tcp_connect("127.0.0.1", node.port());
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.seq = 1;
+    hello.from = 1;
+    hello.to = 0;
+    hello.rcpt = 0;
+    hello.payload = bytes_of("not-the-magic");
+    s.write_all(encode_frame(hello));
+  });
+  EXPECT_THROW(node.connect(), std::runtime_error);
+  attacker.join();
+}
+
+}  // namespace
+}  // namespace fairsfe::net
