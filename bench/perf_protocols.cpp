@@ -25,9 +25,16 @@
 //       speedup on gmw_millionaires_16, plus Beaver-path and 4-party rows
 //       and the zero-variance sequential-stopping trajectory. --json writes
 //       BENCH_bitslice.json.
+//   perf_protocols --zoo [--json <path>] [runs] [--threads N]
+//     — protocol-zoo throughput (the E21/E22 families): full estimator runs
+//       of the round-sampling 1/p exchange and the escrowed penalty
+//       exchange, with the structural claims (1/p saturation, the deposit
+//       flip, the at_least_as_fair ordering) as checks. --json writes
+//       BENCH_zoo.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <functional>
 
@@ -751,6 +758,127 @@ int run_bitslice(int argc, char** argv) {
   return all_ok ? 0 : 1;
 }
 
+// --zoo mode: throughput of the E21/E22 protocol families through the full
+// estimator — the round-sampling 1/p exchange at small and large p, the
+// escrowed penalty exchange under both deposit-game strategies, and the
+// CHOR-wrapped dummy protocol. Every row is an rpd::estimate_utility /
+// rpd::assess_protocol call, so runs/sec is the end-to-end figure the E21 and
+// E22 sweeps pay per point, and the structural claims of those experiments
+// ride along as checks.
+int run_zoo(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const std::size_t iters = args.runs_or(4096);
+  const std::string json_path = args.json_path;
+
+  std::printf("\n=== P02-zoo: partial-1/p + penalty exchange throughput ===\n");
+  std::printf("%zu Monte-Carlo runs per configuration.\n\n", iters);
+  std::printf("%-36s %12s %10s\n", "configuration", "runs/sec", "runs");
+  std::printf("%-36s %12s %10s\n", "-------------", "--------", "----");
+
+  struct ZooRow {
+    std::string name;
+    std::size_t runs;
+    double wall_seconds;
+    [[nodiscard]] double runs_per_sec() const {
+      return wall_seconds > 0 ? static_cast<double>(runs) / wall_seconds : 0;
+    }
+  };
+  struct ZooCheck {
+    bool ok;
+    std::string what;
+  };
+  std::vector<ZooRow> rows;
+  std::vector<ZooCheck> checks;
+
+  rpd::EstimatorOptions base;
+  base.runs = iters;
+  base.seed = 42;
+  base.threads = args.threads;
+
+  auto measure = [&](const std::string& name, const rpd::SetupFactory& factory,
+                     const rpd::PayoffModel& model) {
+    const rpd::EstimationTarget target{factory, nullptr, 0};
+    const auto est = rpd::estimate_utility(target, model, base);
+    rows.push_back({name, est.runs, est.wall_seconds});
+    std::printf("%-36s %12.0f %10zu\n", name.c_str(), est.runs_per_sec(), est.runs);
+    return est;
+  };
+  auto record = [&](bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "DEVIATION", what.c_str());
+    checks.push_back({ok, what});
+  };
+
+  const rpd::VectorModel pf(rpd::payoff::partial_fairness());
+  for (const std::size_t p : {std::size_t{2}, std::size_t{8}}) {
+    const fair::Partial1pParams params = fair::make_partial_1p_and_params(p);
+    const auto est =
+        measure("partial_1p_p" + std::to_string(p) + " [abort@1]",
+                partial_1p_attack(params, Partial1pAttack::kAbortAt1), pf);
+    const double bound = 1.0 / static_cast<double>(p);
+    record(std::abs(est.utility - bound) <= est.margin() + 0.02,
+           "partial_1p p=" + std::to_string(p) + ": abort@1 saturates g10/p");
+  }
+
+  const rpd::VectorModel standard(rpd::payoff::standard());
+  rpd::CollateralTerms unit;
+  unit.deposit = 1.0;
+  const rpd::CollateralModel escrowed(rpd::payoff::standard(), unit);
+  const auto withhold_free =
+      measure("penalty_d0 [withhold-claim]",
+              penalty_attack(adversary::PenaltyMode::kWithholdClaim), standard);
+  const auto withhold_escrowed =
+      measure("penalty_d1 [withhold-claim]",
+              penalty_attack(adversary::PenaltyMode::kWithholdClaim), escrowed);
+  const auto honest_escrowed = measure(
+      "penalty_d1 [honest]", penalty_attack(adversary::PenaltyMode::kHonest), escrowed);
+  record(withhold_free.utility > honest_escrowed.utility &&
+             withhold_escrowed.utility < honest_escrowed.utility,
+         "penalty: deposit d=1 flips the rational strategy to honest");
+
+  measure("fullsec_dummy2 [lock-abort]", full_security_dummy2(0), standard);
+
+  // The E22 zoo ordering, at bench scale: the escrowed exchange (full
+  // deposit) must be at least as fair as the bare withhold game.
+  const auto bare = rpd::assess_protocol(penalty_attack_family(), standard,
+                                         base.with_seed(base.seed + 100));
+  const auto priced = rpd::assess_protocol(penalty_attack_family(), escrowed,
+                                           base.with_seed(base.seed + 200));
+  record(rpd::at_least_as_fair(priced, bare),
+         "at_least_as_fair: penalty(d=1) >= penalty(d=0)");
+
+  bool all_ok = true;
+  for (const ZooCheck& c : checks) all_ok = all_ok && c.ok;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"P02-zoo\",\n"
+                    "  \"claim\": \"protocol-zoo throughput: round-sampling 1/p and "
+                    "escrowed penalty exchange\",\n"
+                    "  \"iters\": %zu,\n  \"rows\": [",
+                 iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"runs\": %zu, \"wall_seconds\": %.6g, "
+                   "\"runs_per_sec\": %.6g}",
+                   i == 0 ? "" : ",", rows[i].name.c_str(), rows[i].runs,
+                   rows[i].wall_seconds, rows[i].runs_per_sec());
+    }
+    std::fprintf(f, "\n  ],\n  \"checks\": [");
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"ok\": %s, \"what\": \"%s\"}", i == 0 ? "" : ",",
+                   checks[i].ok ? "true" : "false", checks[i].what.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace fairsfe
 
@@ -767,6 +895,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--bitslice") == 0) {
       return fairsfe::run_bitslice(argc, argv);
+    }
+    if (std::strcmp(argv[i], "--zoo") == 0) {
+      return fairsfe::run_zoo(argc, argv);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -38,6 +38,11 @@
 #     bit-identical to scalar, >= 10x runs/sec on gmw_millionaires_16,
 #     deterministic sequential stop) fail the perf step itself if the
 #     64-runs-per-word path ever degenerates to scalar speed.
+#   * perf_protocols --zoo does the same for the protocol-zoo families
+#     (E21/E22: round-sampling 1/p exchange, escrowed penalty exchange)
+#     against BENCH_zoo.json — its built-in checks (1/p saturation, the
+#     deposit flip, the at_least_as_fair ordering) fail the perf step
+#     itself if a zoo protocol's fairness story breaks at bench scale.
 #   * scripts/loadtest.py replays the full fairbenchd request mix, writes
 #     BENCH_service.ci.json, and scripts/bench_diff.py prints the latency/
 #     throughput delta against the committed BENCH_service.json (50%
@@ -102,6 +107,13 @@ if cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release >/dev/null 2>&1 &&
     python3 scripts/bench_diff.py --fail-above 35 \
         BENCH_bitslice.json BENCH_bitslice.ci.json ||
       echo "bitslice perf regression (non-gating)"
+  fi
+  ./build-perf/bench/perf_protocols --zoo --json BENCH_zoo.ci.json ||
+    echo "zoo check failed (1/p saturation, deposit flip, or ordering broke)"
+  if [[ -f BENCH_zoo.json && -f BENCH_zoo.ci.json ]]; then
+    python3 scripts/bench_diff.py --fail-above 35 \
+        BENCH_zoo.json BENCH_zoo.ci.json ||
+      echo "zoo perf regression (non-gating)"
   fi
   python3 scripts/loadtest.py --daemon build-perf/fairbenchd \
       --out BENCH_service.ci.json ||

@@ -53,6 +53,13 @@ of that contract machine-checked:
                             consume the typed SlicedBatchFn / SlicedGmwRunner
                             surface instead of slicing shares by hand. tests/
                             are exempt (they unit-test the transpose).
+  gamma-literal             Raw PayoffVector{...} brace-literals outside
+                            src/rpd. A γ vector spelled inline re-encodes a
+                            payoff by hand, so the same logical vector can
+                            silently drift between the TUs that share it;
+                            call a named preset from rpd::payoff
+                            (src/rpd/payoff.h) instead. tests/ are exempt
+                            (they pin the presets' numeric values).
   raw-socket-access         POSIX socket API (<sys/socket.h>-family includes,
                             socket/bind/listen/accept/connect calls) outside
                             src/net. The process's entire network surface must
@@ -270,6 +277,34 @@ class LaneWordSharesRule(RegexRule):
                        for d in self.EXEMPT)
 
 
+class GammaLiteralRule(RegexRule):
+    """Everywhere EXCEPT src/rpd (the payoff presets' own definition layer)
+    and tests/ (which pin the presets' numeric values). A raw
+    PayoffVector{...} brace-literal anywhere else re-encodes a γ vector by
+    hand, so the same logical vector can silently drift between the TUs that
+    share it; experiment/bench code must call a named rpd::payoff preset
+    (src/rpd/payoff.h). An exclusion list, like direct-ot-access, so the rule
+    follows new scan roots automatically."""
+
+    EXEMPT = ("src/rpd", "tests")
+
+    def __init__(self):
+        super().__init__(
+            "gamma-literal", None,
+            "raw PayoffVector brace-literal outside src/rpd: use a named "
+            "rpd::payoff preset (src/rpd/payoff.h) so each gamma's value is "
+            "defined exactly once",
+            # A PayoffVector brace-init with contents, directly
+            # (`PayoffVector{0.25, ...}`) or through a named declaration
+            # (`PayoffVector g{g11 / 2, ...}`). Empty braces (value-init) and
+            # the default constructor carry no literal and stay legal.
+            [r"\bPayoffVector\s*(?:\w+\s*)?\{[^}]"])
+
+    def in_scope(self, relpath):
+        return not any(relpath == d or relpath.startswith(d + "/")
+                       for d in self.EXEMPT)
+
+
 class RawSocketAccessRule(RegexRule):
     """Everywhere EXCEPT src/net — the one directory allowed to touch the
     POSIX socket API. Auditing the process's network surface must mean
@@ -416,6 +451,7 @@ RULES = [
     BareAssertRule(),
     DirectOtAccessRule(),
     LaneWordSharesRule(),
+    GammaLiteralRule(),
     RawSocketAccessRule(),
 ]
 

@@ -1,0 +1,22 @@
+// gamma-literal: outside src/rpd, a raw PayoffVector brace-literal re-encodes
+// a gamma vector by hand — the same logical vector can silently drift between
+// the TUs that share it. Experiment code must call a named rpd::payoff preset
+// (src/rpd/payoff.h). Lints as src/experiments/gamma_literal.cc, so the rule
+// is in scope.
+
+fairsfe::rpd::PayoffVector bad_inline_literal() {
+  return fairsfe::rpd::PayoffVector{0.25, 0.0, 1.0, 0.5};  // EXPECT(gamma-literal)
+}
+
+double bad_named_declaration(double g11) {
+  const fairsfe::rpd::PayoffVector g{g11 / 2, 0.0, 1.0, g11};  // EXPECT(gamma-literal)
+  return g.g10;
+}
+
+fairsfe::rpd::PayoffVector good_named_preset() {
+  return fairsfe::rpd::payoff::standard();
+}
+
+fairsfe::rpd::PayoffVector good_value_init() {
+  return fairsfe::rpd::PayoffVector{};  // no literal content: stays legal
+}

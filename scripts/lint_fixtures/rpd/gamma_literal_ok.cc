@@ -1,0 +1,13 @@
+// gamma-literal is scoped to everything OUTSIDE src/rpd: this fixture lints
+// as src/rpd/gamma_literal_ok.cc, the presets' own definition layer, where a
+// brace-literal IS the single definition point — neither line below is a
+// finding.
+
+fairsfe::rpd::PayoffVector spiteful_preset_definition() {
+  return fairsfe::rpd::PayoffVector{0.6, 0.0, 1.0, 0.5};
+}
+
+fairsfe::rpd::PayoffVector sensitivity_preset_definition(double g11) {
+  const fairsfe::rpd::PayoffVector g{g11 / 2, 0.0, 1.0, g11};
+  return g;
+}

@@ -1,0 +1,80 @@
+#include "adversary/partial_1p_attack.h"
+
+#include "fair/gk.h"
+
+namespace fairsfe::adversary {
+
+using sim::Message;
+
+bool Partial1pPolicy::fires(std::size_t j, const std::vector<Bytes>& history,
+                            Rng& rng) const {
+  if (match_target && !history.empty() && history.back() == target) return true;
+  if (geometric_beta > 0.0 && rng.uniform() < geometric_beta) return true;
+  return abort_round != 0 && j == abort_round;
+}
+
+Partial1pPolicy partial_1p_policy_abort_at(std::size_t j) {
+  Partial1pPolicy p;
+  p.abort_round = j;
+  return p;
+}
+
+Partial1pPolicy partial_1p_policy_match(Bytes target) {
+  Partial1pPolicy p;
+  p.match_target = true;
+  p.target = std::move(target);
+  return p;
+}
+
+Partial1pPolicy partial_1p_policy_geometric(double beta) {
+  Partial1pPolicy p;
+  p.geometric_beta = beta;
+  return p;
+}
+
+Partial1pPolicy partial_1p_policy_honest() { return Partial1pPolicy{}; }
+
+Partial1pAborter::Partial1pAborter(Partial1pPolicy policy, mpc::NotesPtr notes)
+    : AdversaryBase({0}), policy_(std::move(policy)), notes_(std::move(notes)) {}
+
+std::vector<Message> Partial1pAborter::on_round(sim::AdvContext& ctx,
+                                                const sim::AdvView& view) {
+  if (aborted_) return {};
+
+  // Keep p1 in honest lockstep: it consumes last round's traffic (the peer's
+  // opening j-1 or the dealer output) and emits its opening of iteration j.
+  std::vector<Message> out = honest_step_all(ctx, view.delivered);
+
+  // Rushing: the peer's opening of iteration j is in THIS round's traffic.
+  // Probing p1's post-step clone with it yields v_j one round before the
+  // honest schedule would reconstruct it.
+  bool has_opening = false;
+  for (const Message& m : view.rushed) {
+    if (m.to != 0) continue;
+    const auto dec = fair::decode_gk_opening(m.payload);
+    if (dec && dec->first == last_iteration_ + 1) has_opening = true;
+  }
+  if (has_opening) {
+    const auto value = ctx.probe_output(0, {addressed_to(view.rushed, 0)});
+    if (value) {
+      ++last_iteration_;
+      history_.push_back(*value);
+      if (policy_.fires(last_iteration_, history_, ctx.rng())) {
+        // Take v_j and withhold p1's opening of iteration j: the honest peer
+        // is left one iteration behind, at v_{j-1}.
+        mark_learned(*value);
+        if (notes_) notes_->vals["abort_iteration"] = last_iteration_;
+        aborted_ = true;
+        return {};
+      }
+    }
+  }
+
+  if (!learned_) {
+    const sim::IParty& p1 = ctx.party(0);
+    if (p1.done() && p1.output()) mark_learned(*p1.output());
+  }
+  return out;
+}
+
+}  // namespace fairsfe::adversary

@@ -1,0 +1,65 @@
+// Attack strategies against the round-sampling 1/p protocol (fair/partial_1p.h;
+// experiment E21).
+//
+// The simultaneous exchange closes GK's structural asymmetry (no party
+// reconstructs "first" within an iteration), so the only unfair window left
+// is RUSHING: in the round where both parties release iteration j, the
+// adversary sees the peer's opening before deciding whether its own goes
+// out. Aborting there leaves the honest peer one iteration behind — unfair
+// exactly when j = i*, which the uniform switch round hits with probability
+// 1/p for EVERY abort rule. The strategies below only choose WHICH j to
+// gamble on.
+//
+// The policy is a plain parameter vector (not hand-picked rule objects) so
+// ROADMAP item 5's strategy-search layer can sweep it against the
+// Monte-Carlo oracle without new adversary code.
+#pragma once
+
+#include "adversary/base.h"
+#include "mpc/sfe_functionalities.h"
+
+namespace fairsfe::adversary {
+
+/// Searchable abort policy for the 1/p exchange. Interpretation, in
+/// precedence order per iteration j:
+///   1. match_target && history.back() == target  → abort;
+///   2. geometric_beta > 0 and a β-coin comes up   → abort;
+///   3. j == abort_round                           → abort (0 = never).
+/// All-defaults (abort_round 0, no target, β = 0) is the honest policy.
+struct Partial1pPolicy {
+  std::size_t abort_round = 0;  ///< fixed-j abort; 0 disables
+  bool match_target = false;    ///< abort when the probed value equals target
+  Bytes target;                 ///< the value match_target compares against
+  double geometric_beta = 0.0;  ///< per-iteration abort probability
+
+  [[nodiscard]] bool fires(std::size_t j, const std::vector<Bytes>& history,
+                           Rng& rng) const;
+};
+
+/// Ready-made policies (the E21 family).
+Partial1pPolicy partial_1p_policy_abort_at(std::size_t j);
+Partial1pPolicy partial_1p_policy_match(Bytes target);
+Partial1pPolicy partial_1p_policy_geometric(double beta);
+Partial1pPolicy partial_1p_policy_honest();
+
+/// The rushing aborter corrupting p1 (party 0): runs p1 honestly, probes the
+/// peer's rushed opening of each iteration to learn v_j one round early, and
+/// on a policy hit withholds p1's own opening — the honest peer then
+/// finishes with v_{j-1}. Records vals["abort_iteration"] = j in `notes` for
+/// the F^{f,$} accounting (rpd::notes_switch_round_mapping).
+class Partial1pAborter final : public AdversaryBase {
+ public:
+  explicit Partial1pAborter(Partial1pPolicy policy, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  Partial1pPolicy policy_;
+  mpc::NotesPtr notes_;
+  std::vector<Bytes> history_;
+  std::size_t last_iteration_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace fairsfe::adversary

@@ -1,0 +1,40 @@
+// Attack strategies against the deposit-based exchange (fair/penalty.h;
+// experiment E22).
+//
+// The escrow's ordered delivery gives the corrupted p1 one real lever:
+// receive y and never acknowledge, leaving the honest p2 outputless (event
+// E10) at the cost of the forfeited deposit. The E22 sweep shows the payoff
+// of that lever crossing below the honest strategy's as the deposit grows —
+// the economic-fairness flip point d* = γ10 − γ11.
+//
+// Like Partial1pPolicy, the policy is a plain enum parameter so the
+// ROADMAP-item-5 search layer can sweep strategies without new adversary
+// code.
+#pragma once
+
+#include "adversary/base.h"
+#include "mpc/sfe_functionalities.h"
+
+namespace fairsfe::adversary {
+
+/// What the corrupted p1 does with the escrowed exchange.
+enum class PenaltyMode {
+  kWithholdClaim,  ///< receive y, never acknowledge — forfeits the deposit
+  kNoShow,         ///< never submit an input — money-neutral E00 abort
+  kHonest,         ///< follow the protocol (deposit refunded)
+};
+
+/// The deposit-game adversary corrupting p1 (party 0).
+class PenaltyAdversary final : public AdversaryBase {
+ public:
+  explicit PenaltyAdversary(PenaltyMode mode);
+
+  std::vector<sim::Message> on_round(sim::AdvContext& ctx,
+                                     const sim::AdvView& view) override;
+
+ private:
+  PenaltyMode mode_;
+  bool withheld_ = false;
+};
+
+}  // namespace fairsfe::adversary

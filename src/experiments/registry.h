@@ -85,6 +85,13 @@ struct ScenarioSpec {
   std::vector<std::string> tags;
   /// The scenario's canonical payoff vector (bodies may sweep others).
   rpd::PayoffVector gamma = rpd::PayoffVector::standard();
+  /// Optional payoff model override. When set, the estimate_utility /
+  /// assess_protocol ScenarioSpec overloads score runs through
+  /// model->score(RunOutcome) instead of a VectorModel over `gamma`
+  /// (collateral-extended scenarios like exp22 set this; `gamma` stays the
+  /// anchoring vector for bounds and table headers — keep the two
+  /// consistent: model->gamma() should equal `gamma`).
+  std::shared_ptr<const rpd::PayoffModel> model;
   std::size_t default_runs = 1000;  ///< Monte-Carlo runs/point default
   std::uint64_t base_seed = 0;      ///< first seed the body draws from
   /// Default fault plan (exp18-style scenarios); estimator overloads apply

@@ -26,7 +26,7 @@ void run(ScenarioContext& ctx) {
   std::printf("%-8s %16s %16s %16s %12s\n", "g11", "u(Pi1)", "u(Pi2)", "u(Opt2SFE)",
               "(g10+g11)/2");
   for (const double g11 : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-    const rpd::PayoffVector g{g11 / 2, 0.0, 1.0, g11};
+    const rpd::PayoffVector g = rpd::payoff::sensitivity(g11);
     const auto pi1 = rpd::estimate_utility(
         contract_attack(fair::ContractVariant::kPi1, 1), g, rep.opts(seed++));
     const auto pi2 = rpd::estimate_utility(
@@ -47,7 +47,7 @@ void run(ScenarioContext& ctx) {
   std::printf("\n--- g01-shift invariance (the paper's wlog normalization) ---\n\n");
   // Raw vector with g01 = 0.25 and its normalized form; utilities must shift
   // by exactly the mix of event frequencies, preserving order and gaps.
-  const rpd::PayoffVector raw{0.5, 0.25, 1.25, 0.75};
+  const rpd::PayoffVector raw = rpd::payoff::shifted_standard();
   const rpd::PayoffVector norm = raw.normalized();
   rep.check(norm.in_gamma_fair(), "normalized vector lands in Gamma_fair");
   const auto u_raw = rpd::estimate_utility(opt2_lock_abort(0), raw, rep.opts(9100));

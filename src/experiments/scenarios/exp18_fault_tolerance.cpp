@@ -100,7 +100,7 @@ void run(ScenarioContext& ctx) {
   // nobody-learns over everybody-learns). Drops now donate utility: the
   // measured curve must rise monotonically from 0.75. Common random numbers
   // (shared seed) make the monotonicity exact, not just statistical.
-  const rpd::PayoffVector spite{0.6, 0.0, 1.0, 0.5};
+  const rpd::PayoffVector spite = rpd::payoff::spiteful();
   const auto spite_curve = sweep("spite(0.6,0,1,0.5)", spite, 1801);
   bool monotone = true;
   for (std::size_t i = 1; i < spite_curve.size(); ++i) {

@@ -1,0 +1,88 @@
+// E21 — round-sampling 1/p partial fairness (Beimel–Omri–Orlov style) vs the
+// paper's 1/p comparison (Lemma 25 / Theorems 23-24). The round-sampling
+// dealer fixes the iteration count to EXACTLY p and draws the switch round
+// uniform over [1, p]; every abort strategy then hits i* with probability
+// 1/p, so under ~γ = (0, 0, 1, 0) each attack earns γ10/p. The harness
+// sweeps p, fields the rushing attack family, verifies the fixed-j strategy
+// SATURATES the bound (u = γ10/p, not merely ≤), and plots the measured
+// crossover against GK: identical 1/p guarantee, p iterations instead of
+// GK's ~8·p·|Y| geometric cap.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "experiments/registry.h"
+#include "experiments/report.h"
+#include "experiments/scenarios/scenarios.h"
+#include "experiments/setups.h"
+
+namespace fairsfe::experiments {
+namespace {
+
+void run(ScenarioContext& ctx) {
+  bench::Reporter& rep = ctx.rep;
+  const rpd::PayoffVector gamma = ctx.spec.gamma;
+  rep.gamma(gamma);
+
+  std::uint64_t seed = ctx.spec.base_seed;
+  std::printf("--- round-sampling exchange (AND, |Y| = 2), uniform i* in [1, p] ---\n");
+  for (const std::size_t p : {2u, 3u, 4u, 6u, 8u}) {
+    const fair::Partial1pParams params = fair::make_partial_1p_and_params(p);
+    const double bound = ctx.spec.bound(gamma, 1.0 / static_cast<double>(p));
+    std::printf("p = %zu  (exactly %zu exchange iterations)\n", p, params.rounds());
+    rep.row_header();
+    double best = 0.0;
+    for (const auto& attack : partial_1p_attack_family(params)) {
+      const auto est = rpd::estimate_utility(attack.factory, gamma, rep.opts(seed++));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "<= g10/p = %.4f", bound);
+      rep.row(attack.name, est, buf);
+      best = std::max(best, est.utility);
+      rep.check(est.utility <= bound + est.margin() + 0.02,
+                "p=" + std::to_string(p) + " " + attack.name + " <= g10/p");
+      // Fixed-j aborts don't just respect the bound, they SATURATE it: the
+      // uniform switch round makes every deterministic abort a 1/p gamble.
+      if (attack.name == "abort@1" || attack.name == "abort@p") {
+        rep.check(est.utility >= bound - est.margin() - 0.03,
+                  "p=" + std::to_string(p) + " " + attack.name + " saturates g10/p");
+      }
+    }
+    std::printf("best attack: %.4f vs bound %.4f\n\n", best, bound);
+
+    // Measured crossover vs GK at the same p: equal 1/p cap, but the
+    // round-sampling schedule is p iterations against GK's geometric cap.
+    const fair::GkParams gk = fair::make_gk_and_params(p);
+    std::printf("round budget: round-sampling %zu vs GK cap %zu (%.1fx shorter)\n\n",
+                params.rounds(), gk.cap(),
+                static_cast<double>(gk.cap()) / static_cast<double>(params.rounds()));
+  }
+
+  std::printf("Crossover: at p = 2 the 1/p cap equals Theorem 3's general-function\n"
+              "optimum (g10+g11)/2 = 0.5 — round-sampling only beats the general\n"
+              "bound for p > 2, exactly like GK, but at a fraction of the rounds.\n");
+}
+
+}  // namespace
+
+void register_exp21(Registry& r) {
+  ScenarioSpec s;
+  s.id = "exp21_partial_1p";
+  s.title = "E21: round-sampling 1/p partial fairness (BOO)";
+  s.claim =
+      "Claim: every abort strategy earns exactly g10/p (uniform switch\n"
+      "round); the schedule is p iterations vs GK's ~8*p*|Y| cap.";
+  s.protocol = "round-sampling 1/p exchange";
+  s.attack = "rushing abort family";
+  s.tags = {"smoke", "two-party", "partial-fairness", "zoo"};
+  s.gamma = rpd::payoff::partial_fairness();
+  s.default_runs = 2500;
+  s.base_seed = 2100;
+  // x = 1/p: the round-sampling cap is g10/p (g10 = 1 under ~gamma).
+  s.bound = [](const rpd::PayoffVector& g, double x) { return g.g10 * x; };
+  s.bound_note = "u_A = g10/p for fixed-j aborts (pass x = 1/p)";
+  s.attacks = partial_1p_attack_family(fair::make_partial_1p_and_params(4));
+  s.run = run;
+  r.add(std::move(s));
+}
+
+}  // namespace fairsfe::experiments

@@ -29,5 +29,7 @@ void register_exp17(Registry& r);
 void register_exp18(Registry& r);
 void register_exp19(Registry& r);
 void register_exp20(Registry& r);
+void register_exp21(Registry& r);
+void register_exp22(Registry& r);
 
 }  // namespace fairsfe::experiments

@@ -3,13 +3,16 @@
 #include "adversary/gk_adversary.h"
 #include "adversary/lock_abort.h"
 #include "adversary/mixed.h"
+#include "adversary/partial_1p_attack.h"
 #include "adversary/strategies.h"
 #include "experiments/registry.h"
 #include "experiments/scenarios/scenarios.h"
 #include "fair/dummy_ideal.h"
+#include "fair/full_security.h"
 #include "fair/gk_multi.h"
 #include "fair/lemma18.h"
 #include "fair/opt2sfe.h"
+#include "rpd/payoff_model.h"
 
 namespace fairsfe::experiments {
 
@@ -78,20 +81,6 @@ rpd::RunSetup opt2_setup(Rng& rng, std::unique_ptr<sim::IAdversary> adv) {
 }
 
 Bytes opt2_expected_y(const std::vector<Bytes>& xs) { return xs[0] + xs[1]; }
-
-// Strict j-bit: every honest party output the actual y (⊥ and default-input
-// fallbacks both fail the test).
-std::function<bool(const sim::ExecutionResult&)> honest_output_equals(Bytes y,
-                                                                      std::size_t n) {
-  return [y = std::move(y), n](const sim::ExecutionResult& r) {
-    for (std::size_t pid = 0; pid < n; ++pid) {
-      if (r.corrupted.count(static_cast<sim::PartyId>(pid))) continue;
-      const auto& out = r.outputs[pid];
-      if (!out || *out != y) return false;
-    }
-    return true;
-  };
-}
 }  // namespace
 
 rpd::SetupFactory opt2_lock_abort(sim::PartyId corrupt) {
@@ -119,7 +108,7 @@ rpd::SetupFactory opt2_lock_abort_strict(sim::PartyId corrupt) {
         std::make_unique<fair::Opt2ShareFunc>(spec, nullptr, /*patience=*/8);
     s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt}, y);
     s.engine.max_rounds = 64;
-    s.honest_got_output = honest_output_equals(y, 2);
+    rpd::strict_output_mapping(y, 2).install(s);
     return s;
   };
 }
@@ -133,7 +122,7 @@ rpd::SetupFactory contract_attack_strict(fair::ContractVariant variant,
     s.parties = fair::make_contract_parties(variant, xs[0], xs[1], rng);
     s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt}, y);
     s.engine.max_rounds = 64;
-    s.honest_got_output = honest_output_equals(y, 2);
+    rpd::strict_output_mapping(y, 2).install(s);
     return s;
   };
 }
@@ -468,16 +457,7 @@ rpd::SetupFactory gk_attack(const fair::GkParams& params, GkAttack attack) {
     // adversary then holds the real y while the honest output was replaced by
     // a fake draw. Aborts before i* are simulated by a random-input abort;
     // aborts after i* (and full runs) deliver the correct output to both.
-    const auto unfair_abort = [notes](const sim::ExecutionResult&) {
-      const auto j = notes->vals.find("abort_iteration");
-      const auto istar = notes->vals.find("i_star");
-      return j != notes->vals.end() && istar != notes->vals.end() &&
-             j->second == istar->second;
-    };
-    s.adversary_learned = unfair_abort;
-    s.honest_got_output = [unfair_abort](const sim::ExecutionResult& r) {
-      return !unfair_abort(r);
-    };
+    rpd::notes_switch_round_mapping(notes).install(s);
     return s;
   };
 }
@@ -518,17 +498,7 @@ rpd::SetupFactory gk_multi_attack(std::size_t n, std::size_t t, std::size_t p,
     s.adversary = std::make_unique<adversary::GkMultiAborter>(
         prefix_set(t), n, gk_rule_for(attack, p, params.cap(), target), notes);
     s.engine.max_rounds = static_cast<int>(params.cap() + 10);
-
-    const auto unfair_abort = [notes](const sim::ExecutionResult&) {
-      const auto j = notes->vals.find("abort_iteration");
-      const auto istar = notes->vals.find("i_star");
-      return j != notes->vals.end() && istar != notes->vals.end() &&
-             j->second == istar->second;
-    };
-    s.adversary_learned = unfair_abort;
-    s.honest_got_output = [unfair_abort](const sim::ExecutionResult& r) {
-      return !unfair_abort(r);
-    };
+    rpd::notes_switch_round_mapping(notes).install(s);
     return s;
   };
 }
@@ -540,6 +510,123 @@ std::vector<rpd::NamedAttack> gk_multi_attack_family(std::size_t n, std::size_t 
       {"geometric(1/p)", gk_multi_attack(n, t, p, GkAttack::kGeometric)},
       {"match-target", gk_multi_attack(n, t, p, GkAttack::kMatchTarget)},
       {"repeat-detector", gk_multi_attack(n, t, p, GkAttack::kRepeatDetector)},
+  };
+}
+
+// --------------------------------------------------- 1/p round-sampling (E21)
+
+rpd::SetupFactory partial_1p_attack(const fair::Partial1pParams& params,
+                                    Partial1pAttack attack) {
+  return [params, attack](Rng& rng) {
+    rpd::RunSetup s;
+    auto notes = std::make_shared<mpc::Notes>();
+    const Bytes x0 = params.sample_x1(rng);
+    const Bytes x1 = params.sample_x2(rng);
+    s.parties = fair::make_partial_1p_parties(params, x0, x1, rng);
+    s.functionality = std::make_unique<fair::Partial1pShareGenFunc>(params, notes);
+
+    adversary::Partial1pPolicy policy;
+    switch (attack) {
+      case Partial1pAttack::kAbortAt1:
+        policy = adversary::partial_1p_policy_abort_at(1);
+        break;
+      case Partial1pAttack::kAbortMid:
+        policy =
+            adversary::partial_1p_policy_abort_at(std::max<std::size_t>(1, params.p / 2));
+        break;
+      case Partial1pAttack::kAbortAtP:
+        policy = adversary::partial_1p_policy_abort_at(params.p);
+        break;
+      case Partial1pAttack::kMatchTarget: {
+        // The adversary knows its own input x0 and guesses the peer's.
+        const Bytes target = params.spec.eval({x0, params.sample_x2(rng)});
+        policy = adversary::partial_1p_policy_match(target);
+        break;
+      }
+      case Partial1pAttack::kHonest:
+        policy = adversary::partial_1p_policy_honest();
+        break;
+    }
+    s.adversary = std::make_unique<adversary::Partial1pAborter>(std::move(policy), notes);
+    s.engine.max_rounds = static_cast<int>(params.rounds() + 10);
+    // Same F^{f,$} accounting as GK: unfair exactly when the abort lands on
+    // the uniform switch round i* — probability 1/p for every abort rule.
+    rpd::notes_switch_round_mapping(notes).install(s);
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> partial_1p_attack_family(const fair::Partial1pParams& params) {
+  return {
+      {"abort@1", partial_1p_attack(params, Partial1pAttack::kAbortAt1)},
+      {"abort@mid", partial_1p_attack(params, Partial1pAttack::kAbortMid)},
+      {"abort@p", partial_1p_attack(params, Partial1pAttack::kAbortAtP)},
+      {"match-target", partial_1p_attack(params, Partial1pAttack::kMatchTarget)},
+      {"honest", partial_1p_attack(params, Partial1pAttack::kHonest)},
+  };
+}
+
+// ------------------------------------------------ deposit-based exchange (E22)
+
+rpd::SetupFactory penalty_attack(adversary::PenaltyMode mode) {
+  return [mode](Rng& rng) {
+    rpd::RunSetup s;
+    auto notes = std::make_shared<mpc::Notes>();
+    const auto xs = random_inputs(2, rng);
+    s.parties = fair::make_penalty_parties(xs[0], xs[1]);
+    s.functionality =
+        std::make_unique<fair::EscrowFunc>(fair::make_penalty_params(two_party_spec()), notes);
+    s.adversary = std::make_unique<adversary::PenaltyAdversary>(mode);
+    s.engine.max_rounds = 16;
+    // Monetary trail (deposit posted / withheld after learning) flows from
+    // the escrow's notes into RunOutcome for rpd::CollateralModel scoring.
+    rpd::notes_collateral_mapping(notes).install(s);
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> penalty_attack_family() {
+  return {
+      {"withhold-claim", penalty_attack(adversary::PenaltyMode::kWithholdClaim)},
+      {"no-show", penalty_attack(adversary::PenaltyMode::kNoShow)},
+      {"honest", penalty_attack(adversary::PenaltyMode::kHonest)},
+  };
+}
+
+// ------------------------------------------------- full-security wrapper (zoo)
+
+rpd::SetupFactory full_security_dummy2(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    const auto xs = random_inputs(2, rng);
+    s.parties = fair::wrap_full_security(fair::make_dummy_parties(xs), spec, xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(spec, mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<LockAbortAdversary>(std::set<sim::PartyId>{corrupt},
+                                                       xs[0] + xs[1]);
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+rpd::SetupFactory full_security_dummy2_gate(sim::PartyId corrupt) {
+  return [corrupt](Rng& rng) {
+    rpd::RunSetup s;
+    const mpc::SfeSpec spec = two_party_spec();
+    const auto xs = random_inputs(2, rng);
+    s.parties = fair::wrap_full_security(fair::make_dummy_parties(xs), spec, xs);
+    s.functionality = std::make_unique<mpc::SfeFunc>(spec, mpc::SfeMode::kFair);
+    s.adversary = std::make_unique<AbortFunctionality>(std::set<sim::PartyId>{corrupt});
+    s.engine.max_rounds = 8;
+    return s;
+  };
+}
+
+std::vector<rpd::NamedAttack> full_security_attack_family() {
+  return {
+      {"lock-abort(p1)", full_security_dummy2(0)},
+      {"lock-abort(p2)", full_security_dummy2(1)},
+      {"abort-gate", full_security_dummy2_gate(0)},
   };
 }
 
@@ -634,6 +721,8 @@ void register_builtin_scenarios(Registry& r) {
   register_exp18(r);
   register_exp19(r);
   register_exp20(r);
+  register_exp21(r);
+  register_exp22(r);
 }
 
 }  // namespace fairsfe::experiments

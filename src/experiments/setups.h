@@ -10,9 +10,12 @@
 
 #include <string>
 
+#include "adversary/penalty_attack.h"
 #include "fair/contract.h"
 #include "fair/gk.h"
 #include "fair/mixed.h"
+#include "fair/partial_1p.h"
+#include "fair/penalty.h"
 #include "mpc/gmw_sliced.h"
 #include "rpd/fairness_relation.h"
 
@@ -103,6 +106,38 @@ rpd::SetupFactory gk_multi_attack(std::size_t n, std::size_t t, std::size_t p,
                                   GkAttack attack);
 std::vector<rpd::NamedAttack> gk_multi_attack_family(std::size_t n, std::size_t t,
                                                      std::size_t p);
+
+// --------------------------------------------------- 1/p round-sampling (E21)
+
+/// Round-sampling 1/p protocol runs under the named rushing-abort policy.
+/// kMatchTarget aims at the adversary's best output guess (its own input plus
+/// a random peer completion), mirroring GkAttack::kMatchTarget.
+enum class Partial1pAttack { kAbortAt1, kAbortMid, kAbortAtP, kMatchTarget, kHonest };
+rpd::SetupFactory partial_1p_attack(const fair::Partial1pParams& params,
+                                    Partial1pAttack attack);
+
+/// All round-sampling attack strategies as a named family.
+std::vector<rpd::NamedAttack> partial_1p_attack_family(const fair::Partial1pParams& params);
+
+// ------------------------------------------------ deposit-based exchange (E22)
+
+/// Escrowed exchange under the named deposit-game strategy. The monetary
+/// trail lands in mpc::Notes and is scored by rpd::CollateralModel — the
+/// same factory serves every deposit level in the E22 sweep.
+rpd::SetupFactory penalty_attack(adversary::PenaltyMode mode);
+
+/// {withhold-claim, no-show, honest} as a named family.
+std::vector<rpd::NamedAttack> penalty_attack_family();
+
+// ------------------------------------------------- full-security wrapper (zoo)
+
+/// FullSec(Φ): the two-party dummy protocol behind the CHOR-style
+/// guaranteed-output wrapper (fair/full_security.h), under lock-abort /
+/// gate-abort. The honest side always terminates with output, so the abort
+/// events collapse to E11/E01 — strictly better for the honest party.
+rpd::SetupFactory full_security_dummy2(sim::PartyId corrupt);
+rpd::SetupFactory full_security_dummy2_gate(sim::PartyId corrupt);
+std::vector<rpd::NamedAttack> full_security_attack_family();
 
 // ------------------------------------------------------- bit-sliced twins
 

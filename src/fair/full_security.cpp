@@ -1,0 +1,22 @@
+#include "fair/full_security.h"
+
+#include "util/check.h"
+
+namespace fairsfe::fair {
+
+std::vector<std::unique_ptr<sim::IParty>> wrap_full_security(
+    std::vector<std::unique_ptr<sim::IParty>> parties, const mpc::SfeSpec& spec,
+    const std::vector<Bytes>& inputs) {
+  FAIRSFE_CHECK(parties.size() == inputs.size(),
+                "wrap_full_security: one input per party required");
+  for (auto& p : parties) {
+    const auto idx = static_cast<std::size_t>(p->id());
+    FAIRSFE_CHECK(idx < inputs.size(), "wrap_full_security: party id out of range");
+    std::vector<Bytes> xs = spec.default_inputs;
+    xs[idx] = inputs[idx];
+    p = std::make_unique<FullSecurityParty>(std::move(p), spec.eval(xs));
+  }
+  return parties;
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,66 @@
+// Fairness → full security, after Cohen–Haitner–Omri–Rotem (PAPERS.md):
+// a fair protocol (no party learns the output unless everyone can) is turned
+// into a FULLY secure one (guaranteed output delivery) by eliminating the
+// ⊥ outcome — whenever the fair subroutine ends in ⊥, the party falls back
+// to a canonical default evaluation f(x_i, defaults) it can compute locally.
+// Unfairness cannot be reintroduced: the wrapped run reaches "adversary
+// learned, honest did not" only if the subroutine itself was unfair, so the
+// wrapper's utility is bounded by the subroutine's. What changes is the
+// failure mode — an abort now costs the adversary the E00/E01 events (the
+// honest side always terminates WITH output), which is why the zoo orders
+// FullSec(Φ) at least as fair as Φ under every ~γ ∈ Γfair with γ00 ≤ γ11.
+//
+// The wrapper is protocol-agnostic: it decorates any zoo member's IParty
+// bundle (dummy/Opt2SFE/GK/partial-1p/...), forwarding rounds verbatim and
+// rewriting only the final output. It is a sketch of the CHOR compiler, not
+// a reproduction — the real transformation runs the fair protocol on a
+// SHARED default-completion so all fallbacks agree; here each party falls
+// back to f evaluated on its own input and the spec's default inputs, which
+// coincides for the concat-style functions the zoo measures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+/// Decorator turning a fair party into a guaranteed-output one: rounds and
+/// abort handling are the inner party's, but a ⊥ output is replaced by the
+/// precomputed fallback evaluation. Implements IParty directly (clone goes
+/// through the inner party's clone).
+class FullSecurityParty final : public sim::IParty {
+ public:
+  FullSecurityParty(std::unique_ptr<sim::IParty> inner, Bytes fallback)
+      : inner_(std::move(inner)), fallback_(std::move(fallback)) {}
+
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override {
+    return inner_->on_round(round, in);
+  }
+  void on_abort() override { inner_->on_abort(); }
+  [[nodiscard]] bool done() const override { return inner_->done(); }
+  [[nodiscard]] std::optional<Bytes> output() const override {
+    const auto out = inner_->output();
+    return out ? out : std::optional<Bytes>(fallback_);
+  }
+  [[nodiscard]] std::unique_ptr<sim::IParty> clone() const override {
+    return std::make_unique<FullSecurityParty>(inner_->clone(), fallback_);
+  }
+  [[nodiscard]] sim::PartyId id() const override { return inner_->id(); }
+
+ private:
+  std::unique_ptr<sim::IParty> inner_;
+  Bytes fallback_;
+};
+
+/// Wrap every party of a fair protocol instance. `inputs[i]` is party i's
+/// input; the fallback for party i is spec.eval(defaults with inputs[i] at
+/// position i) — the output a guaranteed-delivery ideal world would hand it
+/// when everyone else is replaced by defaults.
+std::vector<std::unique_ptr<sim::IParty>> wrap_full_security(
+    std::vector<std::unique_ptr<sim::IParty>> parties, const mpc::SfeSpec& spec,
+    const std::vector<Bytes>& inputs);
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,92 @@
+// Deposit-based fair exchange in the spirit of penalty-model fairness
+// ("Cryptographic and Financial Fairness", PAPERS.md; experiment E22).
+//
+// Γfair alone cannot price an abort: under ~γ = (0.25, 0, 1, 0.5) the
+// learn-then-withhold strategy earns γ10 = 1 and no protocol in the plain
+// model can push it below (γ10+γ11)/2. The penalty model changes the GAME
+// instead of the protocol: both parties escrow a deposit d with the exchange
+// functionality; an adversary caught withholding after learning the output
+// forfeits its deposit (plus an optional penalty), so its payoff for the
+// formerly-optimal strategy drops to γ10 − d. Fairness becomes an economic
+// statement — for d > γ10 − γ11 the rational adversary plays honestly — and
+// the measured flip point is exactly the paper-style crossover E22 sweeps.
+//
+// Mechanics (escrow-hybrid, 2 parties):
+//   1. both parties submit their inputs to the escrow (posting deposits);
+//      a missing input within `patience` rounds aborts everyone (deposits
+//      returned — nothing was learned);
+//   2. the escrow computes y and delivers it to p1 FIRST, starting a claim
+//      deadline;
+//   3. honest p1 acknowledges receipt; the escrow then releases y to p2 and
+//      refunds the deposits (a clean run);
+//   4. if p1 never acknowledges (the withhold attack: it has y, p2 does
+//      not), the deadline expires: the escrow records the forfeiture and
+//      notifies p2 with a compensation notice (p2's protocol output is still
+//      ⊥ — the money, not the output, is what it gets).
+//
+// The estimator sees the monetary layer through mpc::Notes
+// ("deposit_posted", "withheld_after_learning", "refunded") via
+// rpd::notes_collateral_mapping, and rpd::CollateralModel turns those flags
+// into payoff shifts. The protocol layer itself never touches payoffs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/rng.h"
+#include "mpc/sfe_functionalities.h"
+#include "sim/party.h"
+
+namespace fairsfe::fair {
+
+struct PenaltyParams {
+  mpc::SfeSpec spec;        ///< must be two-party
+  int patience = 4;         ///< rounds the escrow waits for both inputs
+  int claim_deadline = 3;   ///< rounds p1 has to acknowledge before forfeiture
+};
+
+/// Ready-made parameters over the standard two-party concat spec.
+PenaltyParams make_penalty_params(mpc::SfeSpec spec);
+
+/// The escrow functionality: input collection with deposit posting, ordered
+/// delivery (p1 first), acknowledgement deadline, forfeiture accounting.
+/// Records in `notes`: "deposit_posted", "withheld_after_learning",
+/// "refunded", "phase1_aborted", and blob "y".
+class EscrowFunc final : public sim::IFunctionality {
+ public:
+  explicit EscrowFunc(PenaltyParams params, mpc::NotesPtr notes = nullptr);
+
+  std::vector<sim::Message> on_round(sim::FuncContext& ctx, int round,
+                                     sim::MsgView in) override;
+
+ private:
+  enum class State { kAwaitInputs, kAwaitAck, kDone };
+
+  PenaltyParams params_;
+  mpc::NotesPtr notes_;
+  State state_ = State::kAwaitInputs;
+  std::array<std::optional<Bytes>, 2> inputs_;
+  Bytes y_;
+  int deliver_round_ = 0;  ///< round y went to p1 (deadline anchor)
+};
+
+/// An exchange party. p1 (id 0) receives y first and must acknowledge; p2
+/// (id 1) receives y on release, or a compensation notice (protocol output
+/// ⊥) on forfeiture.
+class PenaltyParty final : public sim::PartyBase<PenaltyParty> {
+ public:
+  PenaltyParty(sim::PartyId id, Bytes input);
+
+  std::vector<sim::Message> on_round(int round, sim::MsgView in) override;
+  void on_abort() override;
+
+ private:
+  Bytes input_;
+  bool sent_input_ = false;
+};
+
+/// Build the two exchange parties for inputs (x1, x2); pair with EscrowFunc.
+std::vector<std::unique_ptr<sim::IParty>> make_penalty_parties(const Bytes& x0,
+                                                               const Bytes& x1);
+
+}  // namespace fairsfe::fair

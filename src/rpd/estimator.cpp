@@ -47,8 +47,7 @@ struct ShardAccumulator {
 
 }  // namespace
 
-UtilityEstimate estimate_utility(const EstimationTarget& target,
-                                 const PayoffVector& payoff,
+UtilityEstimate estimate_utility(const EstimationTarget& target, const PayoffModel& model,
                                  const EstimatorOptions& opts) {
   FAIRSFE_CHECK(opts.lanes == 1 || opts.lanes == util::kLaneWidth,
                 "EstimatorOptions::lanes must be 1 or the machine lane width");
@@ -100,7 +99,14 @@ UtilityEstimate estimate_utility(const EstimationTarget& target,
           continue;
         }
         acc.counts[static_cast<std::size_t>(e)]++;
-        const double pay = payoff.of(e);
+        // The sliced path runs honest protocol code with the default
+        // predicates, so the RunOutcome carries no annotations: score sees
+        // the bare (event, outcome) pair. For a VectorModel this is exactly
+        // the pre-model payoff.of(e).
+        RunOutcome ro;
+        ro.event = e;
+        ro.outcome = o;
+        const double pay = model.score(ro);
         acc.sum += pay;
         acc.sum_sq += pay * pay;
       }
@@ -126,6 +132,7 @@ UtilityEstimate estimate_utility(const EstimationTarget& target,
       const std::size_t n = setup.parties.size();
       auto j_predicate = setup.honest_got_output;
       auto i_predicate = setup.adversary_learned;
+      auto annotate = setup.annotate;
       sim::ExecutionResult result = execute(std::move(setup), run_rng.fork("engine"));
 
       const bool j_bit = j_predicate ? j_predicate(result) : all_honest_nonbot(result, n);
@@ -142,7 +149,11 @@ UtilityEstimate estimate_utility(const EstimationTarget& target,
         continue;
       }
       acc.counts[static_cast<std::size_t>(e)]++;
-      const double pay = payoff.of(e);
+      RunOutcome ro;
+      ro.event = e;
+      ro.outcome = o;
+      if (annotate) annotate(result, ro);
+      const double pay = model.score(ro);
       acc.sum += pay;
       acc.sum_sq += pay * pay;
     }
@@ -248,11 +259,17 @@ UtilityEstimate estimate_utility(const EstimationTarget& target,
   return est;
 }
 
+UtilityEstimate estimate_utility(const EstimationTarget& target,
+                                 const PayoffVector& payoff,
+                                 const EstimatorOptions& opts) {
+  return estimate_utility(target, VectorModel(payoff), opts);
+}
+
 UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
                                  const EstimatorOptions& opts) {
   EstimationTarget target;
   target.factory = factory;
-  return estimate_utility(target, payoff, opts);
+  return estimate_utility(target, VectorModel(payoff), opts);
 }
 
 UtilityEstimate estimate_utility(const experiments::ScenarioSpec& scenario,
@@ -263,7 +280,8 @@ UtilityEstimate estimate_utility(const experiments::ScenarioSpec& scenario,
   target.factory = scenario.attacks.front().factory;
   target.sliced = scenario.sliced;
   target.sliced_parties = scenario.sliced_parties;
-  return estimate_utility(target, scenario.gamma, o);
+  if (scenario.model) return estimate_utility(target, *scenario.model, o);
+  return estimate_utility(target, VectorModel(scenario.gamma), o);
 }
 
 }  // namespace fairsfe::rpd

@@ -31,6 +31,7 @@
 
 #include "rpd/events.h"
 #include "rpd/payoff.h"
+#include "rpd/payoff_model.h"
 #include "sim/engine.h"
 #include "sim/transport.h"
 
@@ -55,6 +56,14 @@ struct RunSetup {
   /// runs, where the attacker cannot tell a fake from the real value) compare
   /// result.adversary_output against the recorded y instead.
   std::function<bool(const sim::ExecutionResult&)> adversary_learned;
+  /// RunOutcome annotation hook: invoked once per run after classification
+  /// with the finished execution and the already-classified RunOutcome, so
+  /// protocol families can surface model-specific facts (escrow collateral
+  /// flags, ground-truth notes) to PayoffModel::score without widening the
+  /// event predicates. Null for every vector-scored setup — the estimator
+  /// then scores the bare (event, outcome) pair. Install via
+  /// OutcomeMapping::install (payoff_model.h) rather than by hand.
+  std::function<void(const sim::ExecutionResult&, RunOutcome&)> annotate;
   /// Offline-phase slice binding: when set, the estimator invokes
   /// bind_run(i) right after the factory builds run i's setup, before the
   /// engine starts. Protocols consuming a shared CorrelatedRandomness batch
@@ -237,8 +246,18 @@ struct UtilityEstimate {
   }
 };
 
-/// Estimate u_A(Π, A) over opts.runs independent executions seeded from
-/// opts.seed, sharded across opts.threads workers.
+/// The estimation core: estimate u_A(Π, A) over opts.runs independent
+/// executions seeded from opts.seed, sharded across opts.threads workers,
+/// scoring every run through model.score(RunOutcome) — the scalar engine and
+/// the bit-sliced fast path (EstimationTarget::sliced + lanes = 64) both
+/// funnel through this one scoring call. CI-driven sequential stopping via
+/// EstimatorOptions::target_ci.
+UtilityEstimate estimate_utility(const EstimationTarget& target, const PayoffModel& model,
+                                 const EstimatorOptions& opts);
+
+/// Legacy-vector convenience: scores through a VectorModel wrapping `payoff`,
+/// which returns exactly payoff.of(event) — bit-identical to the pre-model
+/// estimator for every committed golden.
 UtilityEstimate estimate_utility(const SetupFactory& factory, const PayoffVector& payoff,
                                  const EstimatorOptions& opts);
 
@@ -249,7 +268,9 @@ UtilityEstimate estimate_utility(const EstimationTarget& target,
                                  const EstimatorOptions& opts);
 
 /// Estimate a registered scenario's canonical (first-registered) attack
-/// under the scenario's own payoff vector. `opts` supplies runs/seed/threads
+/// under the scenario's own payoff model (ScenarioSpec::model when set,
+/// otherwise a VectorModel over ScenarioSpec::gamma). `opts` supplies
+/// runs/seed/threads
 /// (start from `scenario.default_options()` for the registered defaults);
 /// when `opts` carries no fault plan the scenario's default plan applies.
 /// Tests and benches that go through this overload provably measure the

@@ -9,7 +9,7 @@
 namespace fairsfe::rpd {
 
 ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
-                                   const PayoffVector& payoff,
+                                   const PayoffModel& model,
                                    const EstimatorOptions& opts) {
   ProtocolAssessment out;
   out.attacks.resize(attacks.size());
@@ -40,8 +40,9 @@ ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
         opts.progress(family_done, family_total);
       };
     }
-    out.attacks[k] = {attacks[k].name,
-                      estimate_utility(attacks[k].factory, payoff, attack_opts)};
+    EstimationTarget target;
+    target.factory = attacks[k].factory;
+    out.attacks[k] = {attacks[k].name, estimate_utility(target, model, attack_opts)};
   });
 
   for (std::size_t i = 1; i < out.attacks.size(); ++i) {
@@ -52,11 +53,18 @@ ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
   return out;
 }
 
+ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
+                                   const PayoffVector& payoff,
+                                   const EstimatorOptions& opts) {
+  return assess_protocol(attacks, VectorModel(payoff), opts);
+}
+
 ProtocolAssessment assess_protocol(const experiments::ScenarioSpec& scenario,
                                    const EstimatorOptions& opts) {
   EstimatorOptions o = opts;
   if (!o.fault && scenario.fault) o.fault = *scenario.fault;
-  return assess_protocol(scenario.attacks, scenario.gamma, o);
+  if (scenario.model) return assess_protocol(scenario.attacks, *scenario.model, o);
+  return assess_protocol(scenario.attacks, VectorModel(scenario.gamma), o);
 }
 
 bool at_least_as_fair(const ProtocolAssessment& a, const ProtocolAssessment& b) {

@@ -39,14 +39,22 @@ struct ProtocolAssessment {
 };
 
 /// Assess every attack in the family (attack k with seed opts.seed + k) and
-/// pick the best. With opts.threads > 1 the family is swept concurrently and
-/// the thread budget is split between attacks and runs within each attack.
+/// pick the best, scoring runs through the payoff model. With
+/// opts.threads > 1 the family is swept concurrently and the thread budget is
+/// split between attacks and runs within each attack.
+ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
+                                   const PayoffModel& model,
+                                   const EstimatorOptions& opts);
+
+/// Legacy-vector convenience: assess under a VectorModel over `payoff`
+/// (bit-identical to the pre-model assessment).
 ProtocolAssessment assess_protocol(const std::vector<NamedAttack>& attacks,
                                    const PayoffVector& payoff,
                                    const EstimatorOptions& opts);
 
 /// Assess a registered scenario's canonical attack family under the
-/// scenario's own payoff vector (see the ScenarioSpec overload of
+/// scenario's own payoff model — ScenarioSpec::model when set, otherwise a
+/// VectorModel over ScenarioSpec::gamma (see the ScenarioSpec overload of
 /// estimate_utility for the merge semantics of `opts`).
 ProtocolAssessment assess_protocol(const experiments::ScenarioSpec& scenario,
                                    const EstimatorOptions& opts);

@@ -41,4 +41,22 @@ PayoffVector PayoffVector::partial_fairness() {
   return PayoffVector{0.0, 0.0, 1.0, 0.0};
 }
 
+namespace payoff {
+
+PayoffVector standard() { return PayoffVector::standard(); }
+
+PayoffVector swap_standard() { return PayoffVector::standard(); }
+
+PayoffVector contract_gamma() { return PayoffVector::standard(); }
+
+PayoffVector partial_fairness() { return PayoffVector::partial_fairness(); }
+
+PayoffVector spiteful() { return PayoffVector{0.6, 0.0, 1.0, 0.5}; }
+
+PayoffVector sensitivity(double g11) { return PayoffVector{g11 / 2, 0.0, 1.0, g11}; }
+
+PayoffVector shifted_standard() { return PayoffVector{0.5, 0.25, 1.25, 0.75}; }
+
+}  // namespace payoff
+
 }  // namespace fairsfe::rpd

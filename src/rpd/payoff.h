@@ -58,4 +58,35 @@ struct PayoffVector {
   static PayoffVector partial_fairness();
 };
 
+/// Named Γ presets — the single definition point for every γ the experiment
+/// and bench layers use. Scenario TUs reference these by name; raw
+/// `PayoffVector{...}` brace-literals outside src/rpd and tests are banned by
+/// the fairsfe-lint `gamma-literal` rule, so a vector's value can never drift
+/// between the TUs that share it.
+namespace payoff {
+
+/// The canonical Γ+fair vector (0.25, 0, 1, 0.5) — alias of
+/// PayoffVector::standard() for symmetric-by-name call sites.
+PayoffVector standard();
+/// The standard vector as used by the two-party swap/exchange experiments
+/// (identical values to standard(); named for the workload).
+PayoffVector swap_standard();
+/// The standard vector as used by the contract-signing experiments Π₁/Π₂
+/// (identical values to standard(); named for the workload).
+PayoffVector contract_gamma();
+/// (0, 0, 1, 0): only the unfair event pays — the 1/p-security comparison
+/// vector (Lemma 25 and the BOO partial-fairness scenarios).
+PayoffVector partial_fairness();
+/// (0.6, 0, 1, 0.5) ∈ Γfair \ Γ+fair: the adversary prefers mutual failure
+/// over a fair outcome (the exp18 "spiteful" accounting).
+PayoffVector spiteful();
+/// (g11/2, 0, 1, g11): the exp15 sensitivity family, parameterized by the
+/// fair-outcome payoff g11 ∈ (0, 1).
+PayoffVector sensitivity(double g11);
+/// (0.5, 0.25, 1.25, 0.75): a shifted (γ01 ≠ 0) vector whose normalized()
+/// form equals standard() — exercises the translation-invariance wlog.
+PayoffVector shifted_standard();
+
+}  // namespace payoff
+
 }  // namespace fairsfe::rpd

@@ -1,0 +1,104 @@
+#include "rpd/payoff_model.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "rpd/estimator.h"
+#include "util/check.h"
+
+namespace fairsfe::rpd {
+
+void CollateralTerms::validate() const {
+  FAIRSFE_CHECK(std::isfinite(deposit) && deposit >= 0.0,
+                "CollateralTerms::deposit must be finite and >= 0");
+  FAIRSFE_CHECK(std::isfinite(penalty) && penalty >= 0.0,
+                "CollateralTerms::penalty must be finite and >= 0");
+  FAIRSFE_CHECK(std::isfinite(refund) && refund >= 0.0 && refund <= 1.0,
+                "CollateralTerms::refund must be a fraction in [0, 1]");
+}
+
+CollateralModel::CollateralModel(PayoffVector gamma, CollateralTerms terms)
+    : gamma_(gamma), terms_(terms) {
+  terms_.validate();
+}
+
+double CollateralModel::score(const RunOutcome& o) const {
+  double pay = gamma_.of(o.event);
+  if (!o.deposit_posted) return pay;  // escrow never engaged: pure Γfair run
+  if (o.adversary_withheld) {
+    // Proven withhold-after-learning: the escrow keeps the whole deposit and
+    // levies the penalty on top — the monetary price of the E10 gamble.
+    pay -= terms_.deposit + terms_.penalty;
+  } else {
+    // Clean run: the refund schedule returns refund·deposit, so the
+    // adversary is out the unrefunded remainder (0 under full refund).
+    pay -= (1.0 - terms_.refund) * terms_.deposit;
+  }
+  return pay;
+}
+
+std::string CollateralModel::name() const {
+  std::ostringstream os;
+  os << "collateral" << gamma_.to_string() << "{d=" << terms_.deposit
+     << ", pen=" << terms_.penalty << ", refund=" << terms_.refund << "}";
+  return os.str();
+}
+
+std::shared_ptr<const PayoffModel> make_vector_model(const PayoffVector& gamma) {
+  return std::make_shared<VectorModel>(gamma);
+}
+
+std::shared_ptr<const PayoffModel> make_collateral_model(const PayoffVector& gamma,
+                                                         const CollateralTerms& terms) {
+  return std::make_shared<CollateralModel>(gamma, terms);
+}
+
+// ------------------------------------------------------- outcome mappings
+
+void OutcomeMapping::install(RunSetup& s) const {
+  if (honest_got_output) s.honest_got_output = honest_got_output;
+  if (adversary_learned) s.adversary_learned = adversary_learned;
+  if (annotate) s.annotate = annotate;
+}
+
+OutcomeMapping strict_output_mapping(Bytes y, std::size_t n) {
+  OutcomeMapping m;
+  m.honest_got_output = [y = std::move(y), n](const sim::ExecutionResult& r) {
+    for (std::size_t pid = 0; pid < n; ++pid) {
+      if (r.corrupted.count(static_cast<sim::PartyId>(pid))) continue;
+      const auto& out = r.outputs[pid];
+      if (!out || *out != y) return false;
+    }
+    return true;
+  };
+  return m;
+}
+
+OutcomeMapping notes_switch_round_mapping(mpc::NotesPtr notes) {
+  OutcomeMapping m;
+  const auto unfair_abort = [notes = std::move(notes)](const sim::ExecutionResult&) {
+    const auto j = notes->vals.find("abort_iteration");
+    const auto istar = notes->vals.find("i_star");
+    return j != notes->vals.end() && istar != notes->vals.end() &&
+           j->second == istar->second;
+  };
+  m.adversary_learned = unfair_abort;
+  m.honest_got_output = [unfair_abort](const sim::ExecutionResult& r) {
+    return !unfair_abort(r);
+  };
+  return m;
+}
+
+OutcomeMapping notes_collateral_mapping(mpc::NotesPtr notes) {
+  OutcomeMapping m;
+  m.annotate = [notes = std::move(notes)](const sim::ExecutionResult&, RunOutcome& o) {
+    const auto posted = notes->vals.find("deposit_posted");
+    o.deposit_posted = posted != notes->vals.end() && posted->second != 0;
+    const auto withheld = notes->vals.find("withheld_after_learning");
+    o.adversary_withheld = withheld != notes->vals.end() && withheld->second != 0;
+  };
+  return m;
+}
+
+}  // namespace fairsfe::rpd

@@ -1,0 +1,162 @@
+// The pluggable payoff model behind the Monte-Carlo estimator (DESIGN.md §13).
+//
+// The paper's Step 2 scores an execution by mapping its fairness event E_ij
+// through a payoff vector ~γ. Historically that mapping was hard-wired:
+// every setup installed its own outcome→event lambdas and the estimator's
+// hot path read `payoff.of(e)` directly. `PayoffModel` generalizes both
+// sides of that contract:
+//
+//   * outcome→event: the observable predicates of a run (the j-bit, the
+//     i-bit, and any protocol-specific annotations) are bundled into an
+//     `OutcomeMapping` owned by the model layer, with named factories for
+//     the recurring accountings (strict output equality, the GK/BOO
+//     switch-round rule, escrow collateral flags) instead of per-setup
+//     copies in src/experiments/setups.cpp;
+//   * event→payoff: `score(RunOutcome)` is the single call both estimator
+//     lanes (scalar engine and bit-sliced batches) make per run. The
+//     legacy `VectorModel` returns exactly `gamma().of(event)` — the same
+//     double the pre-model estimator computed, so every committed golden
+//     stays byte-identical — while `CollateralModel` extends Γfair with
+//     monetary terms (deposit, penalty, refund schedule) in the spirit of
+//     penalty-based fair exchange: an adversary that walks away after
+//     learning the output forfeits its collateral.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mpc/sfe_functionalities.h"
+#include "rpd/events.h"
+#include "rpd/payoff.h"
+#include "sim/engine.h"
+
+namespace fairsfe::rpd {
+
+struct RunSetup;  // estimator.h; OutcomeMapping::install is defined in the .cpp
+
+/// Monetary collateral attached to a payoff vector (penalty-based fairness).
+/// Units are payoff units: a forfeited deposit of d shifts the adversary's
+/// payoff down by d, so deposits and γ entries live on one scale.
+struct CollateralTerms {
+  double deposit = 0.0;  ///< escrowed up-front by the adversary's parties
+  double penalty = 0.0;  ///< extra fine on a proven withhold, on top of deposit
+  /// Fraction of the deposit returned on a clean run (refund schedule);
+  /// 1.0 = full refund, 0.0 = the escrow always keeps the deposit.
+  double refund = 1.0;
+
+  /// Aborts (FAIRSFE_CHECK) on negative or non-finite deposit/penalty and on
+  /// a refund fraction outside [0, 1] — NaN deposits must never reach the
+  /// estimator's accumulators.
+  void validate() const;
+};
+
+/// Everything score() may read about one finished run: the classified event,
+/// the raw outcome predicates, and the collateral annotations protocols
+/// record via mpc::Notes (see notes_collateral_mapping).
+struct RunOutcome {
+  FairnessEvent event = FairnessEvent::kE00;
+  Outcome outcome;
+  /// Collateral flags (always false outside escrowed protocols, which keeps
+  /// VectorModel::score a pure function of `event`).
+  bool deposit_posted = false;      ///< the adversary's deposit was escrowed
+  bool adversary_withheld = false;  ///< withheld after learning — forfeiture
+};
+
+/// The estimator-facing payoff interface: one score() per run, on both the
+/// scalar and the bit-sliced lane. Implementations must be pure functions of
+/// the RunOutcome (no per-call state), so scoring is trivially thread-safe
+/// and bit-identical across thread counts.
+class PayoffModel {
+ public:
+  virtual ~PayoffModel() = default;
+
+  /// The payoff of one classified run.
+  [[nodiscard]] virtual double score(const RunOutcome& o) const = 0;
+
+  /// The underlying Γ vector (Γfair membership, closed-form bounds, table
+  /// headers). Every model is anchored to one vector; extensions like
+  /// collateral deform the score, not the vector.
+  [[nodiscard]] virtual const PayoffVector& gamma() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Γfair / Γ+fair membership of the anchoring vector, so model-based
+  /// callers keep enforcing the paper's class constraints (Section 3).
+  [[nodiscard]] bool in_gamma_fair() const { return gamma().in_gamma_fair(); }
+  [[nodiscard]] bool in_gamma_fair_plus() const { return gamma().in_gamma_fair_plus(); }
+};
+
+/// The legacy behavior as a model: score = γ.of(event). Bit-identical to the
+/// pre-model estimator by construction (same call on the same double).
+class VectorModel final : public PayoffModel {
+ public:
+  explicit VectorModel(PayoffVector gamma) : gamma_(gamma) {}
+
+  [[nodiscard]] double score(const RunOutcome& o) const override {
+    return gamma_.of(o.event);
+  }
+  [[nodiscard]] const PayoffVector& gamma() const override { return gamma_; }
+  [[nodiscard]] std::string name() const override { return "vector" + gamma_.to_string(); }
+
+ private:
+  PayoffVector gamma_;
+};
+
+/// Γfair + monetary collateral: the event payoff, minus the forfeited
+/// deposit + penalty when the adversary withheld after learning, minus the
+/// unrefunded deposit fraction otherwise (refund schedule). With no deposit
+/// posted the model degenerates to VectorModel exactly.
+class CollateralModel final : public PayoffModel {
+ public:
+  CollateralModel(PayoffVector gamma, CollateralTerms terms);
+
+  [[nodiscard]] double score(const RunOutcome& o) const override;
+  [[nodiscard]] const PayoffVector& gamma() const override { return gamma_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const CollateralTerms& terms() const { return terms_; }
+
+ private:
+  PayoffVector gamma_;
+  CollateralTerms terms_;
+};
+
+/// Convenience builders (the shared_ptr form every consumer stores).
+std::shared_ptr<const PayoffModel> make_vector_model(const PayoffVector& gamma);
+std::shared_ptr<const PayoffModel> make_collateral_model(const PayoffVector& gamma,
+                                                         const CollateralTerms& terms);
+
+// ------------------------------------------------------- outcome mappings
+
+/// One protocol family's outcome→RunOutcome accounting, as data: the j-bit
+/// and i-bit predicates the estimator consults plus an annotation hook for
+/// the model-specific RunOutcome fields. Built once by a named factory below
+/// and installed on the RunSetup — the mapping logic lives here, not in
+/// per-setup lambdas.
+struct OutcomeMapping {
+  std::function<bool(const sim::ExecutionResult&)> honest_got_output;
+  std::function<bool(const sim::ExecutionResult&)> adversary_learned;
+  std::function<void(const sim::ExecutionResult&, RunOutcome&)> annotate;
+
+  /// Copy the three hooks onto a RunSetup (null hooks leave the setup's
+  /// defaults untouched).
+  void install(RunSetup& s) const;
+};
+
+/// Strict correctness: the j-bit demands every honest party output exactly
+/// `y` — ⊥ and default-input fallbacks both fail (the exp18 accounting).
+OutcomeMapping strict_output_mapping(Bytes y, std::size_t n);
+
+/// The GK / BOO switch-round accounting ([GK10, Lemma 2] / Theorem 23's
+/// simulator): the only unsimulatable outcome is an abort exactly at the
+/// switch round i* — the adversary then holds the real y while the honest
+/// output was replaced by a fake draw. Reads vals["abort_iteration"] and
+/// vals["i_star"] from `notes`; unfair iff both exist and are equal.
+OutcomeMapping notes_switch_round_mapping(mpc::NotesPtr notes);
+
+/// Escrow collateral accounting: annotates RunOutcome::deposit_posted and
+/// ::adversary_withheld from vals["deposit_posted"] /
+/// vals["withheld_after_learning"] recorded by the escrow functionality
+/// (fair/penalty.h). Event predicates stay at their defaults.
+OutcomeMapping notes_collateral_mapping(mpc::NotesPtr notes);
+
+}  // namespace fairsfe::rpd

@@ -1,5 +1,5 @@
 // The scenario registry is the experiment layer's source of truth: these
-// tests pin down (a) the registered table itself (18 unique ids, canonical
+// tests pin down (a) the registered table itself (22 unique ids, canonical
 // attack families, smoke tags), (b) the --filter matching semantics the
 // fairbench driver exposes, (c) that every registered scenario estimates
 // through the rpd::ScenarioSpec overloads without error and bit-identically
@@ -25,14 +25,14 @@ rpd::EstimatorOptions smoke_opts(const ScenarioSpec& spec, std::size_t threads) 
   return o;
 }
 
-TEST(Registry, TwentyScenariosWithUniqueIds) {
+TEST(Registry, TwentyTwoScenariosWithUniqueIds) {
   const auto specs = Registry::instance().all();
-  ASSERT_EQ(specs.size(), 20u);
+  ASSERT_EQ(specs.size(), 22u);
   std::set<std::string> ids;
   for (const auto* s : specs) ids.insert(s->id);
   EXPECT_EQ(ids.size(), specs.size()) << "duplicate scenario id registered";
-  // One registration per experiment chapter: exp01..exp20 each appear once.
-  for (int n = 1; n <= 20; ++n) {
+  // One registration per experiment chapter: exp01..exp22 each appear once.
+  for (int n = 1; n <= 22; ++n) {
     char prefix[8];
     std::snprintf(prefix, sizeof(prefix), "exp%02d_", n);
     int hits = 0;

@@ -275,7 +275,7 @@ TEST(Service, TcpListenerServesTheSameProtocol) {
     Client c(net::tcp_connect("127.0.0.1", daemon.tcp_port()));
     c.send("{\"verb\":\"list\"}");
     const std::string line = c.read_until_event("scenarios");
-    EXPECT_NE(line.find("\"count\":20"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"count\":22"), std::string::npos) << line;
     EXPECT_NE(line.find("\"exp01_contract_fairness\""), std::string::npos);
   }
   daemon.stop();
@@ -319,7 +319,7 @@ TEST(Service, MalformedAndUnknownRequestsGetErrorEvents) {
   EXPECT_NE(c.read_until_event("error").find("positive"), std::string::npos);
   // The connection survives every error: a well-formed request still works.
   c.send("{\"verb\":\"list\"}");
-  EXPECT_NE(c.read_until_event("scenarios").find("\"count\":20"),
+  EXPECT_NE(c.read_until_event("scenarios").find("\"count\":22"),
             std::string::npos);
 }
 
@@ -350,7 +350,7 @@ TEST(Service, ShutdownVerbDrainsWithoutPoisoningTheGlobalFlag) {
   DaemonFixture fx2(1);
   Client c2 = fx2.client();
   c2.send("{\"verb\":\"list\"}");
-  EXPECT_NE(c2.read_until_event("scenarios").find("\"count\":20"),
+  EXPECT_NE(c2.read_until_event("scenarios").find("\"count\":22"),
             std::string::npos);
 }
 
