@@ -110,8 +110,17 @@ def regression_pct(key, old, new):
 
 def main():
     ap = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
-    )
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        allow_abbrev=False,
+        epilog="examples:\n"
+               "  python3 scripts/bench_diff.py BENCH_hotpath.json "
+               "BENCH_hotpath.ci.json\n"
+               "  python3 scripts/bench_diff.py --fail-above 35 "
+               "BENCH_preproc.json BENCH_preproc.ci.json\n"
+               "\n"
+               "Exit status: 0 clean, 1 regression above --fail-above, "
+               "2 bad usage.\n")
     ap.add_argument("--fail-above", type=float, metavar="PCT", default=None,
                     help="exit 1 if any perf key regresses by more than PCT%%")
     ap.add_argument("old", metavar="OLD.json")

@@ -1,0 +1,12 @@
+"""Entry point: `python3 scripts/fairsfe_analyze/__main__.py` or
+`python3 -m fairsfe_analyze` with scripts/ on PYTHONPATH."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

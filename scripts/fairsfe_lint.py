@@ -73,6 +73,12 @@ Escape hatch: a finding is suppressed by `// LINT-ALLOW(rule): reason` on the
 same line or on a comment line directly above it. The reason is mandatory
 (`allow-missing-reason` otherwise) and an allow that suppresses nothing is
 itself a finding (`unused-allow`), so stale annotations can't accumulate.
+Allows naming a rule owned by fairsfe-analyze (scripts/fairsfe_analyze/) are
+the analyzer's to track and are ignored here.
+
+Output: --format text|json|sarif (SARIF/JSON share one schema with
+fairsfe-analyze); findings carry line and column. --changed-only restricts
+the lint set to files changed vs. the merge-base with the default branch.
 
 The linter is compile_commands-aware: given --compile-commands (exported by
 `cmake --preset lint`), the lint set is the listed translation units plus all
@@ -95,6 +101,21 @@ import os
 import re
 import sys
 
+# The deeper cross-TU analyzer (scripts/fairsfe_analyze/) shares this repo's
+# LINT-ALLOW grammar and the SARIF/JSON emitters; import its flat modules the
+# same way its own driver does.
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fairsfe_analyze"))
+import analyses as _analyses  # noqa: E402
+import sarif as _sarif  # noqa: E402
+from driver import changed_files  # noqa: E402
+
+# Rules owned by fairsfe-analyze. A LINT-ALLOW naming one of these is the
+# analyzer's business: it tracks usage itself, so the linter must neither
+# suppress with it nor flag it as unknown/unused.
+ANALYZER_RULE_NAMES = frozenset(_analyses.RULE_NAMES)
+
+LINT_VERSION = "2.0.0"  # 2.0: column numbers, --format, --changed-only
 CPP_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc", ".cxx")
 SCAN_ROOTS = ("src", "bench", "examples", "tests")
 PROTOCOL_DIRS = ("src/sim", "src/mpc", "src/fair", "src/adversary")
@@ -227,7 +248,8 @@ class RegexRule(Rule):
             for pat in self.patterns:
                 m = pat.search(line)
                 if m:
-                    yield lineno, f"{self.message} (matched `{m.group(0).strip()}`)"
+                    yield (lineno, m.start() + 1,
+                           f"{self.message} (matched `{m.group(0).strip()}`)")
                     break
 
 
@@ -381,7 +403,8 @@ class UnorderedIterationRule(Rule):
             for pat in pats:
                 m = pat.search(line)
                 if m:
-                    yield lineno, f"{self.message} (iterates `{m.group(1)}`)"
+                    yield (lineno, m.start(1) + 1,
+                           f"{self.message} (iterates `{m.group(1)}`)")
                     break
 
 
@@ -408,7 +431,7 @@ class UninitializedPodMemberRule(Rule):
             if self.SKIP_RE.search(line):
                 continue
             if self.MEMBER_RE.match(line):
-                yield lineno, self.message
+                yield lineno, len(line) - len(line.lstrip()) + 1, self.message
 
 
 RULES = [
@@ -468,15 +491,19 @@ class FileContext:
 
 
 def parse_allows(raw_lines):
-    """Map target line -> list of [rule, reason, allow_lineno, used-flag].
+    """Map target line -> list of [rule, reason, allow_lineno, allow_col,
+    used-flag].
 
     A trailing allow targets its own line; an allow on a comment-only line
-    targets the next line.
+    targets the next line. Allows naming an analyzer-owned rule are skipped
+    entirely — fairsfe-analyze tracks their usage itself.
     """
     allows = {}
     for lineno, line in enumerate(raw_lines, start=1):
         m = ALLOW_RE.search(line)
         if not m:
+            continue
+        if m.group("rule") in ANALYZER_RULE_NAMES:
             continue
         comment_pos = line.find("//")
         block_pos = line.find("/*")
@@ -485,7 +512,8 @@ def parse_allows(raw_lines):
         own_line = pos >= 0 and not line[:pos].strip()
         target = lineno + 1 if own_line else lineno
         allows.setdefault(target, []).append(
-            [m.group("rule"), (m.group("reason") or "").strip(), lineno, False])
+            [m.group("rule"), (m.group("reason") or "").strip(), lineno,
+             m.start() + 1, False])
     return allows
 
 
@@ -512,12 +540,12 @@ def load_included_headers(path, root):
 
 
 def lint_file(path, relpath, root, pretend_relpath=None):
-    """Lint one file; returns a list of (lineno, rule, message) findings."""
+    """Lint one file; returns a list of (lineno, col, rule, message) findings."""
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
     except OSError as e:
-        return [(0, "io-error", str(e))]
+        return [(0, 0, "io-error", str(e))]
     effective = pretend_relpath if pretend_relpath is not None else relpath
     ctx = FileContext(effective, text, load_included_headers(path, root))
     allows = parse_allows(ctx.raw_lines)
@@ -526,27 +554,27 @@ def lint_file(path, relpath, root, pretend_relpath=None):
     for rule in RULES:
         if not rule.in_scope(effective):
             continue
-        for lineno, message in rule.check(ctx):
+        for lineno, col, message in rule.check(ctx):
             line_allows = allows.get(lineno, [])
             suppressed = False
             for entry in line_allows:
                 if entry[0] == rule.name and entry[1]:
-                    entry[3] = True
+                    entry[4] = True
                     suppressed = True
             if not suppressed:
-                findings.append((lineno, rule.name, message))
+                findings.append((lineno, col, rule.name, message))
 
     for target, entries in sorted(allows.items()):
-        for rule_name, reason, allow_lineno, used in entries:
+        for rule_name, reason, allow_lineno, allow_col, used in entries:
             if rule_name not in RULE_NAMES:
-                findings.append((allow_lineno, "unused-allow",
+                findings.append((allow_lineno, allow_col, "unused-allow",
                                  f"LINT-ALLOW names unknown rule `{rule_name}`"))
             elif not reason:
-                findings.append((allow_lineno, "allow-missing-reason",
+                findings.append((allow_lineno, allow_col, "allow-missing-reason",
                                  f"LINT-ALLOW({rule_name}) must carry a reason "
                                  "after the colon"))
             elif not used:
-                findings.append((allow_lineno, "unused-allow",
+                findings.append((allow_lineno, allow_col, "unused-allow",
                                  f"LINT-ALLOW({rule_name}) suppresses nothing on "
                                  f"line {target} — remove it"))
     findings.sort()
@@ -581,22 +609,55 @@ def collect_files(root, compile_commands):
     return sorted(files)
 
 
-def run_lint(root, compile_commands, explicit_files):
-    if explicit_files:
+def rules_meta():
+    """(name, description, scope) triples for the SARIF rules table."""
+    meta = []
+    for rule in RULES:
+        if rule.dirs is not None:
+            scope = ", ".join(rule.dirs)
+        elif getattr(rule, "EXEMPT", None):
+            scope = "everywhere except " + ", ".join(rule.EXEMPT)
+        else:
+            scope = "everywhere"
+        meta.append((rule.name, rule.message, scope))
+    meta.append(("unused-allow", "LINT-ALLOW that suppresses nothing",
+                 "everywhere"))
+    meta.append(("allow-missing-reason", "LINT-ALLOW without a reason",
+                 "everywhere"))
+    return meta
+
+
+def run_lint(root, compile_commands, explicit_files, fmt="text",
+             changed_only=False):
+    if changed_only:
+        scoped = tuple(r + "/" for r in SCAN_ROOTS)
+        rels = [f for f in changed_files(root)
+                if f.startswith(scoped) and f.endswith(CPP_EXTENSIONS)]
+        rels = sorted(set(rels) | {
+            os.path.relpath(os.path.abspath(f), root) for f in explicit_files})
+    elif explicit_files:
         rels = [os.path.relpath(os.path.abspath(f), root) for f in explicit_files]
     else:
         rels = collect_files(root, compile_commands)
-    total = 0
+    all_findings = []
     for rel in rels:
-        findings = lint_file(os.path.join(root, rel), rel.replace(os.sep, "/"), root)
-        for lineno, rule, message in findings:
-            print(f"{rel}:{lineno}: [{rule}] {message}")
-            total += 1
-    if total:
-        print(f"fairsfe-lint: {total} finding(s) in {len(rels)} file(s)")
-        return 1
-    print(f"fairsfe-lint: clean ({len(rels)} files)")
-    return 0
+        rel_posix = rel.replace(os.sep, "/")
+        for lineno, col, rule, message in lint_file(
+                os.path.join(root, rel), rel_posix, root):
+            all_findings.append({"rule": rule, "path": rel_posix,
+                                 "line": lineno, "col": col,
+                                 "message": message})
+    out = _sarif.render(all_findings, fmt, "fairsfe-lint", LINT_VERSION,
+                        rules_meta())
+    if out:
+        print(out)
+    if fmt == "text":
+        if all_findings:
+            print(f"fairsfe-lint: {len(all_findings)} finding(s) in "
+                  f"{len(rels)} file(s)")
+        else:
+            print(f"fairsfe-lint: clean ({len(rels)} files)")
+    return 1 if all_findings else 0
 
 
 def run_self_test(root):
@@ -605,6 +666,8 @@ def run_self_test(root):
     failures = 0
     checked = 0
     for dirpath, dirnames, filenames in os.walk(fixture_dir):
+        if dirpath == fixture_dir and "analyze" in dirnames:
+            dirnames.remove("analyze")  # fairsfe-analyze's corpus, not ours
         dirnames.sort()
         for name in sorted(filenames):
             if not name.endswith(CPP_EXTENSIONS):
@@ -620,7 +683,7 @@ def run_self_test(root):
                     for m in EXPECT_RE.finditer(line):
                         expected.add((lineno, m.group("rule")))
             got = {(lineno, rule)
-                   for lineno, rule, _ in lint_file(path, rel, root, pretend)}
+                   for lineno, _col, rule, _ in lint_file(path, rel, root, pretend)}
             checked += 1
             for lineno, rule in sorted(expected - got):
                 print(f"SELF-TEST FAIL {rel}:{lineno}: expected [{rule}], not flagged")
@@ -640,13 +703,26 @@ def run_self_test(root):
 
 def main():
     ap = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        allow_abbrev=False,
+        epilog="examples:\n"
+               "  python3 scripts/fairsfe_lint.py "
+               "--compile-commands build-lint/compile_commands.json\n"
+               "  python3 scripts/fairsfe_lint.py --changed-only\n"
+               "  python3 scripts/fairsfe_lint.py --format sarif src/mpc/gmw.cpp\n")
     ap.add_argument("--root", default=None,
                     help="repository root (default: parent of this script's dir)")
     ap.add_argument("--compile-commands", default=None, metavar="JSON",
                     help="compile_commands.json to take the TU set from")
+    ap.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text", help="output format (default: text)")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="lint only files changed vs. the merge-base with the "
+                         "default branch (plus any explicitly listed files)")
     ap.add_argument("--self-test", action="store_true",
-                    help="run the fixture corpus under scripts/lint_fixtures/")
+                    help="run the fixture corpus under scripts/lint_fixtures/ "
+                         "(the analyze/ subtree belongs to fairsfe-analyze)")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("files", nargs="*", help="lint only these files")
     args = ap.parse_args()
@@ -654,13 +730,13 @@ def main():
     root = os.path.abspath(args.root or
                            os.path.join(os.path.dirname(__file__), os.pardir))
     if args.list_rules:
-        for rule in RULES:
-            scope = ", ".join(rule.dirs) if rule.dirs else "everywhere"
-            print(f"{rule.name:26} [{scope}] {rule.message}")
+        for name, message, scope in rules_meta():
+            print(f"{name:26} [{scope}] {message}")
         return 0
     if args.self_test:
         return run_self_test(root)
-    return run_lint(root, args.compile_commands, args.files)
+    return run_lint(root, args.compile_commands, args.files,
+                    fmt=args.format, changed_only=args.changed_only)
 
 
 if __name__ == "__main__":

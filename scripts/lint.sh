@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Static-analysis gate for the determinism contract (DESIGN.md §9).
+# Static-analysis gate for the determinism contract (DESIGN.md §9, §14).
 #
-#   scripts/lint.sh              # full gate: fairsfe-lint + clang-tidy (if installed)
-#   scripts/lint.sh --self-test  # linter fixture corpus only
+#   scripts/lint.sh                # full gate: fairsfe-lint + fairsfe-analyze
+#                                  #   + clang-tidy (if installed)
+#   scripts/lint.sh --self-test    # both fixture corpora only
+#   scripts/lint.sh --changed-only # lint/analyze only files changed vs. the
+#                                  #   merge-base (facts still span the tree)
 #
 # Exit status is non-zero on any finding. clang-tidy is optional tooling: when
 # the binary is absent the stage is skipped with a notice (the fairsfe-lint
-# stage still gates), so the script works in minimal containers.
+# and fairsfe-analyze stages still gate), so the script works in minimal
+# containers.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 if [[ "${1:-}" == "--self-test" ]]; then
-  exec python3 scripts/fairsfe_lint.py --self-test
+  python3 scripts/fairsfe_lint.py --self-test
+  exec python3 scripts/fairsfe_analyze/__main__.py --self-test
+fi
+
+CHANGED_ONLY=()
+if [[ "${1:-}" == "--changed-only" ]]; then
+  CHANGED_ONLY=(--changed-only)
 fi
 
 # The linter's TU set (and clang-tidy's) comes from compile_commands.json;
@@ -28,7 +38,15 @@ echo "lint.sh: fairsfe-lint self-test"
 python3 scripts/fairsfe_lint.py --self-test
 
 echo "lint.sh: fairsfe-lint (tree)"
-python3 scripts/fairsfe_lint.py --compile-commands "$COMPILE_DB"
+python3 scripts/fairsfe_lint.py --compile-commands "$COMPILE_DB" \
+    "${CHANGED_ONLY[@]}"
+
+echo "lint.sh: fairsfe-analyze self-test"
+python3 scripts/fairsfe_analyze/__main__.py --self-test
+
+echo "lint.sh: fairsfe-analyze (cross-TU dataflow)"
+python3 scripts/fairsfe_analyze/__main__.py --compile-commands "$COMPILE_DB" \
+    "${CHANGED_ONLY[@]}"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy"
@@ -41,7 +59,7 @@ EOF
 )
   clang-tidy -p build-lint --quiet "${TUS[@]}"
 else
-  echo "lint.sh: clang-tidy not installed — skipping (fairsfe-lint stage still gates)"
+  echo "lint.sh: clang-tidy not installed — skipping (fairsfe-lint and fairsfe-analyze stages still gate)"
 fi
 
 echo "lint.sh: OK"

@@ -1,0 +1,24 @@
+// LINT-ALLOW hygiene for analyzer rules: a reasoned allow suppresses its
+// finding; an allow that suppresses nothing, or carries no reason, is
+// itself a finding.
+#include "crypto/rng.h"
+
+namespace fairsfe::mpc {
+
+// Negative: the reasoned allow suppresses the loop-fork finding.
+void suppressed(Rng& rng, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng child = rng.fork("w");  // LINT-ALLOW(rng-fork-in-loop): fixture proves reasoned suppression works
+    use(child);
+  }
+}
+
+void hygiene(Rng& rng) {
+  // LINT-ALLOW(rng-fork-in-loop): there is no loop here  EXPECT(unused-allow)
+  Rng a = rng.fork("x");
+  /* LINT-ALLOW(rng-draw-after-fork) */  // EXPECT(allow-missing-reason)
+  Rng b = rng.fork("y");
+  use(a, b);
+}
+
+}  // namespace fairsfe::mpc

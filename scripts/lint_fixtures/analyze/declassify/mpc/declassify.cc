@@ -1,0 +1,27 @@
+// The declassify marker is the audited escape hatch for intentional
+// disclosure; one that suppresses nothing is itself a finding.
+#include "crypto/bytes.h"
+
+namespace fairsfe::mpc {
+
+// TAINT-SOURCE(share): fixture share type
+struct FixtureShare {
+  Bytes v;
+};
+
+// Negative: the declassified line may disclose the share.
+void audited_disclosure(const FixtureShare& sh) {
+  Bytes blob = sh.v;
+  // DECLASSIFY(post-protocol audit dump; both parties already hold the opening)
+  std::cout << blob;
+}
+
+// Positive: the marker targets a line where nothing tainted sinks.
+void stale_marker(const FixtureShare& sh) {
+  Bytes blob = sh.v;
+  use(blob);
+  // DECLASSIFY(stale — nothing secret on the next line)  EXPECT(unused-declassify)
+  std::cout << "done";
+}
+
+}  // namespace fairsfe::mpc

@@ -1,0 +1,30 @@
+// Positive/negative pair for rng-draw-after-fork (protocol layers only):
+// drawing from a parent after a child fork interleaves the parent's draw
+// stream with its children, so reordering the fork reshuffles every
+// downstream sample.
+#include "crypto/rng.h"
+
+namespace fairsfe::fair {
+
+void bad_draw_after(Rng& rng) {
+  Rng child = rng.fork("sub");
+  bool coin = rng.bit();  // EXPECT(rng-draw-after-fork)
+  use(child, coin);
+}
+
+// Negative: draw first, fork afterwards.
+void good_draw_before(Rng& rng) {
+  bool coin = rng.bit();
+  Rng child = rng.fork("sub");
+  use(child, coin);
+}
+
+// Negative: draws come from a dedicated child stream.
+void good_dedicated_child(Rng& rng) {
+  Rng child = rng.fork("sub");
+  Rng draws = rng.fork("draws");
+  bool coin = draws.bit();
+  use(child, coin);
+}
+
+}  // namespace fairsfe::fair

@@ -1,0 +1,33 @@
+// Positive/negative pair for rng-fork-in-loop: fork() in a loop advances the
+// parent's counter once per iteration, so stream identity depends on
+// iteration order; fork_at(label, i) states the index explicitly.
+#include "crypto/rng.h"
+
+namespace fairsfe {
+
+void bad_counter_fork(Rng& rng, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng child = rng.fork("party");  // EXPECT(rng-fork-in-loop)
+    use(child);
+  }
+}
+
+// Negative: indexed derivation is iteration-order independent.
+void good_indexed(Rng& rng, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng child = rng.fork_at("party", i);
+    use(child);
+  }
+}
+
+// Negative: the parent itself is freshly constructed inside the loop, so
+// each iteration forks a different stream family.
+void good_loop_local_parent(std::uint64_t seed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng run(seed + i);
+    Rng child = run.fork("engine");
+    use(child);
+  }
+}
+
+}  // namespace fairsfe

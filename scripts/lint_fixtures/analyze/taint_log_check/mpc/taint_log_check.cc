@@ -1,0 +1,35 @@
+// Positive/negative pairs for secret-to-log and secret-to-check: pad bytes
+// in stdout or in a FAIRSFE_CHECK message land in logs and bug reports.
+#include "crypto/bytes.h"
+
+namespace fairsfe::mpc {
+
+// TAINT-SOURCE(pad): fixture one-time pad
+struct FixturePad {
+  Bytes p;
+};
+
+void log_leak(const FixturePad& pad) {
+  Bytes b = pad.p;
+  std::printf("pad=%s\n", b.data());  // EXPECT(secret-to-log)
+}
+
+void check_leak(const FixturePad& pad) {
+  Bytes b = pad.p;
+  FAIRSFE_CHECK(b.size() == 32, "bad pad", b);  // EXPECT(secret-to-check)
+}
+
+// Negative: the check condition may inspect the pad as long as the message
+// carries no tainted value.
+void check_ok(const FixturePad& pad) {
+  Bytes b = pad.p;
+  FAIRSFE_CHECK(b.size() == 32, "pad has wrong width");
+}
+
+// Negative: sizes and other derived-but-public facts... stay untainted only
+// if laundered through a mask; plain logging of untainted values is fine.
+void log_ok(const Bytes& digest) {
+  std::printf("digest=%s\n", digest.data());
+}
+
+}  // namespace fairsfe::mpc

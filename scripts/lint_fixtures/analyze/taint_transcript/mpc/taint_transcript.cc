@@ -1,0 +1,29 @@
+// Positive/negative pair for secret-to-transcript: an annotated share value
+// reaching a transcript recorder unmasked leaks exactly what the rushing
+// adversary is not granted.
+#include "crypto/bytes.h"
+
+namespace fairsfe::mpc {
+
+// TAINT-SOURCE(share): fixture share type
+struct FixtureShare {
+  Bytes v;
+};
+
+void leak_share(Transcript& transcript, const FixtureShare& sh) {
+  Bytes blob = sh.v;
+  transcript.record(blob);  // EXPECT(secret-to-transcript)
+}
+
+// Negative: a masking XOR launders the value before it is recorded.
+void masked_share(Transcript& transcript, const FixtureShare& sh, const Bytes& pad) {
+  Bytes blob = sh.v ^ pad;
+  transcript.record(blob);
+}
+
+// Negative: untainted values may hit the transcript freely.
+void plain_value(Transcript& transcript, const Bytes& commitment_digest) {
+  transcript.record(commitment_digest);
+}
+
+}  // namespace fairsfe::mpc

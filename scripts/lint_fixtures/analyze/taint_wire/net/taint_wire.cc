@@ -1,0 +1,36 @@
+// Positive/negative pair for secret-to-wire: key material reaching a frame
+// writer crosses the process boundary in the clear.
+#include "net/wire.h"
+
+namespace fairsfe::net {
+
+// TAINT-SOURCE(key): fixture key type
+struct FixtureKey {
+  Bytes k;
+};
+
+void leak_into_payload(const FixtureKey& key, Frame& frame) {
+  Bytes material = key.k;
+  frame.payload = material;  // EXPECT(secret-to-wire)
+}
+
+void leak_into_encoder(const FixtureKey& key) {
+  Bytes material = key.k;
+  Bytes wire_bytes = encode_frame(material);  // EXPECT(secret-to-wire)
+  use(wire_bytes);
+}
+
+// Negative: masked material may ride the wire.
+void masked_payload(const FixtureKey& key, const Bytes& pad, Frame& frame) {
+  Bytes material = key.k ^ pad;
+  frame.payload = material;
+}
+
+// Keeps the frame/frame_body kind pair closed in this universe (also
+// exercises the decode_frame_body -> frame alias).
+void pump(ByteView raw) {
+  auto body = decode_frame_body(raw);
+  use(body);
+}
+
+}  // namespace fairsfe::net

@@ -1,0 +1,16 @@
+// Frame side of the positive wire-schema-drift fixture.
+#pragma once
+
+namespace fairsfe::net {
+
+struct Frame {
+  std::uint8_t kind = 0;
+  std::uint64_t seq = 0;
+  std::int32_t round = 0;
+  PartyId from = 0;
+  PartyId to = 0;
+  PartyId rcpt = 0;
+  Bytes payload;
+};
+
+}  // namespace fairsfe::net

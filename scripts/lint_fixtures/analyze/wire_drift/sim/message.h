@@ -1,0 +1,14 @@
+// Positive wire-schema-drift fixture: Message grows a field the Frame schema
+// cannot carry.
+#pragma once
+
+namespace fairsfe::sim {
+
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  Bytes payload;
+  std::uint32_t hop_count = 0;  // EXPECT(wire-schema-drift)
+};
+
+}  // namespace fairsfe::sim

@@ -1,0 +1,12 @@
+// Negative twin of wire_drift: every Message field has a Frame slot.
+#pragma once
+
+namespace fairsfe::sim {
+
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  Bytes payload;
+};
+
+}  // namespace fairsfe::sim

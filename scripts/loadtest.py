@@ -69,7 +69,18 @@ def percentile(sorted_ms, q):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        allow_abbrev=False,
+        epilog="examples:\n"
+               "  python3 scripts/loadtest.py --daemon build-perf/fairbenchd "
+               "--requests 8 --connections 2 --runs 32\n"
+               "  python3 scripts/loadtest.py --connect /tmp/fairbenchd.sock "
+               "--out BENCH_service.ci.json\n"
+               "\n"
+               "Exit status: 0 clean drain with every request answered, "
+               "1 any error event or unclean shutdown, 2 bad usage.\n")
     ap.add_argument("--daemon", default="build/fairbenchd",
                     help="fairbenchd binary to spawn (ignored with --connect)")
     ap.add_argument("--connect", default=None, metavar="SOCK",

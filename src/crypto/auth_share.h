@@ -22,6 +22,7 @@ namespace fairsfe {
 class Rng;
 
 /// One party's share of an authenticated 2-of-2 sharing.
+// TAINT-SOURCE(share): a party's authenticated summand+tag; leaking it collapses the 2-party hiding property
 struct AuthShare2 {
   Bytes summand;      ///< sᵢ
   Bytes summand_tag;  ///< tag(sᵢ, k₋ᵢ) — verifiable by the *other* party
@@ -34,12 +35,14 @@ struct AuthShare2 {
   static std::optional<AuthShare2> from_bytes(ByteView data);
 };
 
+// TAINT-SOURCE(share): both halves of an authenticated sharing — strictly more secret than either share
 struct AuthSharing2 {
   AuthShare2 share1;  ///< held by p₁
   AuthShare2 share2;  ///< held by p₂
 };
 
 /// Create an authenticated sharing of `secret`.
+// TAINT-SOURCE(share): produces the full sharing of `secret`
 AuthSharing2 auth_share2(ByteView secret, Rng& rng);
 
 /// Reconstruct towards the holder of `mine`, given the other party's opening

@@ -19,6 +19,7 @@ namespace fairsfe {
 
 class Rng;
 
+// TAINT-SOURCE(key): signing_key preimages; disclosure forges signatures
 struct LamportKeyPair {
   Bytes signing_key;       ///< 2*256*32 bytes of preimages
   Bytes verification_key;  ///< 2*256*32 bytes of hashes

@@ -21,6 +21,7 @@ namespace fairsfe {
 
 class Rng;
 
+// TAINT-SOURCE(key): MAC key; disclosure forges tags
 struct MacKey {
   Fp a;
   Fp b;

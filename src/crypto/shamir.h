@@ -19,6 +19,7 @@ namespace fairsfe {
 
 class Rng;
 
+// TAINT-SOURCE(share): sub-threshold Shamir share; any minority set must stay hidden
 struct ShamirShare {
   std::uint32_t x = 0;        ///< evaluation point (party index + 1, never 0)
   std::vector<Fp> y;          ///< one evaluation per secret limb

@@ -251,7 +251,7 @@ std::vector<std::unique_ptr<sim::IParty>> make_gk_multi_parties(
   parties.reserve(inputs.size());
   for (std::size_t p = 0; p < inputs.size(); ++p) {
     parties.push_back(std::make_unique<GkMultiParty>(static_cast<sim::PartyId>(p), params,
-                                                     inputs[p], rng.fork("gk-multi")));
+                                                     inputs[p], rng.fork("gk-multi")));  // LINT-ALLOW(rng-fork-in-loop): fork counter is the party index (parent enters at 0); callers fork this parent afterwards, so re-indexing would re-seed pinned goldens
   }
   return parties;
 }

@@ -185,7 +185,7 @@ std::vector<std::unique_ptr<sim::IParty>> make_half_gmw_parties(
   parties.reserve(inputs.size());
   for (std::size_t p = 0; p < inputs.size(); ++p) {
     parties.push_back(std::make_unique<HalfGmwParty>(static_cast<sim::PartyId>(p), spec,
-                                                     inputs[p], rng.fork("half-gmw")));
+                                                     inputs[p], rng.fork("half-gmw")));  // LINT-ALLOW(rng-fork-in-loop): fork counter is the party index (parent enters at 0); callers fork this parent afterwards, so re-indexing would re-seed pinned goldens
   }
   return parties;
 }

@@ -113,7 +113,7 @@ Opt2CompiledParty::Opt2CompiledParty(sim::PartyId id,
     padded.push_back(rng_.bit());  // coin0
     inner_ = std::make_unique<mpc::YaoGarbler>(cfg, padded, rng_.fork("inner-yao"));
   } else {
-    padded.push_back(rng_.bit());  // coin1
+    padded.push_back(rng_.bit());  // coin1 — LINT-ALLOW(rng-draw-after-fork): id==0 forks inner-yao, id==1 draws coin1; the branches are disjoint so no party both forks and then draws
     inner_ = std::make_unique<mpc::YaoEvaluator>(cfg, padded);
   }
 }

@@ -95,6 +95,8 @@ std::vector<Message> PrivOutputFunc::on_round(sim::FuncContext& ctx, int /*round
 
   std::vector<Message> deliveries;
   for (std::size_t p = 0; p < spec_.n; ++p) {
+    // Hand-rolled writer for the body decode_priv_output() parses.
+    // ANALYZE-EMITS(priv_output)
     Writer w;
     if (p == i_star) {
       w.u8(1).blob(y).blob(sig);
@@ -183,7 +185,7 @@ std::vector<std::unique_ptr<sim::IParty>> make_optn_parties(const mpc::SfeSpec& 
   parties.reserve(inputs.size());
   for (std::size_t p = 0; p < inputs.size(); ++p) {
     parties.push_back(std::make_unique<OptNParty>(static_cast<sim::PartyId>(p), spec,
-                                                  inputs[p], rng.fork("optn-party")));
+                                                  inputs[p], rng.fork("optn-party")));  // LINT-ALLOW(rng-fork-in-loop): fork counter is the party index (parent enters at 0); callers fork this parent afterwards, so re-indexing would re-seed pinned goldens
   }
   return parties;
 }

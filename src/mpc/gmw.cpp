@@ -436,7 +436,7 @@ std::vector<std::unique_ptr<sim::IParty>> make_gmw_parties(
   parties.reserve(inputs.size());
   for (std::size_t p = 0; p < inputs.size(); ++p) {
     parties.push_back(std::make_unique<GmwParty>(static_cast<sim::PartyId>(p), cfg,
-                                                 inputs[p], rng.fork("gmw-party")));
+                                                 inputs[p], rng.fork("gmw-party")));  // LINT-ALLOW(rng-fork-in-loop): fork counter is the party index (parent enters at 0); callers fork this parent afterwards, so re-indexing would re-seed pinned goldens
   }
   return parties;
 }

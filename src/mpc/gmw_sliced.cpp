@@ -133,7 +133,7 @@ void SlicedGmwRunner::run_batch(std::size_t lo, std::size_t count, std::uint64_t
     for (std::size_t p = 0; p < n; ++p) {
       FAIRSFE_CHECK(lane_inputs.back()[p].size() == c.input_width(p),
                     "SlicedGmwRunner: input drawer returned wrong input width");
-      party_rng[p].push_back(setup_rng.fork("gmw-party"));
+      party_rng[p].push_back(setup_rng.fork("gmw-party"));  // LINT-ALLOW(rng-fork-in-loop): must mirror make_gmw_parties' counter-derived per-party streams bit-for-bit (scalar/sliced equivalence)
     }
   }
 

@@ -78,6 +78,7 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
     const auto tag = r.u8();
     if (!tag) continue;
     if (*tag == kTagSend) {
+      // ANALYZE-HANDLES(ot_send)
       const auto label = r.u64();
       const auto m0 = r.u8();
       const auto m1 = r.u8();
@@ -88,6 +89,7 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
         if (p.choice && !p.delivered) ready_.push_back(*label);
       }
     } else if (*tag == kTagSendStr) {
+      // ANALYZE-HANDLES(ot_send_str)
       const auto label = r.u64();
       const auto m0 = r.blob();
       const auto m1 = r.blob();
@@ -99,6 +101,7 @@ std::vector<sim::Message> OtHub::on_round(sim::FuncContext& /*ctx*/, int /*round
         if (p.choice && !p.delivered) ready_.push_back(*label);
       }
     } else if (*tag == kTagChoose || *tag == kTagChooseStr) {
+      // ANALYZE-HANDLES(ot_choose) ANALYZE-HANDLES(ot_choose_str)
       const auto label = r.u64();
       const auto c = r.u8();
       if (!label || !c || !r.at_end()) continue;

@@ -260,7 +260,7 @@ CorrelatedRandomness OtDrivenProvider::generate(const PreprocRequest& req,
   parties.reserve(n);
   for (std::size_t p = 0; p < n; ++p) {
     parties.push_back(std::make_unique<RotGenParty>(static_cast<sim::PartyId>(p), n,
-                                                    T, R, rng.fork("rotgen-party")));
+                                                    T, R, rng.fork("rotgen-party")));  // LINT-ALLOW(rng-fork-in-loop): fork counter is the party index; the offline-engine fork below depends on the advanced counter
   }
   sim::Engine engine(std::move(parties), std::make_unique<OtHub>(), nullptr,
                      rng.fork("offline-engine"), engine_opts_);

@@ -58,6 +58,7 @@ class BitVec {
 };
 
 /// One Beaver bit triple share as handed to the online phase.
+// TAINT-SOURCE(triple-tape): correlated-randomness share; leaking it unmasks the online AND gates
 struct BeaverTriple {
   bool a = false;
   bool b = false;
@@ -66,6 +67,7 @@ struct BeaverTriple {
 
 /// One random-OT instance, both endpoints' views (the store is the trusted
 /// setup, so it holds both; each party only ever reads its own side).
+// TAINT-SOURCE(triple-tape): ROT endpoint views; the receiver must not learn m_{1-c}, the sender must not learn c
 struct RotPair {
   bool m0 = false;
   bool m1 = false;
@@ -125,6 +127,7 @@ class CorrelatedRandomness {
 /// A party's cursor into the store's triple section. Copyable (GmwParty must
 /// stay cloneable for adversary probes); copies share the store and advance
 /// independent cursors.
+// TAINT-SOURCE(triple-tape): cursor over the correlated-randomness store
 class TripleTape {
  public:
   TripleTape() = default;  ///< unbound; next() is a contract violation

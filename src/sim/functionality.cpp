@@ -32,6 +32,9 @@ Bytes encode_func_abort() {
 std::optional<Bytes> decode_func_output(ByteView payload) {
   Reader r(payload);
   const auto tag = r.u8();
+  // Abort frames carry functag::kAbort and decode to nullopt here; every
+  // party treats that as the functionality's abort signal.
+  // ANALYZE-HANDLES(func_abort)
   if (!tag || *tag != functag::kOutput) return std::nullopt;
   const auto body = r.blob();
   if (!body || !r.at_end()) return std::nullopt;
